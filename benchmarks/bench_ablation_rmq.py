@@ -1,0 +1,76 @@
+"""Ablation: RMQ backend and window-generation strategy.
+
+The paper replaces ALIGN's segment tree (O(n log n) total) with a
+constant-time RMQ structure (O(n) total).  This ablation times compact-
+window generation under each backend, plus the monotone-stack
+formulation the library uses in production, on identical inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compact_windows import (
+    generate_compact_windows,
+    generate_compact_windows_stack,
+)
+
+from conftest import print_series
+
+N_TOKENS = 40_000
+T = 50
+
+
+@pytest.fixture(scope="module")
+def token_hashes():
+    rng = np.random.default_rng(3)
+    return rng.integers(0, 1 << 31, size=N_TOKENS).astype(np.uint32)
+
+
+@pytest.mark.parametrize("backend", ["sparse", "segment", "block"])
+def test_rmq_backend_generation(benchmark, token_hashes, backend):
+    windows = benchmark.pedantic(
+        generate_compact_windows,
+        args=(token_hashes, T, backend),
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["windows"] = len(windows)
+    print_series(
+        f"RMQ ablation backend={backend}",
+        ["backend", "windows"],
+        [(backend, len(windows))],
+    )
+
+
+def test_stack_generation(benchmark, token_hashes):
+    windows = benchmark.pedantic(
+        generate_compact_windows_stack, args=(token_hashes, T), rounds=2, iterations=1
+    )
+    benchmark.extra_info["windows"] = int(windows.size)
+    print_series(
+        "RMQ ablation backend=stack (production)",
+        ["backend", "windows"],
+        [("stack", int(windows.size))],
+    )
+
+
+def test_all_strategies_same_output(benchmark, token_hashes):
+    """The ablation is fair: every strategy emits the identical set."""
+
+    def cross_validate():
+        reference = {
+            (int(r["left"]), int(r["center"]), int(r["right"]))
+            for r in generate_compact_windows_stack(token_hashes, T)
+        }
+        for backend in ("sparse", "segment", "block"):
+            got = {
+                (w.left, w.center, w.right)
+                for w in generate_compact_windows(token_hashes, T, backend)
+            }
+            assert got == reference
+        return len(reference)
+
+    windows = benchmark.pedantic(cross_validate, rounds=1, iterations=1)
+    benchmark.extra_info["windows"] = windows

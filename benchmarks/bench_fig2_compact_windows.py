@@ -1,0 +1,144 @@
+"""Figure 2(a)-(d): number of compact windows generated.
+
+Paper claims reproduced here:
+  * the window count is inversely proportional to the length threshold t
+    (2(n+1)/(t+1) - 1 per text);
+  * a larger BPE vocabulary yields slightly fewer windows (shorter
+    token sequences);
+  * the count grows linearly with the number of hash functions k and
+    with the corpus size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.core.theory import expected_window_count
+from repro.corpus.synthetic import synthweb
+from repro.index.builder import build_memory_index
+
+from conftest import (
+    BASE_TEXTS,
+    MEAN_LENGTH,
+    SIZE_MULTIPLIERS,
+    T_VALUES,
+    VOCAB_LARGE,
+    VOCAB_SMALL,
+    print_series,
+)
+
+
+@pytest.mark.parametrize("t", T_VALUES)
+def test_fig2a_window_count_vs_t(benchmark, base_corpus, t):
+    """Figure 2(a): windows vs length threshold (k=1, vocab 8K)."""
+    family = HashFamily(k=1, seed=3)
+    index = benchmark.pedantic(
+        build_memory_index,
+        args=(base_corpus.corpus, family, t),
+        kwargs={"vocab_size": VOCAB_LARGE},
+        rounds=1,
+        iterations=1,
+    )
+    expected = sum(
+        expected_window_count(text.size, t) for text in base_corpus.corpus
+    )
+    benchmark.extra_info["windows"] = index.num_postings
+    benchmark.extra_info["theory"] = round(expected)
+    print_series(
+        f"Fig 2(a) t={t}",
+        ["t", "windows", "theory"],
+        [(t, index.num_postings, round(expected))],
+    )
+    # Inverse proportionality to t: measured within 15% of the formula.
+    assert abs(index.num_postings - expected) < 0.15 * expected
+
+
+def test_fig2b_vocabulary_size_effect(benchmark, base_corpus):
+    """Figure 2(b): a larger vocabulary gives (slightly) fewer windows.
+
+    The synthetic corpora control token counts directly, so we emulate
+    the retokenization effect: the same underlying documents encoded
+    with a larger vocabulary are ~10% shorter.
+    """
+    t = 50
+    family = HashFamily(k=1, seed=3)
+    small_vocab = synthweb(
+        num_texts=BASE_TEXTS, mean_length=int(MEAN_LENGTH * 1.1),
+        vocab_size=VOCAB_SMALL, seed=1,
+    )
+    large_vocab = synthweb(
+        num_texts=BASE_TEXTS, mean_length=MEAN_LENGTH,
+        vocab_size=VOCAB_LARGE, seed=1,
+    )
+    index_small = build_memory_index(
+        small_vocab.corpus, family, t, vocab_size=VOCAB_SMALL
+    )
+    index_large = benchmark.pedantic(
+        build_memory_index,
+        args=(large_vocab.corpus, family, t),
+        kwargs={"vocab_size": VOCAB_LARGE},
+        rounds=1,
+        iterations=1,
+    )
+    print_series(
+        "Fig 2(b) vocabulary size",
+        ["vocab", "windows"],
+        [
+            (VOCAB_SMALL, index_small.num_postings),
+            (VOCAB_LARGE, index_large.num_postings),
+        ],
+    )
+    assert index_large.num_postings < index_small.num_postings
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_fig2_window_count_vs_k(benchmark, base_corpus, k):
+    """Figure 2(a/b) inset: windows grow linearly with k."""
+    t = 50
+    family = HashFamily(k=k, seed=3)
+    index = benchmark.pedantic(
+        build_memory_index,
+        args=(base_corpus.corpus, family, t),
+        kwargs={"vocab_size": VOCAB_LARGE},
+        rounds=1,
+        iterations=1,
+    )
+    reference = build_memory_index(
+        base_corpus.corpus, HashFamily(k=1, seed=3), t, vocab_size=VOCAB_LARGE
+    )
+    benchmark.extra_info["windows"] = index.num_postings
+    print_series(
+        f"Fig 2 windows vs k={k}",
+        ["k", "windows", "1x-reference"],
+        [(k, index.num_postings, reference.num_postings)],
+    )
+    # Linear in k within 10% (different hash draws move counts slightly).
+    ratio = index.num_postings / (k * reference.num_postings)
+    assert 0.9 < ratio < 1.1
+
+
+@pytest.mark.parametrize("multiplier", SIZE_MULTIPLIERS)
+def test_fig2cd_window_count_vs_corpus_size(benchmark, scaled_corpora, multiplier):
+    """Figure 2(c,d): windows grow linearly with the corpus size."""
+    t = 100
+    family = HashFamily(k=1, seed=3)
+    corpus = scaled_corpora[multiplier]
+    index = benchmark.pedantic(
+        build_memory_index,
+        args=(corpus, family, t),
+        kwargs={"vocab_size": VOCAB_LARGE},
+        rounds=1,
+        iterations=1,
+    )
+    base = scaled_corpora[1]
+    base_index = build_memory_index(base, family, t, vocab_size=VOCAB_LARGE)
+    benchmark.extra_info["windows"] = index.num_postings
+    print_series(
+        f"Fig 2(c,d) size={multiplier}x",
+        ["size", "tokens", "windows"],
+        [(f"{multiplier}x", corpus.total_tokens, index.num_postings)],
+    )
+    token_ratio = corpus.total_tokens / base.total_tokens
+    window_ratio = index.num_postings / base_index.num_postings
+    assert window_ratio == pytest.approx(token_ratio, rel=0.15)

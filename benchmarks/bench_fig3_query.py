@@ -1,0 +1,123 @@
+"""Figure 3(a,b,e,f): query latency and result counts vs k and theta.
+
+Paper claims reproduced here:
+  * query latency increases significantly as the similarity threshold
+    decreases (more candidates survive the collision threshold);
+  * the number of near-duplicates found grows as theta decreases, and
+    exact duplicates (theta = 1) of model-generated text are rare;
+  * there is no clear monotone trend between k and latency (prefix
+    filtering power varies with k).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.index.builder import build_memory_index
+
+from conftest import VOCAB_LARGE, print_series
+
+THETAS = (1.0, 0.9, 0.8, 0.7)
+
+
+def run_queries(searcher, queries, theta):
+    """Average latency split and match counts over the query batch."""
+    io = cpu = 0.0
+    found = 0
+    matched_queries = 0
+    for query in queries:
+        result = searcher.search(query, theta)
+        io += result.stats.io_seconds
+        cpu += result.stats.cpu_seconds
+        found += result.num_texts
+        matched_queries += bool(result.matches)
+    n = len(queries)
+    return {
+        "io_ms": 1e3 * io / n,
+        "cpu_ms": 1e3 * cpu / n,
+        "found": found / n,
+        "matched": matched_queries,
+    }
+
+
+@pytest.mark.parametrize("theta", THETAS)
+def test_fig3ab_latency_and_matches_vs_theta(
+    benchmark, default_index, generated_queries, theta
+):
+    """Figure 3(a,b): latency split and matches for each theta (k=32)."""
+    searcher = NearDuplicateSearcher(default_index)
+    summary = benchmark.pedantic(
+        run_queries, args=(searcher, generated_queries, theta), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {k: round(v, 4) for k, v in summary.items()}
+    )
+    print_series(
+        f"Fig 3(a,b) theta={theta}",
+        ["theta", "io_ms", "cpu_ms", "avg_matches"],
+        [(theta, summary["io_ms"], summary["cpu_ms"], summary["found"])],
+    )
+
+
+def test_fig3_lower_theta_costs_more(benchmark, default_index, generated_queries):
+    """The headline Figure 3 trend, asserted end to end."""
+    searcher = NearDuplicateSearcher(default_index)
+
+    def both():
+        return (
+            run_queries(searcher, generated_queries, 1.0),
+            run_queries(searcher, generated_queries, 0.7),
+        )
+
+    strict, loose = benchmark.pedantic(both, rounds=1, iterations=1)
+    print_series(
+        "Fig 3 trend",
+        ["theta", "total_ms", "avg_matches"],
+        [
+            (1.0, strict["io_ms"] + strict["cpu_ms"], strict["found"]),
+            (0.7, loose["io_ms"] + loose["cpu_ms"], loose["found"]),
+        ],
+    )
+    assert loose["found"] >= strict["found"]
+    assert loose["io_ms"] + loose["cpu_ms"] >= strict["io_ms"] + strict["cpu_ms"]
+
+
+@pytest.mark.parametrize("k", [16, 32, 64])
+def test_fig3ef_latency_vs_k(benchmark, base_corpus, generated_queries, k):
+    """Figure 3(e,f): the k sweep (fresh index per k)."""
+    index = build_memory_index(
+        base_corpus.corpus, HashFamily(k=k, seed=5), t=25, vocab_size=VOCAB_LARGE
+    )
+    searcher = NearDuplicateSearcher(index)
+    summary = benchmark.pedantic(
+        run_queries, args=(searcher, generated_queries, 0.8), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update({key: round(val, 4) for key, val in summary.items()})
+    print_series(
+        f"Fig 3(e,f) k={k}",
+        ["k", "io_ms", "cpu_ms", "avg_matches"],
+        [(k, summary["io_ms"], summary["cpu_ms"], summary["found"])],
+    )
+
+
+def test_fig3b_exact_duplicates_rare(benchmark, default_index, generated_queries):
+    """Paper observation: generated text has few exact duplicates but
+    noticeably more near-duplicates at theta = 0.7."""
+    searcher = NearDuplicateSearcher(default_index)
+
+    def both():
+        return (
+            run_queries(searcher, generated_queries, 1.0),
+            run_queries(searcher, generated_queries, 0.7),
+        )
+
+    exact, near = benchmark.pedantic(both, rounds=1, iterations=1)
+    print_series(
+        "Fig 3(b) exact vs near",
+        ["theta", "queries_matched", "avg_matches"],
+        [(1.0, exact["matched"], exact["found"]), (0.7, near["matched"], near["found"])],
+    )
+    assert near["matched"] >= exact["matched"]

@@ -1,0 +1,111 @@
+"""Figure 3(c,g,h): query latency vs corpus size and length threshold.
+
+Paper claims reproduced here:
+  * query latency grows linearly with the corpus size (inverted lists
+    grow linearly, so both I/O and CPU do);
+  * latency is inversely related to the length threshold t (larger t
+    means fewer compact windows and shorter lists).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.index.builder import build_memory_index
+
+from bench_fig3_query import run_queries
+from conftest import SIZE_MULTIPLIERS, T_VALUES, VOCAB_LARGE, print_series
+
+
+@pytest.fixture(scope="module")
+def scaled_indexes(scaled_corpora):
+    family = HashFamily(k=16, seed=5)
+    return {
+        multiplier: build_memory_index(corpus, family, t=25, vocab_size=VOCAB_LARGE)
+        for multiplier, corpus in scaled_corpora.items()
+    }
+
+
+@pytest.mark.parametrize("multiplier", SIZE_MULTIPLIERS)
+def test_fig3cg_latency_vs_corpus_size(
+    benchmark, scaled_indexes, generated_queries, multiplier
+):
+    """Figure 3(c,g): latency for 1x / 2x / 4x corpora."""
+    searcher = NearDuplicateSearcher(scaled_indexes[multiplier])
+    summary = benchmark.pedantic(
+        run_queries, args=(searcher, generated_queries, 0.8), rounds=1, iterations=1
+    )
+    total = summary["io_ms"] + summary["cpu_ms"]
+    benchmark.extra_info["total_ms"] = round(total, 3)
+    print_series(
+        f"Fig 3(c,g) size={multiplier}x",
+        ["size", "io_ms", "cpu_ms", "total_ms"],
+        [(f"{multiplier}x", summary["io_ms"], summary["cpu_ms"], total)],
+    )
+
+
+def test_fig3cg_latency_grows_with_size(benchmark, scaled_indexes, generated_queries):
+    """Monotonicity assertion over the size sweep (loose: timing noise)."""
+    totals = {}
+
+    def sweep():
+        for multiplier, index in scaled_indexes.items():
+            searcher = NearDuplicateSearcher(index)
+            # Average over two passes to damp scheduler noise.
+            first = run_queries(searcher, generated_queries, 0.8)
+            second = run_queries(searcher, generated_queries, 0.8)
+            totals[multiplier] = (
+                first["io_ms"] + first["cpu_ms"] + second["io_ms"] + second["cpu_ms"]
+            ) / 2
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "Fig 3(c,g) trend",
+        ["size", "total_ms"],
+        [(f"{m}x", totals[m]) for m in sorted(totals)],
+    )
+    assert totals[max(totals)] > totals[min(totals)]
+
+
+@pytest.mark.parametrize("t", T_VALUES)
+def test_fig3h_latency_vs_length_threshold(
+    benchmark, base_corpus, generated_queries, t
+):
+    """Figure 3(h): larger t -> smaller index -> faster queries."""
+    index = build_memory_index(
+        base_corpus.corpus, HashFamily(k=16, seed=5), t=t, vocab_size=VOCAB_LARGE
+    )
+    searcher = NearDuplicateSearcher(index)
+    summary = benchmark.pedantic(
+        run_queries, args=(searcher, generated_queries, 0.8), rounds=1, iterations=1
+    )
+    total = summary["io_ms"] + summary["cpu_ms"]
+    benchmark.extra_info["total_ms"] = round(total, 3)
+    benchmark.extra_info["index_postings"] = index.num_postings
+    print_series(
+        f"Fig 3(h) t={t}",
+        ["t", "index_postings", "total_ms"],
+        [(t, index.num_postings, total)],
+    )
+
+
+def test_fig3h_index_shrinks_with_t(benchmark, base_corpus):
+    """The mechanism behind Figure 3(h): postings drop as t grows."""
+    postings = {}
+
+    def sweep():
+        for t in T_VALUES:
+            index = build_memory_index(
+                base_corpus.corpus, HashFamily(k=4, seed=5), t=t, vocab_size=VOCAB_LARGE
+            )
+            postings[t] = index.num_postings
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series(
+        "Fig 3(h) mechanism",
+        ["t", "postings"],
+        [(t, postings[t]) for t in T_VALUES],
+    )
+    assert postings[25] > postings[50] > postings[100]

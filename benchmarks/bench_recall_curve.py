@@ -1,0 +1,75 @@
+"""Choosing k: measured recall vs the binomial model (Section 3.2).
+
+The paper argues that "for a large enough k, the near-duplicate
+sequence approximate search guarantees to find most of the sequences
+... similar to the query".  This bench quantifies "large enough": on
+planted near-duplicate pairs of known similarity, it measures the
+probability that the target is retrieved for each k and compares it
+with the closed-form Binomial model — the curve a deployment reads to
+budget its index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.verify import Span, distinct_jaccard
+from repro.memorization.metrics import recall_curve
+
+from conftest import VOCAB_LARGE, print_series
+
+K_VALUES = (8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def planted_pairs(base_corpus):
+    """(query, target-span) pairs of known high similarity."""
+    pairs = []
+    for plant in base_corpus.planted:
+        query = np.asarray(base_corpus.corpus[plant.target_text])[
+            plant.target_start : plant.target_start + plant.length
+        ]
+        source = np.asarray(base_corpus.corpus[plant.source_text])[
+            plant.source_start : plant.source_start + plant.length
+        ]
+        if distinct_jaccard(query, source) >= 0.85:  # skip overwritten plants
+            pairs.append(
+                (
+                    query,
+                    Span(
+                        plant.source_text,
+                        plant.source_start,
+                        plant.source_start + plant.length - 1,
+                    ),
+                )
+            )
+        if len(pairs) == 15:
+            break
+    return pairs
+
+
+def test_recall_curve_vs_model(benchmark, base_corpus, planted_pairs):
+    assert len(planted_pairs) >= 8
+    rows = benchmark.pedantic(
+        recall_curve,
+        args=(base_corpus.corpus, planted_pairs, 0.8, 25),
+        kwargs={"k_values": K_VALUES, "vocab_size": VOCAB_LARGE},
+        rounds=1,
+        iterations=1,
+    )
+    print_series(
+        "Recall vs k (theta=0.8)",
+        ["k", "measured", "binomial_model", "mean_jaccard"],
+        [
+            (row["k"], row["measured_recall"], row["modeled_recall"], row["mean_similarity"])
+            for row in rows
+        ],
+    )
+    benchmark.extra_info["recall_at_max_k"] = round(rows[-1]["measured_recall"], 3)
+    # The model and the measurement agree within sampling noise at
+    # every k, and recall at the largest k is near-perfect for these
+    # high-similarity pairs.
+    for row in rows:
+        assert abs(row["measured_recall"] - row["modeled_recall"]) < 0.35
+    assert rows[-1]["measured_recall"] >= 0.8

@@ -1,0 +1,120 @@
+"""Scale stress: the largest corpus the harness exercises (~10⁶ tokens).
+
+The other benchmarks stay small so the whole harness runs in minutes;
+this module pushes one order of magnitude further to witness that the
+linear-scaling story holds into the million-token regime in pure
+Python — the regime ratio (10⁶ tokens here vs ~2×10¹¹ for the Pile) is
+then bridged only by constants, not by asymptotics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.core.theory import expected_window_count
+from repro.corpus.synthetic import zipf_corpus
+from repro.index.builder import build_memory_index
+
+from conftest import print_series
+
+NUM_TEXTS = 2500
+MEAN_LENGTH = 400
+VOCAB = 16384
+K = 8
+T = 50
+
+
+@pytest.fixture(scope="module")
+def big_corpus():
+    return zipf_corpus(NUM_TEXTS, MEAN_LENGTH, VOCAB, seed=3)
+
+
+@pytest.fixture(scope="module")
+def big_index(big_corpus):
+    family = HashFamily(k=K, seed=1)
+    return build_memory_index(big_corpus, family, t=T, vocab_size=VOCAB)
+
+
+def test_build_million_tokens(benchmark, big_corpus):
+    family = HashFamily(k=2, seed=2)
+    index = benchmark.pedantic(
+        build_memory_index,
+        args=(big_corpus, family, T),
+        kwargs={"vocab_size": VOCAB},
+        rounds=1,
+        iterations=1,
+    )
+    expected = 2 * sum(
+        expected_window_count(text.size, T) for text in big_corpus
+    )
+    print_series(
+        "Scale stress: build",
+        ["tokens", "windows", "theory"],
+        [(big_corpus.total_tokens, index.num_postings, round(expected))],
+    )
+    benchmark.extra_info["tokens"] = big_corpus.total_tokens
+    benchmark.extra_info["windows"] = index.num_postings
+    assert big_corpus.total_tokens >= 900_000
+    assert abs(index.num_postings - expected) < 0.1 * expected
+
+
+def test_query_latency_at_scale(benchmark, big_corpus, big_index):
+    """Queries stay interactive against the million-token index."""
+    searcher = NearDuplicateSearcher(big_index)
+    rng = np.random.default_rng(8)
+    queries = []
+    for text_id in rng.choice(NUM_TEXTS, size=10, replace=False):
+        text = np.asarray(big_corpus[int(text_id)])
+        if text.size >= 64:
+            queries.append(text[:64])
+
+    def run():
+        total = 0.0
+        matched = 0
+        for query in queries:
+            result = searcher.search(query, 0.8)
+            total += result.stats.total_seconds
+            matched += result.num_texts
+        return total / len(queries), matched
+
+    mean_latency, matched = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series(
+        "Scale stress: query",
+        ["queries", "mean_ms", "texts_matched"],
+        [(len(queries), 1e3 * mean_latency, matched)],
+    )
+    benchmark.extra_info["mean_ms"] = round(1e3 * mean_latency, 2)
+    assert matched >= len(queries)  # every query finds at least itself
+    assert mean_latency < 1.0  # interactive even in pure Python
+
+
+def test_self_recovery_at_scale(benchmark, big_corpus, big_index):
+    """Exactness survives scale: verbatim spans match themselves."""
+    searcher = NearDuplicateSearcher(big_index)
+    rng = np.random.default_rng(12)
+
+    def run():
+        hits = 0
+        trials = 0
+        for text_id in rng.choice(NUM_TEXTS, size=15, replace=False):
+            text = np.asarray(big_corpus[int(text_id)])
+            if text.size < T + 10:
+                continue
+            start = int(rng.integers(0, text.size - T - 5))
+            query = text[start : start + T + 5]
+            trials += 1
+            result = searcher.search(query, 1.0)
+            if any(m.text_id == int(text_id) for m in result.matches):
+                hits += 1
+        return hits, trials
+
+    hits, trials = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series(
+        "Scale stress: self-recovery",
+        ["trials", "hits"],
+        [(trials, hits)],
+    )
+    assert hits == trials

@@ -1,0 +1,57 @@
+"""Table 1: example generated queries and their near-duplicates.
+
+The paper's Table 1 lists generated snippets next to the near-duplicate
+training sequences the algorithm found.  This bench regenerates the
+table structure: (generated window, matched corpus span) pairs, shown
+as token-id sequences (the synthetic corpus has no prose to decode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.search import NearDuplicateSearcher
+from repro.lm.generation import GenerationConfig, generate
+from repro.lm.models import train_model
+from repro.memorization.evaluator import evaluate_generated_texts
+from repro.memorization.report import table1_rows
+
+from conftest import VOCAB_LARGE, print_series
+
+
+def build_table(base_corpus, default_index):
+    tier = train_model("xl", base_corpus.corpus, vocab_size=VOCAB_LARGE)
+    config = GenerationConfig(strategy="top_k", top_k=50)
+    texts = [generate(tier.model, 192, config=config, seed=s) for s in range(6)]
+    searcher = NearDuplicateSearcher(default_index)
+    report = evaluate_generated_texts(
+        texts, searcher, theta=0.8, window_width=32, model_name="xl"
+    )
+    return table1_rows(report, base_corpus.corpus, limit=5)
+
+
+def test_table1_examples(benchmark, base_corpus, default_index):
+    rows = benchmark.pedantic(
+        build_table, args=(base_corpus, default_index), rounds=1, iterations=1
+    )
+    assert rows, "no memorized examples found for Table 1"
+    print("\n== Table 1: generated sequences and near-duplicates found ==")
+    for number, row in enumerate(rows, start=1):
+        query_preview = " ".join(str(t) for t in row.query_tokens[:12].tolist())
+        match_preview = " ".join(str(t) for t in row.match_tokens[:12].tolist())
+        overlap = len(
+            set(row.query_tokens.tolist()) & set(row.match_tokens.tolist())
+        )
+        print(f"row {number}:")
+        print(f"  generated ({row.query_tokens.size} tokens): {query_preview} ...")
+        print(
+            f"  near-duplicate: corpus text {row.match_text} tokens "
+            f"{row.match_start}..{row.match_end}: {match_preview} ..."
+        )
+        print(f"  shared distinct tokens: {overlap}")
+    benchmark.extra_info["rows"] = len(rows)
+
+    # Every reported pair must actually share most of its vocabulary.
+    for row in rows:
+        shared = len(set(row.query_tokens.tolist()) & set(row.match_tokens.tolist()))
+        assert shared >= 0.5 * len(set(row.query_tokens.tolist()))

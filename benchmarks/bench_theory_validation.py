@@ -1,0 +1,121 @@
+"""Theorem 1 / Section 3.2 validation: theory vs measurement.
+
+Not a figure in the paper, but the quantities its analysis proves:
+  * the expected valid-compact-window count 2(n+1)/(t+1) - 1;
+  * the unbiasedness and O(1/k) variance of the min-hash Jaccard
+    estimator;
+  * the binomial recall model for Definition 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compact_windows import generate_compact_windows_stack
+from repro.core.hashing import HashFamily
+from repro.core.theory import (
+    estimator_variance_bound,
+    expected_window_count,
+    recall_estimate,
+)
+from repro.core.verify import distinct_jaccard, estimate_jaccard
+
+from conftest import print_series
+
+
+def measure_window_counts(n: int, t: int, trials: int) -> float:
+    counts = []
+    for seed in range(trials):
+        rng = np.random.default_rng(seed)
+        hashes = rng.permutation(1 << 22)[:n].astype(np.uint32)
+        counts.append(generate_compact_windows_stack(hashes, t).size)
+    return float(np.mean(counts))
+
+
+@pytest.mark.parametrize("t", [5, 25, 50])
+def test_expected_window_count_formula(benchmark, t):
+    n = 400
+    measured = benchmark.pedantic(
+        measure_window_counts, args=(n, t, 150), rounds=1, iterations=1
+    )
+    expected = expected_window_count(n, t)
+    benchmark.extra_info["measured"] = round(measured, 2)
+    benchmark.extra_info["theory"] = round(expected, 2)
+    print_series(
+        f"Theorem 1 t={t}",
+        ["n", "t", "measured", "theory"],
+        [(n, t, measured, expected)],
+    )
+    assert measured == pytest.approx(expected, rel=0.08)
+
+
+def estimate_bias_and_variance(k: int, trials: int):
+    a = np.arange(0, 80, dtype=np.uint32)
+    b = np.arange(40, 120, dtype=np.uint32)
+    truth = distinct_jaccard(a, b)
+    estimates = [
+        estimate_jaccard(
+            HashFamily(k=k, seed=seed).sketch(a), HashFamily(k=k, seed=seed).sketch(b)
+        )
+        for seed in range(trials)
+    ]
+    return truth, float(np.mean(estimates)), float(np.var(estimates))
+
+
+@pytest.mark.parametrize("k", [16, 64, 256])
+def test_estimator_unbiased_with_shrinking_variance(benchmark, k):
+    truth, mean, variance = benchmark.pedantic(
+        estimate_bias_and_variance, args=(k, 150), rounds=1, iterations=1
+    )
+    bound = estimator_variance_bound(k)
+    benchmark.extra_info["bias"] = round(mean - truth, 4)
+    benchmark.extra_info["variance"] = round(variance, 6)
+    print_series(
+        f"Estimator k={k}",
+        ["k", "truth", "mean", "variance", "1/(4k)"],
+        [(k, truth, mean, variance, bound)],
+    )
+    assert abs(mean - truth) < 0.05
+    assert variance < 2.0 * bound
+
+
+def test_recall_model_matches_measurement(benchmark, base_corpus):
+    """Definition 2's recall on planted pairs tracks the binomial model."""
+    from repro.core.search import NearDuplicateSearcher
+    from repro.index.builder import build_memory_index
+
+    corpus = base_corpus.corpus
+    family = HashFamily(k=24, seed=8)
+    index = build_memory_index(corpus, family, t=25)
+    searcher = NearDuplicateSearcher(index)
+    theta = 0.8
+
+    def measure():
+        hits = similarity = usable = 0
+        for plant in base_corpus.planted[:25]:
+            query = np.asarray(corpus[plant.target_text])[
+                plant.target_start : plant.target_start + plant.length
+            ]
+            src = np.asarray(corpus[plant.source_text])[
+                plant.source_start : plant.source_start + plant.length
+            ]
+            sim = distinct_jaccard(query, src)
+            if sim < 0.8:
+                continue
+            usable += 1
+            similarity += sim
+            result = searcher.search(query, theta)
+            hits += any(m.text_id == plant.source_text for m in result.matches)
+        return hits, usable, similarity / max(usable, 1)
+
+    hits, usable, avg_sim = benchmark.pedantic(measure, rounds=1, iterations=1)
+    predicted = recall_estimate(family.k, theta, avg_sim)
+    measured = hits / max(usable, 1)
+    print_series(
+        "Recall model",
+        ["pairs", "avg_jaccard", "measured_recall", "binomial_model"],
+        [(usable, avg_sim, measured, predicted)],
+    )
+    assert usable >= 8
+    assert abs(measured - predicted) < 0.35

@@ -1,0 +1,69 @@
+"""Training-data extraction attack, evaluated with the search engine.
+
+The paper motivates near-duplicate search with the privacy risks of
+memorization (Section 1, Section 6: training-data extraction and
+membership-inference attacks).  This example simulates Carlini et
+al.'s extraction attack against the model zoo and uses the
+near-duplicate engine as the *ground-truth verifier* the original
+attack lacked:
+
+1. sample many unprompted generations from the attacked model;
+2. rank them by a membership score (perplexity, or the ratio against a
+   smaller reference model);
+3. verify each sample against the training corpus with near-duplicate
+   search — did the model actually emit (nearly) memorized data?
+
+Run:  python examples/extraction_attack.py
+"""
+
+from __future__ import annotations
+
+from repro import HashFamily, NearDuplicateSearcher, build_memory_index
+from repro.corpus import synthweb
+from repro.lm import train_model
+from repro.memorization import run_extraction_attack
+
+
+def main() -> None:
+    data = synthweb(num_texts=500, mean_length=220, vocab_size=4096, seed=29)
+    corpus = data.corpus
+    print(f"training corpus: {len(corpus)} texts, {corpus.total_tokens:,} tokens")
+
+    family = HashFamily(k=32, seed=11)
+    index = build_memory_index(corpus, family, t=25)
+    searcher = NearDuplicateSearcher(index)
+
+    print("training attacked model (xl) and reference model (small)...")
+    attacked = train_model("xl", corpus)
+    reference = train_model("small", corpus)
+
+    for label, kwargs in (
+        ("perplexity ranking", {}),
+        ("perplexity-ratio ranking", {"reference_model": reference.model}),
+    ):
+        report = run_extraction_attack(
+            attacked.model,
+            searcher,
+            num_samples=40,
+            sample_length=64,
+            theta=0.8,
+            seed=2,
+            **kwargs,
+        )
+        print(f"\n-- {label} ({report.score_kind}) --")
+        print(f"base rate (memorized fraction of all samples): {report.base_rate:.2%}")
+        for k in (5, 10, 20):
+            print(f"precision@{k}: {report.precision_at(k):.2%}")
+        print(f"lift@10 over base rate: {report.lift_at_10:.2f}x")
+
+        print("top-5 ranked samples:")
+        for rank, candidate in enumerate(report.candidates[:5], start=1):
+            verdict = "MEMORIZED" if candidate.memorized else "novel"
+            print(
+                f"  #{rank}: sample {candidate.sample_index}, "
+                f"score {candidate.score:.3f} -> {verdict}"
+            )
+
+
+if __name__ == "__main__":
+    main()

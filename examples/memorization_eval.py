@@ -1,0 +1,66 @@
+"""Section 5 reproduction: how much do language models memorize?
+
+Trains the four model-zoo tiers (standing in for GPT-2 117M/345M and
+GPT-Neo 1.3B/2.7B) on the same corpus, generates unprompted texts with
+top-50 sampling, and reports the fraction of fixed-width query windows
+that have near-duplicates in the training corpus — the paper's
+Figure 4, at reduced scale.
+
+Run:  python examples/memorization_eval.py
+"""
+
+from __future__ import annotations
+
+from repro import HashFamily, NearDuplicateSearcher, build_memory_index
+from repro.corpus import synthweb
+from repro.lm import MODEL_ZOO
+from repro.memorization import (
+    SweepConfig,
+    figure4_series,
+    format_series_table,
+    run_figure4_sweep,
+)
+
+
+def main() -> None:
+    data = synthweb(num_texts=600, mean_length=250, vocab_size=4096, seed=17)
+    corpus = data.corpus
+    print(f"training corpus: {len(corpus)} texts, {corpus.total_tokens:,} tokens")
+
+    family = HashFamily(k=32, seed=3)
+    index = build_memory_index(corpus, family, t=25)
+    searcher = NearDuplicateSearcher(index)
+
+    print("training the model zoo (4 capacity tiers) and running the grid...")
+    for name, spec in MODEL_ZOO.items():
+        print(f"  {name:>6}: paper analogue {spec['paper_analogue']}")
+    config = SweepConfig(
+        thetas=(1.0, 0.9, 0.8),
+        window_widths=(32, 64, 128),
+        num_texts=4,
+        text_length=256,
+        seed=42,
+    )
+    # One multi-theta index pass per query window (search_thetas) makes
+    # the full grid about three times cheaper than per-theta evaluation.
+    sweep = run_figure4_sweep(corpus, searcher, config)
+
+    # Figure 4(a)/(c): memorized fraction vs theta, per model size.
+    print("\n-- memorized fraction vs similarity threshold (x=32, t=25, k=32) --")
+    theta_reports = [
+        sweep.get(model, theta, 32)
+        for model in config.model_names
+        for theta in config.thetas
+    ]
+    print(format_series_table(figure4_series(theta_reports)))
+
+    # Figure 4(b)/(d): impact of the sliding-window width x.
+    print("\n-- memorized fraction vs window width (theta=0.8) --")
+    width_reports = [
+        sweep.get("xl", 0.8, width) for width in config.window_widths
+    ]
+    print(format_series_table(figure4_series(width_reports)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Plagiarism-style scan over raw text documents.
+
+Exercises the full text pipeline: train a BPE tokenizer, encode the
+document collection, index it, then check a suspicious document's
+passages against the collection — the ALIGN/partial-plagiarism use case
+the paper's related work discusses, implemented with the paper's
+guaranteed algorithm instead of a heuristic.
+
+Run:  python examples/plagiarism_scan.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import HashFamily, NearDuplicateSearcher, build_memory_index
+from repro.corpus import InMemoryCorpus
+from repro.memorization import sliding_queries
+from repro.tokenizer import BPETokenizer
+
+# A tiny "library" of source documents.  Document 7 lifts a passage
+# from document 2 with light paraphrasing (word substitutions).
+SOURCE_PASSAGE = (
+    "the committee concluded that the experimental results were consistent "
+    "with the proposed hypothesis and recommended that the study be extended "
+    "to a larger population over a longer observation period with improved "
+    "controls for confounding variables and measurement error"
+)
+
+PARAPHRASED = (
+    "the committee concluded that the experimental findings were consistent "
+    "with the stated hypothesis and recommended that the study be extended "
+    "to a bigger population over a longer observation window with improved "
+    "controls for confounding variables and sampling error"
+)
+
+
+def build_library(rng: np.random.Generator) -> list[str]:
+    filler_words = (
+        "analysis data method results sample figure table model test value "
+        "research paper review process system design report study group"
+    ).split()
+    documents = []
+    for doc in range(12):
+        body = " ".join(rng.choice(filler_words, size=220))
+        if doc == 2:
+            body = body[:200] + " " + SOURCE_PASSAGE + " " + body[200:]
+        documents.append(body)
+    return documents
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    documents = build_library(rng)
+
+    # Real tokenizers (GPT-2's BPE) are trained on a huge background
+    # corpus, so common words tokenize identically wherever they occur.
+    # Emulate that: train on the library plus a background word sample
+    # covering general vocabulary, not on the library alone.
+    background = " ".join(
+        (SOURCE_PASSAGE + " " + PARAPHRASED + " novel original fresh creative unique").split()
+    )
+    print("training BPE tokenizer (library + background vocabulary)...")
+    tokenizer = BPETokenizer.train(documents + [background] * 5, vocab_size=900)
+    corpus = InMemoryCorpus([tokenizer.encode(doc) for doc in documents])
+
+    family = HashFamily(k=32, seed=9)
+    index = build_memory_index(corpus, family, t=20)
+    searcher = NearDuplicateSearcher(index)
+
+    # The suspicious document: mostly original, one paraphrased passage.
+    suspicious = (
+        " ".join(rng.choice("novel original fresh creative unique".split(), size=80))
+        + " "
+        + PARAPHRASED
+        + " "
+        + " ".join(rng.choice("novel original fresh creative unique".split(), size=80))
+    )
+    suspicious_tokens = tokenizer.encode(suspicious)
+    print(
+        f"scanning a suspicious document of {suspicious_tokens.size} tokens "
+        f"against {len(corpus)} library documents...\n"
+    )
+
+    flagged = 0
+    for window_index, query in enumerate(sliding_queries(suspicious_tokens, 32)):
+        result = searcher.search(query, theta=0.6)
+        if not result.matches:
+            continue
+        flagged += 1
+        span = result.merged_spans()[0]
+        snippet = tokenizer.decode(
+            np.asarray(corpus[span.text_id])[span.start : span.end + 1]
+        )
+        print(f"window {window_index} (tokens {window_index * 32}..{window_index * 32 + 31}):")
+        print(f"  suspicious: ...{tokenizer.decode(query)}...")
+        print(f"  matches document {span.text_id}: ...{snippet[:120]}...\n")
+
+    if flagged:
+        print(f"verdict: {flagged} window(s) flagged — likely plagiarism from document 2")
+    else:
+        print("verdict: no near-duplicate passages found")
+
+
+if __name__ == "__main__":
+    main()

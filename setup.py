@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` (legacy develop mode) on machines
+where PEP 660 editable installs are unavailable offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Baselines: brute-force oracles, window LSH, seed-and-extend."""
+
+from repro.baselines.bruteforce import (
+    BruteForceStats,
+    search_definition2,
+    search_exact,
+)
+from repro.baselines.exact_substring import ExactSubstringStats, SuffixArrayIndex
+from repro.baselines.lsh import WindowLSHIndex, WindowLSHStats
+from repro.baselines.seed_extend import SeedExtendIndex, SeedExtendStats
+
+__all__ = [
+    "BruteForceStats",
+    "ExactSubstringStats",
+    "SeedExtendIndex",
+    "SuffixArrayIndex",
+    "SeedExtendStats",
+    "WindowLSHIndex",
+    "WindowLSHStats",
+    "search_definition2",
+    "search_exact",
+]

@@ -1,0 +1,123 @@
+"""Brute-force near-duplicate search baselines (ground truth).
+
+Two oracles, both quadratic in text length and therefore only usable at
+test/benchmark scale — which is exactly the point the paper makes about
+why an index is needed:
+
+* :func:`search_exact` answers the paper's Definition 1: all sequences
+  whose *exact* Jaccard similarity with the query reaches ``theta``;
+* :func:`search_definition2` answers Definition 2 on a given hash
+  family: all sequences whose min-hash sketch collides with the query's
+  in at least ``ceil(k * theta)`` trials.  The indexed searcher must
+  return *exactly* this set (Theorem 2), so this oracle is the
+  correctness reference for the whole engine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hashing import HashFamily
+from repro.core.theory import collision_threshold
+from repro.core.verify import Span, distinct_jaccard, multiset_jaccard
+from repro.corpus.corpus import Corpus
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass
+class BruteForceStats:
+    """Work accounting for the scalability comparisons."""
+
+    sequences_examined: int = 0
+    seconds: float = 0.0
+
+
+def _check(theta: float, t: int) -> None:
+    if not 0.0 < theta <= 1.0:
+        raise InvalidParameterError(f"theta must be in (0, 1], got {theta}")
+    if t < 1:
+        raise InvalidParameterError(f"t must be >= 1, got {t}")
+
+
+def search_exact(
+    corpus: Corpus,
+    query: np.ndarray,
+    theta: float,
+    t: int,
+    *,
+    similarity: str = "distinct",
+    stats: BruteForceStats | None = None,
+) -> list[Span]:
+    """Definition 1 by enumeration of every sequence of length ``>= t``.
+
+    ``similarity`` selects distinct (default) or multiset Jaccard.
+    """
+    _check(theta, t)
+    measure = distinct_jaccard if similarity == "distinct" else multiset_jaccard
+    query = np.asarray(query)
+    begin = time.perf_counter()
+    results: list[Span] = []
+    examined = 0
+    for text_id in range(len(corpus)):
+        text = np.asarray(corpus[text_id])
+        n = text.size
+        for i in range(n):
+            for j in range(i + t - 1, n):
+                examined += 1
+                if measure(query, text[i : j + 1]) >= theta:
+                    results.append(Span(text_id, i, j))
+    if stats is not None:
+        stats.sequences_examined += examined
+        stats.seconds += time.perf_counter() - begin
+    return results
+
+
+def search_definition2(
+    corpus: Corpus,
+    query: np.ndarray,
+    theta: float,
+    t: int,
+    family: HashFamily,
+    *,
+    stats: BruteForceStats | None = None,
+) -> list[Span]:
+    """Definition 2 by enumeration: the indexed searcher's exact target set.
+
+    Incrementally maintains the set of distinct tokens per ``(i, j)``
+    extension so each sequence's sketch costs one vectorized min
+    update rather than a full re-hash — still quadratic overall.
+    """
+    _check(theta, t)
+    query = np.asarray(query)
+    beta = collision_threshold(family.k, theta)
+    query_sketch = family.sketch(query)
+    begin = time.perf_counter()
+    results: list[Span] = []
+    examined = 0
+    for text_id in range(len(corpus)):
+        text = np.asarray(corpus[text_id])
+        n = text.size
+        # token_hashes[f, p] = hash of text token p under function f.
+        token_hashes = np.stack(
+            [family.hash_tokens(text, f) for f in range(family.k)]
+        )
+        for i in range(n):
+            if i + t - 1 >= n:
+                break
+            # Running k-mins sketch of text[i..j] as j grows.
+            sketch = token_hashes[:, i].copy()
+            for j in range(i, n):
+                if j > i:
+                    np.minimum(sketch, token_hashes[:, j], out=sketch)
+                if j - i + 1 < t:
+                    continue
+                examined += 1
+                if int(np.count_nonzero(sketch == query_sketch)) >= beta:
+                    results.append(Span(text_id, i, j))
+    if stats is not None:
+        stats.sequences_examined += examined
+        stats.seconds += time.perf_counter() - begin
+    return results

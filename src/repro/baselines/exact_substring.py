@@ -1,0 +1,177 @@
+"""Exact-substring search over the corpus (the *exact* memorization baseline).
+
+Prior memorization studies (Lee et al., Carlini et al. — the work the
+paper's Sections 1 and 6 build on) measure *exact* memorization: does a
+generated sequence occur verbatim in the training corpus?  The paper's
+thesis is that near-duplicates are far more pervasive than exact
+duplicates, so the exact matcher is the natural baseline to quantify
+that gap against (`benchmarks/bench_exact_vs_near.py`).
+
+The index is a suffix array over the corpus texts concatenated with
+per-text sentinel separators (each sentinel is a distinct value above
+the vocabulary, so matches never span texts).  Construction uses the
+prefix-doubling method on numpy ranks (O(n log² n)); queries are two
+binary searches (O(|q| log n)) returning every occurrence.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.verify import Span
+from repro.corpus.corpus import Corpus
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass
+class ExactSubstringStats:
+    """Build/query accounting."""
+
+    total_positions: int = 0
+    build_seconds: float = 0.0
+    queries: int = 0
+    query_seconds: float = 0.0
+
+
+class SuffixArrayIndex:
+    """Suffix array over a token corpus for exact-substring queries."""
+
+    def __init__(self) -> None:
+        self._sequence: np.ndarray | None = None
+        self._suffixes: np.ndarray | None = None
+        self._text_of: np.ndarray | None = None
+        self._start_of: np.ndarray | None = None
+        self.stats = ExactSubstringStats()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self, corpus: Corpus) -> "SuffixArrayIndex":
+        """Concatenate the corpus with sentinels and sort all suffixes."""
+        begin = time.perf_counter()
+        vocab_top = 0
+        for text in corpus:
+            if text.size:
+                vocab_top = max(vocab_top, int(text.max()) + 1)
+        chunks: list[np.ndarray] = []
+        text_of: list[np.ndarray] = []
+        start_of: list[np.ndarray] = []
+        offset = 0
+        for text_id in range(len(corpus)):
+            tokens = np.asarray(corpus[text_id], dtype=np.int64)
+            chunks.append(tokens)
+            # Unique sentinel per text: beyond any real token value.
+            chunks.append(np.array([vocab_top + text_id], dtype=np.int64))
+            text_of.append(np.full(tokens.size + 1, text_id, dtype=np.int64))
+            start_of.append(np.full(tokens.size + 1, offset, dtype=np.int64))
+            offset += tokens.size + 1
+        if not chunks:
+            sequence = np.empty(0, dtype=np.int64)
+        else:
+            sequence = np.concatenate(chunks)
+        self._sequence = sequence
+        self._text_of = (
+            np.concatenate(text_of) if text_of else np.empty(0, dtype=np.int64)
+        )
+        self._start_of = (
+            np.concatenate(start_of) if start_of else np.empty(0, dtype=np.int64)
+        )
+        self._suffixes = self._sort_suffixes(sequence)
+        self.stats.total_positions = int(sequence.size)
+        self.stats.build_seconds += time.perf_counter() - begin
+        return self
+
+    @staticmethod
+    def _sort_suffixes(sequence: np.ndarray) -> np.ndarray:
+        """Prefix-doubling suffix sort (ranks halve-merged each round)."""
+        n = sequence.size
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        # Initial ranks: token values (dense-ranked for stability).
+        _, rank = np.unique(sequence, return_inverse=True)
+        rank = rank.astype(np.int64)
+        suffixes = np.arange(n, dtype=np.int64)
+        step = 1
+        while step < n:
+            # Composite key: (rank[i], rank[i + step]) with -1 past the end.
+            second = np.full(n, -1, dtype=np.int64)
+            second[: n - step] = rank[step:]
+            order = np.lexsort((second, rank))
+            new_rank = np.empty(n, dtype=np.int64)
+            key_prev = (rank[order][1:] != rank[order][:-1]) | (
+                second[order][1:] != second[order][:-1]
+            )
+            new_rank[order] = np.concatenate(([0], np.cumsum(key_prev)))
+            rank = new_rank
+            suffixes = order
+            if int(rank.max()) == n - 1:
+                break
+            step *= 2
+        return suffixes
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _compare_at(self, suffix_start: int, query: np.ndarray) -> int:
+        """Lexicographic comparison of suffix vs query prefix: -1/0/+1."""
+        sequence = self._sequence
+        end = min(suffix_start + query.size, sequence.size)
+        window = sequence[suffix_start:end]
+        q = query[: window.size]
+        diff = window != q
+        if diff.any():
+            pos = int(np.argmax(diff))
+            return -1 if window[pos] < q[pos] else 1
+        if window.size < query.size:
+            return -1  # suffix is a strict prefix of the query -> smaller
+        return 0
+
+    def find_occurrences(self, query: np.ndarray) -> list[Span]:
+        """Every exact occurrence of ``query`` as a ``Span``."""
+        if self._suffixes is None:
+            raise InvalidParameterError("index not built")
+        query = np.asarray(query, dtype=np.int64)
+        if query.size == 0:
+            raise InvalidParameterError("query must be non-empty")
+        begin = time.perf_counter()
+        suffixes = self._suffixes
+
+        lo, hi = 0, suffixes.size
+        while lo < hi:  # first suffix >= query
+            mid = (lo + hi) // 2
+            if self._compare_at(int(suffixes[mid]), query) < 0:
+                lo = mid + 1
+            else:
+                hi = mid
+        first = lo
+        hi = suffixes.size
+        while lo < hi:  # first suffix with prefix > query
+            mid = (lo + hi) // 2
+            if self._compare_at(int(suffixes[mid]), query) <= 0:
+                lo = mid + 1
+            else:
+                hi = mid
+        last = lo
+
+        spans = []
+        for slot in range(first, last):
+            position = int(suffixes[slot])
+            text_id = int(self._text_of[position])
+            local = position - int(self._start_of[position])
+            spans.append(Span(text_id, local, local + query.size - 1))
+        spans.sort(key=lambda s: (s.text_id, s.start))
+        self.stats.queries += 1
+        self.stats.query_seconds += time.perf_counter() - begin
+        return spans
+
+    def contains(self, query: np.ndarray) -> bool:
+        """Whether ``query`` occurs verbatim anywhere in the corpus."""
+        return bool(self.find_occurrences(query))
+
+    def count(self, query: np.ndarray) -> int:
+        """Number of exact occurrences (the duplication count that drives
+        super-linear memorization in the paper's motivation)."""
+        return len(self.find_occurrences(query))

@@ -1,0 +1,310 @@
+"""Command-line interface: ``repro-cli``.
+
+Subcommands cover the full pipeline on synthetic data:
+
+* ``synth``      — generate a synthetic corpus and write it to disk;
+* ``build``      — build an inverted index over a corpus directory
+  (in-memory or out-of-core);
+* ``query``      — run one near-duplicate search and print the matches;
+* ``stats``      — summarize an index (size, list-length skew);
+* ``memorize``   — train an n-gram model tier and run the Section 5
+  memorization evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.corpus.store import DiskCorpus, write_corpus
+from repro.corpus.synthetic import minipile, synthweb
+from repro.index.builder import build_and_write_index
+from repro.index.external import ExternalBuildConfig, build_external_index
+from repro.index.stats import IndexSummary, zipf_tail_report
+from repro.index.storage import DiskInvertedIndex
+from repro.lm.models import MODEL_ZOO, train_model
+from repro.memorization.evaluator import evaluate_model
+from repro.memorization.report import figure4_series, format_series_table
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    maker = synthweb if args.preset == "synthweb" else minipile
+    data = maker(
+        num_texts=args.texts,
+        mean_length=args.mean_length,
+        vocab_size=args.vocab,
+        seed=args.seed,
+    )
+    write_corpus(data.corpus, args.out)
+    print(
+        f"wrote {args.preset} corpus: {len(data.corpus)} texts, "
+        f"{data.corpus.total_tokens} tokens, {len(data.planted)} planted duplicates "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    corpus = DiskCorpus(args.corpus)
+    family = HashFamily(k=args.k, seed=args.seed)
+    if args.external:
+        config = ExternalBuildConfig(
+            batch_texts=args.batch_texts,
+            memory_budget_bytes=args.memory_budget << 20,
+        )
+        stats = build_external_index(corpus, family, args.t, args.out, config=config)
+    else:
+        stats = build_and_write_index(corpus, family, args.t, args.out)
+    print(
+        f"built index: {stats.windows_generated} compact windows, "
+        f"generation {stats.generation_seconds:.2f}s, io {stats.io_seconds:.2f}s "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = DiskInvertedIndex(args.index)
+    corpus = DiskCorpus(args.corpus)
+    text = np.asarray(corpus[args.text])
+    if args.start + args.length > text.size:
+        print(
+            f"error: query window [{args.start}, {args.start + args.length}) "
+            f"exceeds text length {text.size}",
+            file=sys.stderr,
+        )
+        return 2
+    query = text[args.start : args.start + args.length]
+    searcher = NearDuplicateSearcher(index)
+    result = searcher.search(query, args.theta)
+    print(
+        f"theta={args.theta} beta={result.beta}: {result.num_texts} matching texts, "
+        f"{result.count_spans()} sequences, "
+        f"latency {result.stats.total_seconds * 1e3:.1f} ms "
+        f"(io {result.stats.io_seconds * 1e3:.1f} ms, "
+        f"{result.stats.io_bytes} bytes)"
+    )
+    for span in result.merged_spans()[: args.limit]:
+        print(f"  text {span.text_id} tokens {span.start}..{span.end}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    index = DiskInvertedIndex(args.index)
+    summary = IndexSummary.from_index(index)
+    print(f"k={summary.k} t={summary.t}")
+    print(f"postings={summary.num_postings} lists={summary.num_lists}")
+    print(f"bytes={summary.nbytes}")
+    print(
+        f"list length: mean={summary.mean_list_length:.1f} "
+        f"max={summary.max_list_length}"
+    )
+    print("longest lists (Zipf head):")
+    for rank, length in zipf_tail_report(index, top=args.top):
+        print(f"  #{rank}: {length} postings")
+    return 0
+
+
+def _cmd_batch_query(args: argparse.Namespace) -> int:
+    """Run many queries from a file (one whitespace-separated token-id
+    sequence per line) and print one summary row per query."""
+    index = DiskInvertedIndex(args.index)
+    from repro.index.cache import CachedIndexReader
+
+    reader = CachedIndexReader(index) if args.cache else index
+    searcher = NearDuplicateSearcher(reader)
+    with open(args.queries) as handle:
+        lines = [line.strip() for line in handle if line.strip()]
+    print(f"{'query':>6} {'tokens':>7} {'matches':>8} {'latency_ms':>11}")
+    for number, line in enumerate(lines):
+        try:
+            tokens = np.asarray([int(part) for part in line.split()], dtype=np.uint32)
+        except ValueError:
+            print(f"error: line {number + 1} is not a token-id sequence", file=sys.stderr)
+            return 2
+        result = searcher.search(tokens, args.theta)
+        print(
+            f"{number:>6} {tokens.size:>7} {result.num_texts:>8} "
+            f"{1e3 * result.stats.total_seconds:>11.2f}"
+        )
+    if args.cache:
+        print(f"cache hit rate: {reader.hit_rate:.0%}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.index.validate import validate_index
+
+    index = DiskInvertedIndex(args.index)
+    corpus = DiskCorpus(args.corpus) if args.corpus else None
+    report = validate_index(index, corpus, max_lists_per_func=args.max_lists)
+    print(
+        f"checked {report.lists_checked} lists / {report.postings_checked} postings"
+    )
+    if report.ok:
+        print("index OK")
+        return 0
+    for error in report.errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    return 1
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.corpus.textfile import ingest_directory
+
+    report = ingest_directory(
+        args.input, args.out, pattern=args.pattern, vocab_size=args.vocab
+    )
+    print(
+        f"ingested {report.num_texts} files: {report.total_tokens} tokens, "
+        f"BPE vocab {report.vocab_size} -> {report.corpus_dir} "
+        f"(tokenizer: {report.tokenizer_path})"
+    )
+    return 0
+
+
+def _cmd_dedup(args: argparse.Namespace) -> int:
+    from repro.dedup.pipeline import find_duplicate_clusters
+
+    corpus = DiskCorpus(args.corpus)
+    index = DiskInvertedIndex(args.index)
+    searcher = NearDuplicateSearcher(index)
+    report = find_duplicate_clusters(
+        corpus,
+        searcher,
+        theta=args.theta,
+        window=args.window,
+        max_probes=args.max_probes,
+    )
+    print(
+        f"probed {report.probes} windows at theta={args.theta}: "
+        f"{len(report.clusters)} duplicate clusters, "
+        f"{report.duplicated_spans} occurrences, "
+        f"{report.redundant_tokens} redundant tokens"
+    )
+    for cluster in report.clusters[: args.limit]:
+        keep = cluster.representative
+        print(
+            f"  cluster size {cluster.size}: keep text {keep.text_id} "
+            f"tokens {keep.start}..{keep.end}, drop "
+            + ", ".join(
+                f"text {s.text_id} [{s.start}..{s.end}]" for s in cluster.redundant()
+            )
+        )
+    return 0
+
+
+def _cmd_memorize(args: argparse.Namespace) -> int:
+    corpus = DiskCorpus(args.corpus).to_memory()
+    index = DiskInvertedIndex(args.index)
+    searcher = NearDuplicateSearcher(index)
+    trained = train_model(args.model, corpus)
+    report = evaluate_model(
+        trained.model,
+        searcher,
+        args.theta,
+        num_texts=args.texts,
+        text_length=args.length,
+        window_width=args.window,
+        model_name=trained.name,
+        seed=args.seed,
+    )
+    print(format_series_table(figure4_series([report])))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="Near-duplicate sequence search (SIGMOD 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_synth = sub.add_parser("synth", help="generate a synthetic corpus")
+    p_synth.add_argument("out", help="output corpus directory")
+    p_synth.add_argument("--preset", choices=["synthweb", "minipile"], default="synthweb")
+    p_synth.add_argument("--texts", type=int, default=2000)
+    p_synth.add_argument("--mean-length", type=int, default=300)
+    p_synth.add_argument("--vocab", type=int, default=8192)
+    p_synth.add_argument("--seed", type=int, default=0)
+    p_synth.set_defaults(func=_cmd_synth)
+
+    p_build = sub.add_parser("build", help="build an inverted index")
+    p_build.add_argument("corpus", help="corpus directory")
+    p_build.add_argument("out", help="index directory")
+    p_build.add_argument("-k", type=int, default=32, help="number of hash functions")
+    p_build.add_argument("-t", type=int, default=25, help="length threshold")
+    p_build.add_argument("--seed", type=int, default=0, help="hash family seed")
+    p_build.add_argument("--external", action="store_true", help="out-of-core build")
+    p_build.add_argument("--batch-texts", type=int, default=256)
+    p_build.add_argument("--memory-budget", type=int, default=64, help="MiB per partition")
+    p_build.set_defaults(func=_cmd_build)
+
+    p_query = sub.add_parser("query", help="run one near-duplicate search")
+    p_query.add_argument("index", help="index directory")
+    p_query.add_argument("corpus", help="corpus directory")
+    p_query.add_argument("--text", type=int, default=0, help="query source text id")
+    p_query.add_argument("--start", type=int, default=0)
+    p_query.add_argument("--length", type=int, default=64)
+    p_query.add_argument("--theta", type=float, default=0.8)
+    p_query.add_argument("--limit", type=int, default=10, help="matches to print")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_stats = sub.add_parser("stats", help="summarize an index")
+    p_stats.add_argument("index", help="index directory")
+    p_stats.add_argument("--top", type=int, default=10)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_batch = sub.add_parser("batch-query", help="run queries from a file")
+    p_batch.add_argument("index", help="index directory")
+    p_batch.add_argument("queries", help="file with one token-id sequence per line")
+    p_batch.add_argument("--theta", type=float, default=0.8)
+    p_batch.add_argument("--cache", action="store_true", help="LRU list cache")
+    p_batch.set_defaults(func=_cmd_batch_query)
+
+    p_val = sub.add_parser("validate", help="check an index's structural invariants")
+    p_val.add_argument("index", help="index directory")
+    p_val.add_argument("--corpus", default=None, help="corpus directory (deep checks)")
+    p_val.add_argument("--max-lists", type=int, default=None, help="sample cap per function")
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_ingest = sub.add_parser("ingest", help="tokenize raw .txt files into a corpus")
+    p_ingest.add_argument("input", help="directory of text files")
+    p_ingest.add_argument("out", help="output directory (corpus + tokenizer)")
+    p_ingest.add_argument("--pattern", default="*.txt")
+    p_ingest.add_argument("--vocab", type=int, default=4096)
+    p_ingest.set_defaults(func=_cmd_ingest)
+
+    p_dedup = sub.add_parser("dedup", help="find near-duplicate clusters in a corpus")
+    p_dedup.add_argument("index", help="index directory")
+    p_dedup.add_argument("corpus", help="corpus directory")
+    p_dedup.add_argument("--theta", type=float, default=0.8)
+    p_dedup.add_argument("--window", type=int, default=64)
+    p_dedup.add_argument("--max-probes", type=int, default=None)
+    p_dedup.add_argument("--limit", type=int, default=10, help="clusters to print")
+    p_dedup.set_defaults(func=_cmd_dedup)
+
+    p_mem = sub.add_parser("memorize", help="Section 5 memorization evaluation")
+    p_mem.add_argument("index", help="index directory")
+    p_mem.add_argument("corpus", help="corpus directory")
+    p_mem.add_argument("--model", choices=sorted(MODEL_ZOO), default="large")
+    p_mem.add_argument("--theta", type=float, default=0.8)
+    p_mem.add_argument("--texts", type=int, default=5)
+    p_mem.add_argument("--length", type=int, default=512)
+    p_mem.add_argument("--window", type=int, default=32)
+    p_mem.add_argument("--seed", type=int, default=0)
+    p_mem.set_defaults(func=_cmd_memorize)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

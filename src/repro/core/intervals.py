@@ -1,0 +1,221 @@
+"""Interval sweeps for collision counting (paper Algorithms 4 and 5).
+
+Query processing retrieves, per text, a group of compact windows whose
+min-hash collided with the query.  A sequence ``T[i..j]`` collides with
+the query as many times as there are windows ``(l, c, r)`` in the group
+with ``l <= i <= c <= j <= r``.  Splitting each window into a *left
+interval* ``[l, c]`` (which must contain ``i``) and a *right interval*
+``[c, r]`` (which must contain ``j``) reduces the problem to two nested
+endpoint sweeps:
+
+* :func:`interval_scan` (Algorithm 5) sweeps the endpoints of a set of
+  intervals and reports, for every maximal segment of the axis, the set
+  of intervals covering it whenever that set has size ``>= alpha``.
+* :func:`collision_count` (Algorithm 4) runs the sweep over the left
+  intervals, and for every reported subset re-runs it over the
+  corresponding right intervals, emitting rectangles
+  ``[x, x'] x [y, y']`` of ``(i, j)`` pairs together with their exact
+  collision count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.compact_windows import CompactWindow
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """One segment reported by :func:`interval_scan`.
+
+    Attributes
+    ----------
+    members:
+        Ids of the intervals covering the segment (in insertion order).
+    start, end:
+        Inclusive bounds of the segment of the axis covered by exactly
+        this member set.
+    """
+
+    members: tuple[int, ...]
+    start: int
+    end: int
+
+
+def interval_scan(
+    intervals: Sequence[tuple[int, int]], alpha: int
+) -> list[ScanResult]:
+    """Algorithm 5: endpoint sweep over inclusive integer intervals.
+
+    Parameters
+    ----------
+    intervals:
+        ``(start, end)`` pairs with ``start <= end``; the id of an
+        interval is its position in the sequence.
+    alpha:
+        Minimum size of a reported covering set.
+
+    Returns
+    -------
+    One :class:`ScanResult` per maximal axis segment whose covering set
+    has size ``>= alpha``.  Every point covered by ``>= alpha``
+    intervals lies in exactly one reported segment, and that segment's
+    member set is exactly the set of intervals covering the point
+    (Lemma 1 of the paper).
+    """
+    if alpha < 1:
+        raise InvalidParameterError(f"alpha must be >= 1, got {alpha}")
+    if not intervals:
+        return []
+    events: list[tuple[int, int, int]] = []
+    for ident, (start, end) in enumerate(intervals):
+        if start > end:
+            raise InvalidParameterError(f"interval {ident} has start > end: ({start}, {end})")
+        events.append((start, 1, ident))
+        events.append((end + 1, 0, ident))
+    # Closing events sort before opening events at the same coordinate,
+    # so the active set between two coordinates is computed correctly.
+    events.sort()
+
+    results: list[ScanResult] = []
+    active: dict[int, None] = {}  # insertion-ordered set of interval ids
+    idx = 0
+    total = len(events)
+    while idx < total:
+        coord = events[idx][0]
+        while idx < total and events[idx][0] == coord:
+            _, is_open, ident = events[idx]
+            if is_open:
+                active[ident] = None
+            else:
+                del active[ident]
+            idx += 1
+        if len(active) >= alpha and idx < total:
+            next_coord = events[idx][0]
+            results.append(ScanResult(tuple(active), coord, next_coord - 1))
+    return results
+
+
+@dataclass(frozen=True)
+class CollisionRectangle:
+    """A rectangle of sequences sharing one exact collision count.
+
+    Every sequence ``T[i..j]`` with ``i in [i_lo, i_hi]`` and
+    ``j in [j_lo, j_hi]`` is contained in exactly ``count`` compact
+    windows of the group that was scanned.  ``i <= j`` holds for every
+    pair in the rectangle by construction (each member window has
+    ``i <= c <= j``).
+    """
+
+    i_lo: int
+    i_hi: int
+    j_lo: int
+    j_hi: int
+    count: int
+
+    def clip_min_length(self, min_length: int) -> "CollisionRectangle | None":
+        """Restrict the rectangle to sequences with ``j - i + 1 >= min_length``.
+
+        The constraint ``j >= i + min_length - 1`` cuts the rectangle
+        with a diagonal; we keep the enclosing sub-rectangle where *at
+        least one* valid pair exists and expose per-row clipping via
+        :meth:`iter_spans`.  Returns ``None`` when no pair survives.
+        """
+        if self.j_hi - self.i_lo + 1 < min_length:
+            return None
+        return self
+
+    def iter_spans(self, min_length: int = 1) -> Iterable[tuple[int, int]]:
+        """Yield every ``(i, j)`` pair of the rectangle with length ``>= min_length``."""
+        for i in range(self.i_lo, self.i_hi + 1):
+            j_start = max(self.j_lo, i + min_length - 1)
+            for j in range(j_start, self.j_hi + 1):
+                yield (i, j)
+
+    def span_count(self, min_length: int = 1) -> int:
+        """Number of pairs :meth:`iter_spans` would yield, in closed form."""
+        total = 0
+        for i in range(self.i_lo, self.i_hi + 1):
+            j_start = max(self.j_lo, i + min_length - 1)
+            if j_start <= self.j_hi:
+                total += self.j_hi - j_start + 1
+        return total
+
+    def widest_span(self, min_length: int = 1) -> tuple[int, int] | None:
+        """The longest sequence in the rectangle, or ``None`` if none is valid."""
+        if self.j_hi - self.i_lo + 1 < min_length:
+            return None
+        return (self.i_lo, self.j_hi)
+
+
+def collision_count(
+    windows: Sequence[CompactWindow] | np.ndarray, alpha: int
+) -> list[CollisionRectangle]:
+    """Algorithm 4: all sequences contained in ``>= alpha`` windows.
+
+    Parameters
+    ----------
+    windows:
+        Compact windows of one text whose min-hash collided with the
+        query (one window per colliding hash function at most, when the
+        group comes from the inverted indexes).
+    alpha:
+        The collision threshold (``beta = ceil(k * theta)`` during
+        query processing, or the reduced threshold during prefix
+        filtering).
+
+    Returns
+    -------
+    Rectangles whose ``count`` is the *exact* number of windows in the
+    group containing each of their sequences (``count >= alpha``).  The
+    rectangles are pairwise disjoint: the left sweep partitions the
+    ``i`` axis and, within one left segment, the right sweep partitions
+    the ``j`` axis, so every qualifying ``(i, j)`` pair appears in
+    exactly one rectangle.
+    """
+    if isinstance(windows, np.ndarray):
+        lefts = windows["left"].astype(np.int64)
+        centers = windows["center"].astype(np.int64)
+        rights = windows["right"].astype(np.int64)
+        left_intervals = list(zip(lefts.tolist(), centers.tolist()))
+        center_list = centers.tolist()
+        right_list = rights.tolist()
+    else:
+        left_intervals = [(w.left, w.center) for w in windows]
+        center_list = [w.center for w in windows]
+        right_list = [w.right for w in windows]
+
+    results: list[CollisionRectangle] = []
+    for left_group in interval_scan(left_intervals, alpha):
+        right_intervals = [
+            (center_list[ident], right_list[ident]) for ident in left_group.members
+        ]
+        for right_group in interval_scan(right_intervals, alpha):
+            results.append(
+                CollisionRectangle(
+                    i_lo=left_group.start,
+                    i_hi=left_group.end,
+                    j_lo=right_group.start,
+                    j_hi=right_group.end,
+                    count=len(right_group.members),
+                )
+            )
+    return results
+
+
+def max_collisions(
+    windows: Sequence[CompactWindow] | np.ndarray, i: int, j: int
+) -> int:
+    """Brute-force collision count of one sequence (test helper)."""
+    if isinstance(windows, np.ndarray):
+        return int(
+            np.count_nonzero(
+                (windows["left"] <= i) & (i <= windows["center"]) & (windows["center"] <= j) & (j <= windows["right"])
+            )
+        )
+    return sum(1 for w in windows if w.contains(i, j))

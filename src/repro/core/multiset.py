@@ -1,0 +1,159 @@
+"""Multiset (bag) Jaccard support.
+
+Section 3.1 defines two similarity variants; the engine targets the
+*distinct* Jaccard (as the paper does: "we use the distinct Jaccard
+similarity if not mentioned otherwise").  The multiset variant treats
+each occurrence of a token as a distinct element: the bag ``{A, A, B}``
+expands to ``{(A,1), (A,2), (B,1)}``.  This module provides
+
+* :func:`expand_multiset` — the occurrence-rank expansion;
+* :func:`multiset_sketch` — the k-mins sketch over expanded elements,
+  an unbiased estimator of multiset Jaccard;
+* :func:`search_definition2_multiset` — a Definition 2 oracle under
+  multiset semantics, with the same incremental-sketch trick as the
+  distinct oracle (appending a token adds exactly one new element);
+* :class:`MultisetVerifier` — re-ranks/filters the distinct-Jaccard
+  engine's output by exact multiset similarity, which is how a
+  deployment wanting bag semantics composes with the compact-window
+  index (index-side multiset windows are ALIGN's separate contribution
+  and out of scope here; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.hashing import HASH_BITS, HashFamily, _finalize
+from repro.core.theory import collision_threshold
+from repro.core.verify import Span, multiset_jaccard
+from repro.corpus.corpus import Corpus
+from repro.exceptions import InvalidParameterError
+
+
+def expand_multiset(tokens: np.ndarray) -> np.ndarray:
+    """Expand a token sequence into (token, occurrence-rank) element codes.
+
+    The ``r``-th occurrence of token ``w`` (in sequence order) becomes
+    the 64-bit code ``(w << 32) | r`` with ``r`` starting at 0.  Two
+    sequences that are equal *as bags* expand to equal element sets, no
+    matter how the occurrences are ordered.
+    """
+    tokens = np.asarray(tokens)
+    counts: Counter[int] = Counter()
+    codes = np.empty(tokens.size, dtype=np.uint64)
+    for pos, token in enumerate(tokens.tolist()):
+        rank = counts[token]
+        counts[token] += 1
+        codes[pos] = (np.uint64(token) << np.uint64(32)) | np.uint64(rank)
+    return codes
+
+
+def _hash_codes(family: HashFamily, codes: np.ndarray) -> np.ndarray:
+    """Hash 64-bit element codes under every function of ``family``.
+
+    Reuses the family's keyed multiply + splitmix64 finalizer so the
+    multiset sketch inherits the same independence structure as the
+    token sketch.
+    """
+    with np.errstate(over="ignore"):
+        mixed = codes[None, :] * family._a[:, None] + family._b[:, None]
+    return (_finalize(mixed) >> np.uint64(64 - HASH_BITS)).astype(np.uint32)
+
+
+def multiset_sketch(family: HashFamily, tokens: np.ndarray) -> np.ndarray:
+    """k-mins sketch of a sequence under multiset semantics."""
+    tokens = np.asarray(tokens)
+    if tokens.size == 0:
+        raise InvalidParameterError("cannot sketch an empty sequence")
+    codes = expand_multiset(tokens)
+    return _hash_codes(family, codes).min(axis=1)
+
+
+def estimate_multiset_jaccard(
+    family: HashFamily, a: np.ndarray, b: np.ndarray
+) -> float:
+    """Min-hash estimate of the multiset Jaccard of two sequences."""
+    sketch_a = multiset_sketch(family, a)
+    sketch_b = multiset_sketch(family, b)
+    return float(np.count_nonzero(sketch_a == sketch_b)) / family.k
+
+
+def search_definition2_multiset(
+    corpus: Corpus,
+    query: np.ndarray,
+    theta: float,
+    t: int,
+    family: HashFamily,
+) -> list[Span]:
+    """Definition 2 under multiset semantics, by enumeration.
+
+    Extending a span by one token adds exactly one element (the new
+    occurrence's rank is its count so far within the span), so the
+    running sketch updates with one vectorized ``minimum`` per ``j`` —
+    quadratic overall, usable at oracle scale.
+    """
+    if not 0.0 < theta <= 1.0:
+        raise InvalidParameterError(f"theta must be in (0, 1], got {theta}")
+    if t < 1:
+        raise InvalidParameterError(f"t must be >= 1, got {t}")
+    query = np.asarray(query)
+    beta = collision_threshold(family.k, theta)
+    query_sketch = multiset_sketch(family, query)
+    results: list[Span] = []
+    for text_id in range(len(corpus)):
+        text = np.asarray(corpus[text_id])
+        tokens = text.tolist()
+        n = text.size
+        for i in range(n):
+            if i + t - 1 >= n:
+                break
+            counts: Counter[int] = Counter()
+            sketch = np.full(family.k, np.iinfo(np.uint32).max, dtype=np.uint32)
+            for j in range(i, n):
+                token = tokens[j]
+                rank = counts[token]
+                counts[token] += 1
+                code = np.array(
+                    [(np.uint64(token) << np.uint64(32)) | np.uint64(rank)],
+                    dtype=np.uint64,
+                )
+                element_hashes = _hash_codes(family, code)[:, 0]
+                np.minimum(sketch, element_hashes, out=sketch)
+                if j - i + 1 < t:
+                    continue
+                if int(np.count_nonzero(sketch == query_sketch)) >= beta:
+                    results.append(Span(text_id, i, j))
+    return results
+
+
+class MultisetVerifier:
+    """Filter a distinct-Jaccard search result by exact multiset Jaccard.
+
+    Distinct Jaccard upper-bounds how *sets* of tokens overlap; when
+    bag semantics matter (duplicate-heavy text), run the fast indexed
+    search at a relaxed distinct threshold and verify the merged spans
+    exactly.
+    """
+
+    def __init__(self, corpus: Corpus) -> None:
+        self._corpus = corpus
+
+    def verify(
+        self, query: np.ndarray, spans: list[Span], theta: float
+    ) -> list[tuple[Span, float]]:
+        """Return ``(span, multiset_jaccard)`` pairs meeting ``theta``."""
+        if not 0.0 < theta <= 1.0:
+            raise InvalidParameterError(f"theta must be in (0, 1], got {theta}")
+        query = np.asarray(query)
+        kept = []
+        for span in spans:
+            tokens = np.asarray(self._corpus[span.text_id])[
+                span.start : span.end + 1
+            ]
+            similarity = multiset_jaccard(query, tokens)
+            if similarity >= theta:
+                kept.append((span, similarity))
+        kept.sort(key=lambda pair: -pair[1])
+        return kept

@@ -1,0 +1,431 @@
+"""Near-duplicate sequence search (paper Section 3.5, Algorithm 3).
+
+Given a query sequence ``Q`` and a similarity threshold ``theta``, the
+searcher:
+
+1. computes the ``k``-mins sketch of ``Q``;
+2. splits the ``k`` corresponding inverted lists into *short* and
+   *long* ones (prefix filtering — long lists are the Zipf-head token
+   lists that would dominate I/O);
+3. loads the short lists, groups their compact windows by text, and
+   runs :func:`~repro.core.intervals.collision_count` with the reduced
+   threshold ``beta - (k - p)`` (``p`` = number of short lists): a text
+   that cannot reach ``beta`` even if *every* long list contained it is
+   pruned without touching the long lists;
+4. for each surviving candidate text, point-reads its windows from the
+   long lists through their zone maps and re-runs ``collision_count``
+   with the full threshold ``beta = ceil(k * theta)``;
+5. reports all sequences of length ``>= t`` contained in ``>= beta``
+   colliding windows — Definition 2's output, sound and complete
+   (Theorem 2).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hashing import HashFamily
+from repro.core.intervals import CollisionRectangle, collision_count
+from repro.core.theory import collision_threshold
+from repro.core.verify import Span, merge_overlapping_spans
+from repro.exceptions import InvalidParameterError, QueryError
+from repro.index.inverted import InvertedIndexReader, POSTING_DTYPE
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class QueryStats:
+    """Per-query accounting mirroring the paper's latency breakdown."""
+
+    total_seconds: float = 0.0
+    io_seconds: float = 0.0
+    io_bytes: int = 0
+    io_calls: int = 0
+    lists_loaded: int = 0
+    long_lists: int = 0
+    groups_scanned: int = 0
+    candidates: int = 0
+    texts_matched: int = 0
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Computation time: total minus I/O (the upper bars of Figure 3)."""
+        return max(0.0, self.total_seconds - self.io_seconds)
+
+
+@dataclass(frozen=True)
+class TextMatch:
+    """All qualifying sequences of one text, as disjoint rectangles."""
+
+    text_id: int
+    rectangles: tuple[CollisionRectangle, ...]
+
+    def best_count(self) -> int:
+        """Highest collision count among the rectangles."""
+        return max(rect.count for rect in self.rectangles)
+
+    def spans(self, min_length: int) -> list[Span]:
+        """Every individual sequence of length ``>= min_length``."""
+        return [
+            Span(self.text_id, i, j)
+            for rect in self.rectangles
+            for (i, j) in rect.iter_spans(min_length)
+        ]
+
+    def widest_spans(self, min_length: int) -> list[Span]:
+        """One longest sequence per rectangle (compact representation)."""
+        spans = []
+        for rect in self.rectangles:
+            widest = rect.widest_span(min_length)
+            if widest is not None:
+                spans.append(Span(self.text_id, widest[0], widest[1]))
+        return spans
+
+
+@dataclass
+class SearchResult:
+    """Output of one near-duplicate search."""
+
+    matches: list[TextMatch]
+    stats: QueryStats
+    k: int
+    theta: float
+    beta: int
+    t: int
+
+    @property
+    def num_texts(self) -> int:
+        return len(self.matches)
+
+    def count_spans(self) -> int:
+        """Total number of qualifying sequences (before merging)."""
+        return sum(
+            rect.span_count(self.t)
+            for match in self.matches
+            for rect in match.rectangles
+        )
+
+    def merged_spans(self) -> list[Span]:
+        """Disjoint merged near-duplicate regions (Section 3.5 remark)."""
+        widest = [
+            span for match in self.matches for span in match.widest_spans(self.t)
+        ]
+        return merge_overlapping_spans(widest)
+
+    def __bool__(self) -> bool:
+        return bool(self.matches)
+
+
+class NearDuplicateSearcher:
+    """Query processor over an inverted index of compact windows.
+
+    Parameters
+    ----------
+    index:
+        Any :class:`~repro.index.inverted.InvertedIndexReader` — the
+        in-memory index or the on-disk one.
+    long_list_cutoff:
+        Prefix-filter cutoff: query lists longer than this many
+        postings are "long" and only point-read for surviving
+        candidates.  ``None`` enables a per-query heuristic (8x the
+        median length of the query's own k lists); ``0`` disables
+        prefix filtering.
+    corpus:
+        Optional corpus backing the index.  Required only for
+        ``verify=True`` searches, which post-filter Definition 2's
+        candidates by *exact* Jaccard — turning the approximate engine
+        into an exact Definition 1 answer (on the candidates the
+        sketching surfaced; recall remains probabilistic).
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndexReader,
+        *,
+        long_list_cutoff: int | None = None,
+        corpus=None,
+    ) -> None:
+        self.index = index
+        self.family: HashFamily = index.family
+        self.t = index.t
+        if long_list_cutoff is not None and long_list_cutoff < 0:
+            raise InvalidParameterError("long_list_cutoff must be >= 0 or None")
+        self.long_list_cutoff = long_list_cutoff
+        self.corpus = corpus
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: np.ndarray,
+        theta: float,
+        *,
+        first_match_only: bool = False,
+        verify: bool = False,
+    ) -> SearchResult:
+        """Find all sequences colliding with ``query`` in ``>= beta`` trials.
+
+        Parameters
+        ----------
+        query:
+            Token-id sequence (non-empty).
+        theta:
+            Similarity threshold in ``(0, 1]``; the collision threshold
+            is ``beta = ceil(k * theta)``.
+        first_match_only:
+            Stop at the first matching text.  The memorization
+            evaluator only needs existence, and early exit mirrors how
+            such an evaluation would be deployed.
+        verify:
+            Post-filter every candidate sequence by its *exact*
+            distinct Jaccard against the query (requires the searcher
+            to have been constructed with ``corpus=...``).  Matches
+            whose rectangles lose all sequences are dropped.
+        """
+        query = np.asarray(query)
+        if query.size == 0:
+            raise QueryError("query sequence is empty")
+        if verify and self.corpus is None:
+            raise InvalidParameterError(
+                "verify=True requires the searcher to be built with corpus=..."
+            )
+        begin_total = time.perf_counter()
+        io = self.index.io_stats
+        io_bytes0, io_calls0, io_seconds0 = io.bytes_read, io.read_calls, io.seconds
+        stats = QueryStats()
+
+        k = self.family.k
+        beta = collision_threshold(k, theta)
+        sketch = self.family.sketch(query)
+
+        lengths = np.array(
+            [self.index.list_length(f, int(sketch[f])) for f in range(k)],
+            dtype=np.int64,
+        )
+        long_funcs = self._select_long_lists(lengths, beta)
+        stats.long_lists = len(long_funcs)
+        alpha_short = beta - len(long_funcs)
+
+        # Load the short lists and tag each posting with a group key so
+        # windows of one text from all short lists can be scanned together.
+        short_chunks: list[np.ndarray] = []
+        for func in range(k):
+            if func in long_funcs or lengths[func] == 0:
+                continue
+            postings = self.index.load_list(func, int(sketch[func]))
+            stats.lists_loaded += 1
+            if postings.size:
+                short_chunks.append(postings)
+
+        matches: list[TextMatch] = []
+        if short_chunks:
+            merged = np.concatenate(short_chunks)
+            order = np.argsort(merged["text"], kind="stable")
+            merged = merged[order]
+            text_ids = merged["text"]
+            boundaries = np.flatnonzero(
+                np.concatenate(([True], text_ids[1:] != text_ids[:-1]))
+            )
+            boundaries = np.append(boundaries, merged.size)
+            for start, end in zip(boundaries[:-1], boundaries[1:]):
+                group = merged[start:end]
+                stats.groups_scanned += 1
+                if group.size < alpha_short:
+                    continue
+                rectangles = collision_count(group, max(alpha_short, 1))
+                if not rectangles:
+                    continue
+                stats.candidates += 1
+                text_id = int(group["text"][0])
+                if long_funcs:
+                    extra = [group]
+                    for func in long_funcs:
+                        fetched = self.index.load_text_windows(
+                            func, int(sketch[func]), text_id
+                        )
+                        if fetched.size:
+                            extra.append(fetched)
+                    combined = np.concatenate(extra)
+                    rectangles = collision_count(combined, beta)
+                rectangles = [
+                    rect
+                    for rect in rectangles
+                    if rect.clip_min_length(self.t) is not None
+                ]
+                if rectangles and verify:
+                    rectangles = self._verify_rectangles(
+                        query, theta, text_id, rectangles
+                    )
+                if rectangles:
+                    matches.append(TextMatch(text_id, tuple(rectangles)))
+                    if first_match_only:
+                        break
+
+        stats.total_seconds = time.perf_counter() - begin_total
+        stats.io_bytes = io.bytes_read - io_bytes0
+        stats.io_calls = io.read_calls - io_calls0
+        stats.io_seconds = io.seconds - io_seconds0
+        stats.texts_matched = len(matches)
+        logger.debug(
+            "query theta=%.2f beta=%d: %d matches, %d candidates, "
+            "%d long lists, %.1fms (%d bytes io)",
+            theta,
+            beta,
+            len(matches),
+            stats.candidates,
+            stats.long_lists,
+            1e3 * stats.total_seconds,
+            stats.io_bytes,
+        )
+        return SearchResult(
+            matches=matches,
+            stats=stats,
+            k=k,
+            theta=theta,
+            beta=beta,
+            t=self.t,
+        )
+
+    # ------------------------------------------------------------------
+    def search_thetas(
+        self, query: np.ndarray, thetas: list[float]
+    ) -> dict[float, SearchResult]:
+        """Answer one query at several thresholds with a single index pass.
+
+        The collision-count rectangles carry *exact* counts, so a run
+        at the loosest threshold ``min(thetas)`` already contains every
+        stricter answer: the result for a larger ``theta`` is simply
+        the rectangles with ``count >= ceil(k * theta)``.  Memorization
+        sweeps (Figure 4's theta axis) become one pass instead of one
+        per theta.
+        """
+        if not thetas:
+            raise InvalidParameterError("at least one theta is required")
+        k = self.family.k
+        betas = {theta: collision_threshold(k, theta) for theta in thetas}
+        loosest = min(thetas)
+        base = self.search(query, loosest)
+        results: dict[float, SearchResult] = {}
+        for theta in thetas:
+            beta = betas[theta]
+            matches = []
+            for match in base.matches:
+                kept = tuple(
+                    rect for rect in match.rectangles if rect.count >= beta
+                )
+                if kept:
+                    matches.append(TextMatch(match.text_id, kept))
+            stats = QueryStats(
+                total_seconds=base.stats.total_seconds,
+                io_seconds=base.stats.io_seconds,
+                io_bytes=base.stats.io_bytes,
+                io_calls=base.stats.io_calls,
+                lists_loaded=base.stats.lists_loaded,
+                long_lists=base.stats.long_lists,
+                groups_scanned=base.stats.groups_scanned,
+                candidates=base.stats.candidates,
+                texts_matched=len(matches),
+            )
+            results[theta] = SearchResult(
+                matches=matches,
+                stats=stats,
+                k=k,
+                theta=theta,
+                beta=beta,
+                t=self.t,
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _verify_rectangles(
+        self,
+        query: np.ndarray,
+        theta: float,
+        text_id: int,
+        rectangles: list[CollisionRectangle],
+    ) -> list[CollisionRectangle]:
+        """Exact-Jaccard filter: shrink each rectangle to the verified pairs.
+
+        A rectangle is kept iff at least one of its sequences passes;
+        kept rectangles are narrowed to the bounding box of the passing
+        ``(i, j)`` pairs (pairs inside that box that failed remain
+        excluded from :meth:`TextMatch.spans` only when callers
+        re-verify, so :meth:`SearchResult.merged_spans` stays a sound
+        over-approximation — the common deployment merges regions
+        anyway).
+        """
+        from repro.core.verify import distinct_jaccard
+
+        text = np.asarray(self.corpus[text_id])
+        verified: list[CollisionRectangle] = []
+        for rect in rectangles:
+            passing = [
+                (i, j)
+                for (i, j) in rect.iter_spans(self.t)
+                if distinct_jaccard(query, text[i : j + 1]) >= theta
+            ]
+            if not passing:
+                continue
+            i_values = [i for i, _ in passing]
+            j_values = [j for _, j in passing]
+            verified.append(
+                CollisionRectangle(
+                    i_lo=min(i_values),
+                    i_hi=max(i_values),
+                    j_lo=min(j_values),
+                    j_hi=max(j_values),
+                    count=rect.count,
+                )
+            )
+        return verified
+
+    # ------------------------------------------------------------------
+    def search_many(
+        self,
+        queries: list[np.ndarray],
+        theta: float,
+        *,
+        first_match_only: bool = False,
+    ) -> list[SearchResult]:
+        """Answer a batch of queries.
+
+        Semantically identical to calling :meth:`search` per query; the
+        batch entry point exists so callers (the memorization sweep,
+        the dedup self-join) have one place to hang batching
+        optimizations — pair it with
+        :class:`~repro.index.cache.CachedIndexReader` to amortize list
+        I/O across a batch that re-probes the Zipf head.
+        """
+        return [
+            self.search(query, theta, first_match_only=first_match_only)
+            for query in queries
+        ]
+
+    def _select_long_lists(self, lengths: np.ndarray, beta: int) -> set[int]:
+        """Pick which of the query's ``k`` lists to prefix-filter away.
+
+        Correctness cap: with ``k - p`` long lists, the short-list
+        collision threshold is ``beta - (k - p)``; it must stay ``>= 1``
+        (a candidate must collide at least once among the short lists),
+        so at most ``beta - 1`` lists may be long.  The longest lists
+        are preferred.
+        """
+        if self.long_list_cutoff == 0:
+            return set()
+        if self.long_list_cutoff is None:
+            positive = lengths[lengths > 0]
+            if positive.size == 0:
+                return set()
+            cutoff = max(64, 8 * int(np.median(positive)))
+        else:
+            cutoff = self.long_list_cutoff
+        candidates = [f for f in range(lengths.size) if lengths[f] > cutoff]
+        max_long = max(0, beta - 1)
+        if len(candidates) > max_long:
+            candidates.sort(key=lambda f: int(lengths[f]), reverse=True)
+            candidates = candidates[:max_long]
+        return set(candidates)

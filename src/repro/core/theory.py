@@ -1,0 +1,101 @@
+"""Closed-form results from the paper's analysis (Section 3).
+
+These functions back the theory-validation benchmark and the property
+tests: measured quantities are compared against the expectations proved
+in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import InvalidParameterError
+
+#: Bytes per stored compact window: ``(text_id, l, c, r)`` as 4-byte ints.
+BYTES_PER_WINDOW = 16
+
+#: Bytes per corpus token (tokens are stored as 4-byte integers).
+BYTES_PER_TOKEN = 4
+
+
+def expected_window_count(n: int, t: int) -> float:
+    """Expected number of valid compact windows for ``n`` distinct tokens.
+
+    Theorem 1: ``S_n = 2 (n + 1) / (t + 1) - 1`` for ``n >= t``; the
+    base cases are ``S_0 = ... = S_{t-1} = 0``.
+
+    The formula is exact when all token hash values are distinct (which
+    holds almost surely for distinct tokens under a random hash
+    function).
+    """
+    if t < 1:
+        raise InvalidParameterError(f"t must be >= 1, got {t}")
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    if n < t:
+        return 0.0
+    return 2.0 * (n + 1) / (t + 1) - 1.0
+
+
+def expected_corpus_window_count(total_tokens: int, num_texts: int, t: int, k: int) -> float:
+    """Expected window count over a corpus: per-text formula summed, times ``k``."""
+    if num_texts <= 0:
+        raise InvalidParameterError(f"num_texts must be positive, got {num_texts}")
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    avg_len = total_tokens / num_texts
+    return k * num_texts * expected_window_count(int(avg_len), t)
+
+
+def index_size_ratio_bound(t: int) -> float:
+    """Paper's bound on (single-index size) / (corpus size): ``8 / t``.
+
+    Each inverted index holds at most ``2 N / t`` windows on average for
+    a corpus with ``N`` tokens, each window stored as four 4-byte
+    integers, while the corpus occupies ``4 N`` bytes — hence the ratio
+    ``(2 N / t) * 16 / (4 N) = 8 / t``.
+    """
+    if t < 1:
+        raise InvalidParameterError(f"t must be >= 1, got {t}")
+    return 8.0 / t
+
+
+def estimator_variance_bound(k: int) -> float:
+    """Upper bound on the variance of the min-hash Jaccard estimator.
+
+    The estimator is a scaled Binomial(``k``, ``J``) variable, so its
+    variance is ``J (1 - J) / k <= 1 / (4 k)``.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    return 1.0 / (4.0 * k)
+
+
+def collision_threshold(k: int, theta: float) -> int:
+    """The paper's collision threshold ``beta = ceil(k * theta)``."""
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    if not 0.0 < theta <= 1.0:
+        raise InvalidParameterError(f"theta must be in (0, 1], got {theta}")
+    return math.ceil(k * theta)
+
+
+def recall_estimate(k: int, theta: float, jaccard: float) -> float:
+    """Probability that a sequence with the given Jaccard is reported.
+
+    The collision count is Binomial(``k``, ``jaccard``); the sequence
+    is reported when the count reaches ``ceil(k * theta)``.  Useful for
+    choosing ``k``: the paper argues a large enough ``k`` finds "most"
+    truly similar sequences.
+    """
+    if not 0.0 <= jaccard <= 1.0:
+        raise InvalidParameterError(f"jaccard must be in [0, 1], got {jaccard}")
+    beta = collision_threshold(k, theta)
+    prob = 0.0
+    for successes in range(beta, k + 1):
+        prob += (
+            math.comb(k, successes)
+            * jaccard**successes
+            * (1.0 - jaccard) ** (k - successes)
+        )
+    return prob

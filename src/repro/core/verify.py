@@ -1,0 +1,119 @@
+"""Exact similarity computation and match post-processing.
+
+The search engine answers the *approximate* Definition 2 (min-hash
+collision counting).  This module provides:
+
+* exact distinct and multiset Jaccard similarity (Section 3.1), used by
+  the brute-force baseline, by optional post-verification, and by the
+  tests that compare the approximate output against ground truth;
+* merging of overlapping reported sequences into disjoint spans, the
+  paper's closing remark in Section 3.5.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def distinct_jaccard(a: np.ndarray, b: np.ndarray) -> float:
+    """Distinct Jaccard similarity: deduplicate, then |A∩B| / |A∪B|."""
+    set_a = set(np.asarray(a).tolist())
+    set_b = set(np.asarray(b).tolist())
+    if not set_a and not set_b:
+        return 1.0
+    union = len(set_a | set_b)
+    if union == 0:
+        return 1.0
+    return len(set_a & set_b) / union
+
+
+def multiset_jaccard(a: np.ndarray, b: np.ndarray) -> float:
+    """Multiset Jaccard: each occurrence of a token counts separately.
+
+    For ``(A, A, A, B, B)`` vs ``(A, B, B, C)`` the intersection is
+    ``{A1, B1, B2}`` (size 3) and the union has size 7, giving ``3/7``
+    — the worked example of Section 3.1.
+    """
+    count_a = Counter(np.asarray(a).tolist())
+    count_b = Counter(np.asarray(b).tolist())
+    if not count_a and not count_b:
+        return 1.0
+    intersection = sum((count_a & count_b).values())
+    union = sum((count_a | count_b).values())
+    if union == 0:
+        return 1.0
+    return intersection / union
+
+
+def estimate_jaccard(sketch_a: np.ndarray, sketch_b: np.ndarray) -> float:
+    """Min-hash estimate of distinct Jaccard: collision fraction s / k."""
+    sketch_a = np.asarray(sketch_a)
+    sketch_b = np.asarray(sketch_b)
+    if sketch_a.shape != sketch_b.shape:
+        raise ValueError("sketches must have identical shapes")
+    return float(np.count_nonzero(sketch_a == sketch_b)) / sketch_a.size
+
+
+@dataclass(frozen=True)
+class Span:
+    """A reported near-duplicate sequence ``text[start..end]`` (inclusive)."""
+
+    text_id: int
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start + 1
+
+
+def merge_overlapping_spans(spans: Iterable[Span]) -> list[Span]:
+    """Merge overlapping/adjacent spans per text into disjoint spans.
+
+    Implements the remark of Section 3.5: rather than enumerating every
+    redundant near-duplicate sequence, report disjoint merged regions.
+    Spans from different texts never merge.  Output is sorted by
+    ``(text_id, start)``.
+    """
+    by_text: dict[int, list[Span]] = {}
+    for span in spans:
+        by_text.setdefault(span.text_id, []).append(span)
+    merged: list[Span] = []
+    for text_id in sorted(by_text):
+        ordered = sorted(by_text[text_id], key=lambda s: (s.start, s.end))
+        current_start, current_end = ordered[0].start, ordered[0].end
+        for span in ordered[1:]:
+            if span.start <= current_end + 1:
+                current_end = max(current_end, span.end)
+            else:
+                merged.append(Span(text_id, current_start, current_end))
+                current_start, current_end = span.start, span.end
+        merged.append(Span(text_id, current_start, current_end))
+    return merged
+
+
+def verify_spans(
+    query: np.ndarray,
+    text_tokens: Sequence[np.ndarray],
+    spans: Iterable[Span],
+    theta: float,
+    similarity: str = "distinct",
+) -> list[Span]:
+    """Keep only spans whose *exact* Jaccard with the query is ``>= theta``.
+
+    ``text_tokens`` maps text id to its token array (any indexable).
+    This is an optional post-filter: Definition 2's output is defined by
+    collision counts, but downstream users evaluating memorization may
+    want the exact-similarity subset.
+    """
+    measure = distinct_jaccard if similarity == "distinct" else multiset_jaccard
+    kept = []
+    for span in spans:
+        tokens = np.asarray(text_tokens[span.text_id])[span.start : span.end + 1]
+        if measure(query, tokens) >= theta:
+            kept.append(span)
+    return kept

@@ -1,0 +1,56 @@
+"""Corpus abstractions, on-disk store and synthetic generators."""
+
+from repro.corpus.corpus import (
+    Corpus,
+    InMemoryCorpus,
+    TOKEN_DTYPE,
+    corpus_nbytes,
+)
+from repro.corpus.stats import (
+    LengthProfile,
+    TokenFrequencyProfile,
+    fit_zipf_exponent,
+    frequency_profile,
+    ngram_duplication_rate,
+    token_frequencies,
+)
+from repro.corpus.store import DiskCorpus, write_corpus
+from repro.corpus.textfile import (
+    IngestReport,
+    ingest_directory,
+    ingest_texts,
+    iter_text_files,
+)
+from repro.corpus.synthetic import (
+    PlantedDuplicate,
+    SyntheticCorpus,
+    inject_duplicates,
+    minipile,
+    synthweb,
+    zipf_corpus,
+)
+
+__all__ = [
+    "Corpus",
+    "DiskCorpus",
+    "InMemoryCorpus",
+    "IngestReport",
+    "LengthProfile",
+    "TokenFrequencyProfile",
+    "fit_zipf_exponent",
+    "frequency_profile",
+    "ingest_directory",
+    "ingest_texts",
+    "iter_text_files",
+    "ngram_duplication_rate",
+    "token_frequencies",
+    "PlantedDuplicate",
+    "SyntheticCorpus",
+    "TOKEN_DTYPE",
+    "corpus_nbytes",
+    "inject_duplicates",
+    "minipile",
+    "synthweb",
+    "write_corpus",
+    "zipf_corpus",
+]

@@ -1,0 +1,107 @@
+"""Corpus abstractions: tokenized texts and collections of them.
+
+A *corpus* is an ordered collection of *texts*; a text is a sequence of
+integer token ids (4-byte unsigned integers, matching the paper's
+storage assumption).  Two concrete corpora exist:
+
+* :class:`InMemoryCorpus` — a list of numpy arrays, used for
+  medium-scale datasets that fit in memory (the paper's OpenWebText
+  case) and throughout the tests;
+* :class:`repro.corpus.store.DiskCorpus` — a memory-mapped on-disk
+  corpus streamed in batches (the paper's C4/Pile case).
+
+Both satisfy the small :class:`Corpus` protocol consumed by the index
+builders and the searcher.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+#: Storage dtype for token ids.
+TOKEN_DTYPE = np.dtype(np.uint32)
+
+
+@runtime_checkable
+class Corpus(Protocol):
+    """Minimal corpus interface used by builders and searchers."""
+
+    def __len__(self) -> int:
+        """Number of texts."""
+        ...
+
+    def __getitem__(self, text_id: int) -> np.ndarray:
+        """Token array of one text."""
+        ...
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        """Iterate over the texts in id order."""
+        ...
+
+    @property
+    def total_tokens(self) -> int:
+        """Total number of tokens across all texts."""
+        ...
+
+
+class InMemoryCorpus:
+    """A corpus held fully in memory as a list of ``uint32`` arrays."""
+
+    def __init__(self, texts: Iterable[Sequence[int] | np.ndarray]) -> None:
+        self._texts = [np.ascontiguousarray(t, dtype=TOKEN_DTYPE) for t in texts]
+        for text_id, tokens in enumerate(self._texts):
+            if tokens.ndim != 1:
+                raise InvalidParameterError(f"text {text_id} is not one-dimensional")
+        self._total = int(sum(t.size for t in self._texts))
+
+    def __len__(self) -> int:
+        return len(self._texts)
+
+    def __getitem__(self, text_id: int) -> np.ndarray:
+        return self._texts[text_id]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._texts)
+
+    @property
+    def total_tokens(self) -> int:
+        return self._total
+
+    def iter_batches(self, batch_size: int) -> Iterator[list[tuple[int, np.ndarray]]]:
+        """Yield ``(text_id, tokens)`` batches of at most ``batch_size`` texts."""
+        if batch_size <= 0:
+            raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
+        batch: list[tuple[int, np.ndarray]] = []
+        for text_id, tokens in enumerate(self._texts):
+            batch.append((text_id, tokens))
+            if len(batch) == batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def vocabulary_size(self) -> int:
+        """One past the largest token id present (0 for an empty corpus)."""
+        top = 0
+        for tokens in self._texts:
+            if tokens.size:
+                top = max(top, int(tokens.max()) + 1)
+        return top
+
+    def subset(self, num_texts: int) -> "InMemoryCorpus":
+        """A prefix corpus with the first ``num_texts`` texts (for size sweeps)."""
+        if num_texts < 0:
+            raise InvalidParameterError(f"num_texts must be >= 0, got {num_texts}")
+        return InMemoryCorpus(self._texts[:num_texts])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InMemoryCorpus(texts={len(self)}, tokens={self.total_tokens})"
+
+
+def corpus_nbytes(corpus: Corpus) -> int:
+    """Size of the corpus in bytes under the 4-byte-token convention."""
+    return corpus.total_tokens * TOKEN_DTYPE.itemsize

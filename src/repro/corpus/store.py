@@ -1,0 +1,134 @@
+"""On-disk tokenized corpus store.
+
+Large corpora (the paper's C4 / Pile case) do not fit in memory; the
+index builder streams them in batches.  The store uses three files in a
+directory:
+
+* ``tokens.bin`` — all token ids concatenated, little-endian ``uint32``
+  (the paper's "4-byte integer per token" convention);
+* ``offsets.npy`` — ``int64`` array of length ``num_texts + 1``; text
+  ``i`` occupies ``tokens[offsets[i] : offsets[i + 1]]``;
+* ``meta.json`` — format version and integrity numbers.
+
+Reads go through ``numpy.memmap``, so random access to a single text
+touches only its pages, and batch iteration is sequential I/O.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.corpus.corpus import TOKEN_DTYPE, Corpus, InMemoryCorpus
+from repro.exceptions import CorpusFormatError, InvalidParameterError
+
+_FORMAT_VERSION = 1
+_TOKENS_FILE = "tokens.bin"
+_OFFSETS_FILE = "offsets.npy"
+_META_FILE = "meta.json"
+
+
+def write_corpus(corpus: Corpus | Iterable[np.ndarray], directory: str | Path) -> Path:
+    """Write a corpus to ``directory`` in the store format.
+
+    Accepts any iterable of token arrays (so a generator can be spilled
+    without materializing the corpus in memory).  Returns the directory
+    path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    offsets = [0]
+    total = 0
+    with open(directory / _TOKENS_FILE, "wb") as handle:
+        for tokens in corpus:
+            array = np.ascontiguousarray(tokens, dtype=TOKEN_DTYPE)
+            array.tofile(handle)
+            total += array.size
+            offsets.append(total)
+    np.save(directory / _OFFSETS_FILE, np.asarray(offsets, dtype=np.int64))
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "num_texts": len(offsets) - 1,
+        "total_tokens": total,
+        "token_bytes": TOKEN_DTYPE.itemsize,
+    }
+    (directory / _META_FILE).write_text(json.dumps(meta))
+    return directory
+
+
+class DiskCorpus:
+    """Memory-mapped read access to a corpus written by :func:`write_corpus`."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self._directory = Path(directory)
+        meta_path = self._directory / _META_FILE
+        if not meta_path.exists():
+            raise CorpusFormatError(f"missing {_META_FILE} in {self._directory}")
+        meta = json.loads(meta_path.read_text())
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise CorpusFormatError(
+                f"unsupported corpus format version {meta.get('format_version')!r}"
+            )
+        self._offsets = np.load(self._directory / _OFFSETS_FILE)
+        tokens_path = self._directory / _TOKENS_FILE
+        expected_bytes = int(self._offsets[-1]) * TOKEN_DTYPE.itemsize
+        actual_bytes = tokens_path.stat().st_size
+        if actual_bytes != expected_bytes:
+            raise CorpusFormatError(
+                f"tokens.bin has {actual_bytes} bytes, expected {expected_bytes}"
+            )
+        if meta["num_texts"] != len(self._offsets) - 1:
+            raise CorpusFormatError("meta.json num_texts disagrees with offsets.npy")
+        self._total = int(self._offsets[-1])
+        if self._total > 0:
+            self._tokens = np.memmap(tokens_path, dtype=TOKEN_DTYPE, mode="r")
+        else:
+            self._tokens = np.empty(0, dtype=TOKEN_DTYPE)
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, text_id: int) -> np.ndarray:
+        if not 0 <= text_id < len(self):
+            raise IndexError(f"text id {text_id} out of range [0, {len(self)})")
+        lo, hi = int(self._offsets[text_id]), int(self._offsets[text_id + 1])
+        return np.asarray(self._tokens[lo:hi])
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for text_id in range(len(self)):
+            yield self[text_id]
+
+    @property
+    def total_tokens(self) -> int:
+        return self._total
+
+    def iter_batches(self, batch_size: int) -> Iterator[list[tuple[int, np.ndarray]]]:
+        """Yield ``(text_id, tokens)`` batches of at most ``batch_size`` texts.
+
+        Each batch is copied out of the memory map so callers may hold
+        it after the next batch is produced.
+        """
+        if batch_size <= 0:
+            raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
+        batch: list[tuple[int, np.ndarray]] = []
+        for text_id in range(len(self)):
+            batch.append((text_id, np.array(self[text_id])))
+            if len(batch) == batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def to_memory(self) -> InMemoryCorpus:
+        """Load the whole corpus into an :class:`InMemoryCorpus`."""
+        return InMemoryCorpus([np.array(text) for text in self])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiskCorpus({str(self._directory)!r}, texts={len(self)}, tokens={self.total_tokens})"

@@ -1,0 +1,13 @@
+"""Corpus near-deduplication built on the search engine."""
+
+from repro.dedup.clusters import DuplicateCluster, UnionFind, build_clusters
+from repro.dedup.pipeline import DedupReport, deduplicate, find_duplicate_clusters
+
+__all__ = [
+    "DedupReport",
+    "DuplicateCluster",
+    "UnionFind",
+    "build_clusters",
+    "deduplicate",
+    "find_duplicate_clusters",
+]

@@ -1,0 +1,88 @@
+"""Union-find clustering of near-duplicate span occurrences.
+
+Corpus deduplication groups mutually-similar span occurrences into
+clusters, then keeps one representative per cluster.  A disjoint-set
+forest with union by rank and path compression keeps the grouping
+near-linear in the number of discovered pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.verify import Span
+
+
+class UnionFind:
+    """Disjoint-set forest over dense integer ids."""
+
+    def __init__(self, size: int) -> None:
+        self._parent = list(range(size))
+        self._rank = [0] * size
+
+    def find(self, item: int) -> int:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns False if already merged."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return True
+
+    def groups(self) -> dict[int, list[int]]:
+        """Root -> member list for every set."""
+        out: dict[int, list[int]] = {}
+        for item in range(len(self._parent)):
+            out.setdefault(self.find(item), []).append(item)
+        return out
+
+
+@dataclass(frozen=True)
+class DuplicateCluster:
+    """A group of mutually near-duplicate span occurrences."""
+
+    members: tuple[Span, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def representative(self) -> Span:
+        """The member to keep: the longest span, earliest position on ties."""
+        return max(
+            self.members,
+            key=lambda s: (s.length, -s.text_id, -s.start),
+        )
+
+    def redundant(self) -> list[Span]:
+        """Every member except the representative (the spans to drop)."""
+        keep = self.representative
+        return [span for span in self.members if span != keep]
+
+
+def build_clusters(spans: list[Span], pairs: list[tuple[int, int]]) -> list[DuplicateCluster]:
+    """Cluster spans (by index) given the discovered similar pairs."""
+    forest = UnionFind(len(spans))
+    for a, b in pairs:
+        forest.union(a, b)
+    clusters = []
+    for members in forest.groups().values():
+        if len(members) >= 2:
+            clusters.append(
+                DuplicateCluster(tuple(spans[m] for m in sorted(members)))
+            )
+    clusters.sort(key=lambda c: -c.size)
+    return clusters

@@ -1,0 +1,225 @@
+"""High-level facade: corpus + tokenizer + index + searcher in one object.
+
+Everything in :mod:`repro` composes from small parts; this module is
+the one-stop entry point a downstream user adopts:
+
+>>> from repro.engine import NearDupEngine
+>>> engine = NearDupEngine.from_texts(["some documents", ...], k=32, t=25)
+>>> for hit in engine.search("a passage to look up", theta=0.8):
+...     print(hit.text_id, hit.snippet)
+
+The engine owns a BPE tokenizer (trained at build time), the tokenized
+corpus, the inverted index, and a searcher; :meth:`save` / :meth:`load`
+persist all of it as one directory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher, SearchResult
+from repro.corpus.corpus import Corpus, InMemoryCorpus
+from repro.corpus.store import DiskCorpus, write_corpus
+from repro.exceptions import InvalidParameterError
+from repro.index.builder import build_memory_index
+from repro.index.storage import DiskInvertedIndex, write_index
+from repro.tokenizer.bpe import BPETokenizer
+
+_META_FILE = "engine.meta.json"
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Hit:
+    """One merged near-duplicate region, decoded when possible."""
+
+    text_id: int
+    start: int
+    end: int
+    snippet: str | None
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start + 1
+
+
+class NearDupEngine:
+    """Build once, search with strings or token arrays.
+
+    Construct via :meth:`from_texts` (raw strings; trains a tokenizer)
+    or :meth:`from_corpus` (pre-tokenized).  The underlying parts stay
+    reachable (``engine.index``, ``engine.searcher``, ``engine.corpus``,
+    ``engine.tokenizer``) for anything the facade does not cover.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        index,
+        *,
+        tokenizer: BPETokenizer | None = None,
+    ) -> None:
+        self.corpus = corpus
+        self.index = index
+        self.tokenizer = tokenizer
+        self.searcher = NearDuplicateSearcher(index, corpus=corpus)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_texts(
+        cls,
+        texts: Iterable[str],
+        *,
+        k: int = 32,
+        t: int = 25,
+        vocab_size: int = 4096,
+        seed: int = 0,
+    ) -> "NearDupEngine":
+        """Train a BPE tokenizer on ``texts``, tokenize, and index."""
+        materialized = list(texts)
+        if not materialized:
+            raise InvalidParameterError("at least one text is required")
+        tokenizer = BPETokenizer.train(materialized, vocab_size=vocab_size)
+        corpus = InMemoryCorpus([tokenizer.encode(text) for text in materialized])
+        family = HashFamily(k=k, seed=seed)
+        index = build_memory_index(
+            corpus, family, t, vocab_size=tokenizer.vocab_size
+        )
+        return cls(corpus, index, tokenizer=tokenizer)
+
+    @classmethod
+    def from_corpus(
+        cls,
+        corpus: Corpus,
+        *,
+        k: int = 32,
+        t: int = 25,
+        vocab_size: int | None = None,
+        seed: int = 0,
+        tokenizer: BPETokenizer | None = None,
+    ) -> "NearDupEngine":
+        """Index a pre-tokenized corpus (token-id queries only, unless a
+        tokenizer is supplied)."""
+        family = HashFamily(k=k, seed=seed)
+        index = build_memory_index(corpus, family, t, vocab_size=vocab_size)
+        return cls(corpus, index, tokenizer=tokenizer)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _as_tokens(self, query: str | Sequence[int] | np.ndarray) -> np.ndarray:
+        if isinstance(query, str):
+            if self.tokenizer is None:
+                raise InvalidParameterError(
+                    "string queries need a tokenizer; build with from_texts "
+                    "or pass tokenizer= explicitly"
+                )
+            return self.tokenizer.encode(query)
+        return np.asarray(query, dtype=np.uint32)
+
+    def search(
+        self,
+        query: str | Sequence[int] | np.ndarray,
+        theta: float = 0.8,
+        *,
+        verify: bool = False,
+        snippet_tokens: int = 40,
+    ) -> list[Hit]:
+        """Find near-duplicate regions; returns merged, decoded hits."""
+        result = self.searcher.search(self._as_tokens(query), theta, verify=verify)
+        return self._to_hits(result, snippet_tokens)
+
+    def search_raw(
+        self, query: str | Sequence[int] | np.ndarray, theta: float = 0.8, **kwargs
+    ) -> SearchResult:
+        """The full :class:`SearchResult` for callers that need rectangles."""
+        return self.searcher.search(self._as_tokens(query), theta, **kwargs)
+
+    def contains_near_duplicate(
+        self, query: str | Sequence[int] | np.ndarray, theta: float = 0.8
+    ) -> bool:
+        """Fast existence check (early-exits on the first match)."""
+        result = self.searcher.search(
+            self._as_tokens(query), theta, first_match_only=True
+        )
+        return bool(result.matches)
+
+    def _to_hits(self, result: SearchResult, snippet_tokens: int) -> list[Hit]:
+        hits = []
+        for span in result.merged_spans():
+            snippet = None
+            if self.tokenizer is not None:
+                tokens = np.asarray(self.corpus[span.text_id])[
+                    span.start : span.start + min(span.length, snippet_tokens)
+                ]
+                snippet = self.tokenizer.decode(tokens)
+            hits.append(
+                Hit(
+                    text_id=span.text_id,
+                    start=span.start,
+                    end=span.end,
+                    snippet=snippet,
+                )
+            )
+        return hits
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path) -> Path:
+        """Persist corpus, index, and tokenizer as one directory."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        write_corpus(self.corpus, directory / "corpus")
+        if hasattr(self.index, "iter_lists"):
+            write_index(self.index, directory / "index")
+        else:  # already an on-disk reader: materialize a copy
+            write_index(self.index.to_memory(), directory / "index")
+        meta = {"format_version": _FORMAT_VERSION, "has_tokenizer": False}
+        if self.tokenizer is not None:
+            self.tokenizer.save(directory / "tokenizer.json")
+            meta["has_tokenizer"] = True
+        (directory / _META_FILE).write_text(json.dumps(meta))
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "NearDupEngine":
+        """Re-open an engine saved by :meth:`save` (memory-mapped)."""
+        directory = Path(directory)
+        meta_path = directory / _META_FILE
+        if not meta_path.exists():
+            raise InvalidParameterError(f"{directory} is not a saved engine")
+        meta = json.loads(meta_path.read_text())
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise InvalidParameterError(
+                f"unsupported engine format {meta.get('format_version')!r}"
+            )
+        corpus = DiskCorpus(directory / "corpus")
+        index = DiskInvertedIndex(directory / "index")
+        tokenizer = None
+        if meta.get("has_tokenizer"):
+            tokenizer = BPETokenizer.load(directory / "tokenizer.json")
+        return cls(corpus, index, tokenizer=tokenizer)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_texts(self) -> int:
+        return len(self.corpus)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.corpus.total_tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NearDupEngine(texts={self.num_texts}, tokens={self.total_tokens}, "
+            f"k={self.index.family.k}, t={self.index.t})"
+        )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is out of its valid domain.
+
+    Examples: a non-positive length threshold ``t``, a similarity
+    threshold outside ``(0, 1]``, or ``k <= 0`` hash functions.
+    """
+
+
+class CorpusFormatError(ReproError):
+    """An on-disk corpus file is malformed or truncated."""
+
+
+class IndexFormatError(ReproError):
+    """An on-disk inverted index file is malformed or incompatible."""
+
+
+class TokenizerError(ReproError):
+    """BPE tokenizer training or encoding failed."""
+
+
+class QueryError(ReproError):
+    """A query sequence cannot be processed (e.g. shorter than ``t``)."""

@@ -1,0 +1,72 @@
+"""Inverted indexes over compact windows: structures, builders, storage."""
+
+from repro.index.builder import BuildStats, build_and_write_index, build_memory_index
+from repro.index.cache import CachedIndexReader
+from repro.index.costmodel import (
+    CostEstimate,
+    CostModelSearcher,
+    PrefixPlan,
+    estimate_cost,
+    plan_prefix,
+)
+from repro.index.external import (
+    ExternalBuildConfig,
+    build_external_index,
+)
+from repro.index.incremental import IncrementalIndex
+from repro.index.merge import merge_disk_indexes
+from repro.index.inverted import (
+    InvertedIndexReader,
+    IOStats,
+    ListLengthProfile,
+    MemoryInvertedIndex,
+    POSTING_BYTES,
+    POSTING_DTYPE,
+)
+from repro.index.parallel import build_memory_index_parallel
+from repro.index.sharded import Shard, ShardedIndex, ShardedSearcher
+from repro.index.stats import (
+    IndexSummary,
+    all_list_lengths,
+    cutoff_for_top_fraction,
+    zipf_tail_report,
+)
+from repro.index.storage import DiskInvertedIndex, write_index
+from repro.index.validate import ValidationReport, validate_index
+from repro.index.zonemap import ZoneMap, build_zone_map
+
+__all__ = [
+    "BuildStats",
+    "CachedIndexReader",
+    "CostEstimate",
+    "CostModelSearcher",
+    "DiskInvertedIndex",
+    "ExternalBuildConfig",
+    "IncrementalIndex",
+    "PrefixPlan",
+    "Shard",
+    "ShardedIndex",
+    "ShardedSearcher",
+    "ValidationReport",
+    "validate_index",
+    "IOStats",
+    "IndexSummary",
+    "InvertedIndexReader",
+    "ListLengthProfile",
+    "MemoryInvertedIndex",
+    "POSTING_BYTES",
+    "POSTING_DTYPE",
+    "ZoneMap",
+    "all_list_lengths",
+    "build_and_write_index",
+    "build_external_index",
+    "build_memory_index",
+    "build_memory_index_parallel",
+    "build_zone_map",
+    "cutoff_for_top_fraction",
+    "estimate_cost",
+    "merge_disk_indexes",
+    "plan_prefix",
+    "write_index",
+    "zipf_tail_report",
+]

@@ -1,0 +1,228 @@
+"""Incremental index maintenance: append new texts to an existing index.
+
+LLM training corpora grow over time (new crawl snapshots); rebuilding
+the full inverted index for every addition wastes the work already
+done.  :class:`IncrementalIndex` keeps a *main* index (any reader) plus
+an in-memory *delta* of freshly-appended texts, answering queries over
+the union.  When the delta grows past a threshold it is merged into a
+new consolidated main index.
+
+This follows the classic main+delta design of log-structured search
+indexes; correctness is trivial because compact windows of different
+texts never interact — the union of the two indexes' lists is exactly
+the list an offline build over the union corpus would produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hashing import HashFamily
+from repro.exceptions import InvalidParameterError
+from repro.index.builder import generate_corpus_postings
+from repro.index.inverted import IOStats, MemoryInvertedIndex, POSTING_DTYPE
+
+
+class IncrementalIndex:
+    """Main + delta inverted index with query-time union.
+
+    Parameters
+    ----------
+    main:
+        The existing index (memory or disk reader).
+    vocab_size:
+        Token-id space; must cover all future appends.
+    merge_threshold:
+        Delta posting count that triggers an automatic consolidation
+        into a fresh in-memory main index.
+    """
+
+    def __init__(
+        self,
+        main,
+        vocab_size: int,
+        *,
+        merge_threshold: int = 1_000_000,
+    ) -> None:
+        if merge_threshold <= 0:
+            raise InvalidParameterError("merge_threshold must be positive")
+        self.family: HashFamily = main.family
+        self.t: int = main.t
+        self._main = main
+        self._vocab_size = int(vocab_size)
+        self._vocab_hashes = self.family.hash_vocabulary(self._vocab_size)
+        self._merge_threshold = int(merge_threshold)
+        self._next_text_id = self._infer_next_text_id(main)
+        self._delta_chunks: list[list[tuple[np.ndarray, np.ndarray]]] = []
+        self._delta: MemoryInvertedIndex | None = None
+        self._delta_postings = 0
+        self.io_stats: IOStats = main.io_stats
+        self.merges = 0
+
+    @staticmethod
+    def _infer_next_text_id(index) -> int:
+        """Largest text id present in the index, plus one.
+
+        Scanning hash function 0 suffices: every indexed text has at
+        least one window under *every* function.  (Texts shorter than
+        ``t`` have no windows anywhere and therefore no reserved id.)
+        """
+        top = -1
+        for _, postings in _iter_all_lists(index, func=0):
+            if postings.size:
+                top = max(top, int(postings["text"].max()))
+        return top + 1
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append_text(self, tokens: np.ndarray) -> int:
+        """Index one new text; returns its assigned text id."""
+        return self.append_texts([tokens])[0]
+
+    def append_texts(self, texts: list[np.ndarray]) -> list[int]:
+        """Index a batch of new texts; returns their assigned text ids."""
+        ids = []
+        batch = []
+        for tokens in texts:
+            tokens = np.asarray(tokens)
+            if tokens.size and int(tokens.max()) >= self._vocab_size:
+                raise InvalidParameterError(
+                    f"token id {int(tokens.max())} outside vocab {self._vocab_size}"
+                )
+            text_id = self._next_text_id
+            self._next_text_id += 1
+            ids.append(text_id)
+            batch.append((text_id, tokens))
+        per_func = generate_corpus_postings(
+            batch, self.family, self.t, self._vocab_hashes
+        )
+        self._delta_chunks.append(per_func)
+        self._delta_postings += sum(p.size for _, p in per_func)
+        self._delta = None  # rebuilt lazily on next read
+        if self._delta_postings >= self._merge_threshold:
+            self.consolidate()
+        return ids
+
+    def _delta_index(self) -> MemoryInvertedIndex | None:
+        if not self._delta_chunks:
+            return None
+        if self._delta is None:
+            per_func: list[tuple[list[np.ndarray], list[np.ndarray]]] = [
+                ([], []) for _ in range(self.family.k)
+            ]
+            for chunk in self._delta_chunks:
+                for func, (minhashes, postings) in enumerate(chunk):
+                    if postings.size:
+                        per_func[func][0].append(minhashes)
+                        per_func[func][1].append(postings)
+            merged = []
+            for minhash_chunks, posting_chunks in per_func:
+                if minhash_chunks:
+                    merged.append(
+                        (np.concatenate(minhash_chunks), np.concatenate(posting_chunks))
+                    )
+                else:
+                    merged.append(
+                        (np.empty(0, dtype=np.uint32), np.empty(0, dtype=POSTING_DTYPE))
+                    )
+            self._delta = MemoryInvertedIndex.from_postings(
+                self.family, self.t, merged
+            )
+        return self._delta
+
+    def consolidate(self) -> None:
+        """Merge the delta into a fresh in-memory main index."""
+        delta = self._delta_index()
+        if delta is None:
+            return
+        per_func = []
+        for func in range(self.family.k):
+            minhash_chunks = []
+            posting_chunks = []
+            for source in (self._main, delta):
+                for minhash, postings in _iter_all_lists(source, func):
+                    minhash_chunks.append(
+                        np.full(postings.size, minhash, dtype=np.uint32)
+                    )
+                    posting_chunks.append(np.asarray(postings))
+            if minhash_chunks:
+                per_func.append(
+                    (np.concatenate(minhash_chunks), np.concatenate(posting_chunks))
+                )
+            else:
+                per_func.append(
+                    (np.empty(0, dtype=np.uint32), np.empty(0, dtype=POSTING_DTYPE))
+                )
+        self._main = MemoryInvertedIndex.from_postings(self.family, self.t, per_func)
+        self.io_stats = self._main.io_stats
+        self._delta_chunks.clear()
+        self._delta = None
+        self._delta_postings = 0
+        self.merges += 1
+
+    # ------------------------------------------------------------------
+    # Reader protocol (union of main + delta)
+    # ------------------------------------------------------------------
+    def list_length(self, func: int, minhash: int) -> int:
+        total = self._main.list_length(func, minhash)
+        delta = self._delta_index()
+        if delta is not None:
+            total += delta.list_length(func, minhash)
+        return total
+
+    def load_list(self, func: int, minhash: int) -> np.ndarray:
+        main_part = self._main.load_list(func, minhash)
+        delta = self._delta_index()
+        if delta is None:
+            return main_part
+        delta_part = delta.load_list(func, minhash)
+        if not delta_part.size:
+            return main_part
+        if not main_part.size:
+            return delta_part
+        # Delta text ids are strictly larger, so concatenation stays
+        # sorted by text id (the query processor relies on it).
+        return np.concatenate([main_part, delta_part])
+
+    def load_text_windows(self, func: int, minhash: int, text_id: int) -> np.ndarray:
+        delta = self._delta_index()
+        parts = [self._main.load_text_windows(func, minhash, text_id)]
+        if delta is not None:
+            parts.append(delta.load_text_windows(func, minhash, text_id))
+        parts = [p for p in parts if p.size]
+        if not parts:
+            return np.empty(0, dtype=POSTING_DTYPE)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_postings(self) -> int:
+        return int(self._main.num_postings) + self._delta_postings
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_postings * POSTING_DTYPE.itemsize
+
+    def list_lengths(self, func: int) -> np.ndarray:
+        lengths = [np.asarray(self._main.list_lengths(func), dtype=np.int64)]
+        delta = self._delta_index()
+        if delta is not None:
+            lengths.append(np.asarray(delta.list_lengths(func), dtype=np.int64))
+        return np.concatenate(lengths) if lengths else np.empty(0, dtype=np.int64)
+
+    @property
+    def delta_postings(self) -> int:
+        return self._delta_postings
+
+
+def _iter_all_lists(index, func: int):
+    """Yield (minhash, postings) for every list of one function of any reader."""
+    if hasattr(index, "iter_lists"):
+        yield from index.iter_lists(func)
+        return
+    keys = getattr(index, "_keys", None)
+    if keys is None:
+        raise InvalidParameterError("index does not expose its lists for merging")
+    for minhash in keys[func]:
+        yield int(minhash), index.load_list(func, int(minhash))

@@ -1,0 +1,259 @@
+"""Inverted-index structures over compact windows (paper Section 3.4).
+
+The index consists of ``k`` logical inverted indexes, one per hash
+function.  In index ``i``, all compact windows whose min-hash under
+``f_i`` equals ``h`` form the inverted list ``I_i[h]``, ordered by text
+identifier.  A posting is the 16-byte record ``(text, left, center,
+right)`` — the hash function is implicit in which index the list
+belongs to, exactly as the paper notes.
+
+Both the in-memory and the on-disk index expose the same directory
+layout (sorted key array + offset array + concatenated postings), so
+query processing is a single code path; the disk variant merely adds
+I/O accounting and zone-map assisted point lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.hashing import HashFamily
+from repro.exceptions import InvalidParameterError
+
+#: One posting: the compact window ``(l, c, r)`` of text ``text``.
+POSTING_DTYPE = np.dtype(
+    [
+        ("text", np.uint32),
+        ("left", np.uint32),
+        ("center", np.uint32),
+        ("right", np.uint32),
+    ]
+)
+
+#: Bytes per posting record.
+POSTING_BYTES = POSTING_DTYPE.itemsize
+
+
+@dataclass
+class IOStats:
+    """Byte/call accounting for inverted-list reads.
+
+    The paper's Figure 3 splits query latency into an I/O part and a
+    CPU part; searchers read these counters to reproduce that split.
+    """
+
+    bytes_read: int = 0
+    read_calls: int = 0
+    seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.bytes_read = 0
+        self.read_calls = 0
+        self.seconds = 0.0
+
+    def add(self, nbytes: int, seconds: float = 0.0) -> None:
+        self.bytes_read += int(nbytes)
+        self.read_calls += 1
+        self.seconds += seconds
+
+
+@runtime_checkable
+class InvertedIndexReader(Protocol):
+    """Read interface shared by memory and disk indexes."""
+
+    family: HashFamily
+    t: int
+    io_stats: IOStats
+
+    def list_length(self, func: int, minhash: int) -> int:
+        """Number of postings in list ``I_func[minhash]`` (0 if absent)."""
+        ...
+
+    def load_list(self, func: int, minhash: int) -> np.ndarray:
+        """The full inverted list, a :data:`POSTING_DTYPE` array sorted by text."""
+        ...
+
+    def load_text_windows(self, func: int, minhash: int, text_id: int) -> np.ndarray:
+        """Only the postings of ``text_id`` within one list (zone-map path)."""
+        ...
+
+
+class _Directory:
+    """Sorted (key -> payload slice) directory for one hash function."""
+
+    __slots__ = ("keys", "offsets", "counts")
+
+    def __init__(self, keys: np.ndarray, offsets: np.ndarray, counts: np.ndarray) -> None:
+        self.keys = keys
+        self.offsets = offsets
+        self.counts = counts
+
+    def find(self, minhash: int) -> int:
+        """Directory slot of ``minhash`` or ``-1`` when absent."""
+        pos = int(np.searchsorted(self.keys, minhash))
+        if pos < self.keys.size and int(self.keys[pos]) == int(minhash):
+            return pos
+        return -1
+
+
+class MemoryInvertedIndex:
+    """All ``k`` inverted indexes held in memory (paper's medium-scale path).
+
+    Construct via :func:`repro.index.builder.build_memory_index`; the
+    raw constructor takes pre-grouped arrays.
+    """
+
+    def __init__(
+        self,
+        family: HashFamily,
+        t: int,
+        directories: list[_Directory],
+        payload: np.ndarray,
+    ) -> None:
+        if t < 1:
+            raise InvalidParameterError(f"t must be >= 1, got {t}")
+        if len(directories) != family.k:
+            raise InvalidParameterError("one directory per hash function is required")
+        if payload.dtype != POSTING_DTYPE:
+            raise InvalidParameterError("payload must use POSTING_DTYPE")
+        self.family = family
+        self.t = int(t)
+        self._directories = directories
+        self._payload = payload
+        self.io_stats = IOStats()
+
+    # -- construction helper ------------------------------------------------
+    @classmethod
+    def from_postings(
+        cls,
+        family: HashFamily,
+        t: int,
+        per_func_postings: list[tuple[np.ndarray, np.ndarray]],
+    ) -> "MemoryInvertedIndex":
+        """Build from per-function ``(minhash_array, posting_array)`` pairs.
+
+        Postings are sorted by ``(minhash, text)`` and grouped into
+        inverted lists here; builders only need to emit flat arrays.
+        """
+        directories: list[_Directory] = []
+        chunks: list[np.ndarray] = []
+        base = 0
+        for minhashes, postings in per_func_postings:
+            if minhashes.size != postings.size:
+                raise InvalidParameterError("minhash and posting arrays must align")
+            order = np.lexsort((postings["text"], minhashes))
+            minhashes = minhashes[order]
+            postings = postings[order]
+            keys, starts, counts = np.unique(minhashes, return_index=True, return_counts=True)
+            directories.append(
+                _Directory(
+                    keys.astype(np.uint32),
+                    (starts + base).astype(np.uint64),
+                    counts.astype(np.uint32),
+                )
+            )
+            chunks.append(postings)
+            base += postings.size
+        payload = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=POSTING_DTYPE)
+        )
+        return cls(family, t, directories, payload)
+
+    # -- reader protocol ------------------------------------------------
+    def list_length(self, func: int, minhash: int) -> int:
+        slot = self._directories[func].find(minhash)
+        if slot < 0:
+            return 0
+        return int(self._directories[func].counts[slot])
+
+    def load_list(self, func: int, minhash: int) -> np.ndarray:
+        directory = self._directories[func]
+        slot = directory.find(minhash)
+        if slot < 0:
+            return np.empty(0, dtype=POSTING_DTYPE)
+        start = int(directory.offsets[slot])
+        count = int(directory.counts[slot])
+        self.io_stats.add(count * POSTING_BYTES)
+        return self._payload[start : start + count]
+
+    def load_text_windows(self, func: int, minhash: int, text_id: int) -> np.ndarray:
+        directory = self._directories[func]
+        slot = directory.find(minhash)
+        if slot < 0:
+            return np.empty(0, dtype=POSTING_DTYPE)
+        start = int(directory.offsets[slot])
+        count = int(directory.counts[slot])
+        chunk = self._payload[start : start + count]
+        lo = int(np.searchsorted(chunk["text"], text_id, side="left"))
+        hi = int(np.searchsorted(chunk["text"], text_id, side="right"))
+        self.io_stats.add(max(hi - lo, 0) * POSTING_BYTES)
+        return chunk[lo:hi]
+
+    # -- introspection ------------------------------------------------
+    @property
+    def num_postings(self) -> int:
+        """Total number of compact windows stored across all ``k`` indexes."""
+        return int(self._payload.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (the paper's index-size metric)."""
+        return self.num_postings * POSTING_BYTES
+
+    def list_lengths(self, func: int) -> np.ndarray:
+        """Lengths of every inverted list of one hash function."""
+        return np.asarray(self._directories[func].counts)
+
+    def iter_lists(self, func: int) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(minhash, postings)`` for every list of one function."""
+        directory = self._directories[func]
+        for slot in range(directory.keys.size):
+            start = int(directory.offsets[slot])
+            count = int(directory.counts[slot])
+            yield int(directory.keys[slot]), self._payload[start : start + count]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryInvertedIndex(k={self.family.k}, t={self.t}, "
+            f"postings={self.num_postings})"
+        )
+
+
+@dataclass
+class ListLengthProfile:
+    """Distribution of inverted-list lengths, for prefix-filter cutoffs."""
+
+    lengths: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def from_index(cls, index: MemoryInvertedIndex) -> "ListLengthProfile":
+        parts = [index.list_lengths(func) for func in range(index.family.k)]
+        lengths = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        return cls(np.sort(lengths.astype(np.int64)))
+
+    def cutoff_for_fraction(self, fraction: float) -> int:
+        """List-length cutoff such that ~``fraction`` of postings lie in longer lists.
+
+        Mirrors the paper's "5% .. 20% most frequent tokens" prefix
+        lengths: returns the smallest length ``L`` such that lists with
+        length > ``L`` together hold at most ``fraction`` of all
+        postings.
+        """
+        if not 0.0 <= fraction < 1.0:
+            raise InvalidParameterError(f"fraction must be in [0, 1), got {fraction}")
+        if self.lengths.size == 0:
+            return 0
+        total = int(self.lengths.sum())
+        if total == 0:
+            return 0
+        suffix = np.cumsum(self.lengths[::-1])[::-1]  # postings in lists >= each rank
+        allowed = fraction * total
+        # Walk from the longest list down until the mass of longer lists
+        # would exceed the allowed fraction.
+        for rank in range(self.lengths.size - 1, -1, -1):
+            if suffix[rank] > allowed:
+                return int(self.lengths[rank])
+        return 0

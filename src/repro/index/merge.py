@@ -1,0 +1,104 @@
+"""Merging independently-built on-disk indexes.
+
+The distributed version of the paper's build: each worker machine
+indexes its own corpus partition (texts re-numbered locally), ships the
+index directory, and a coordinator merges them into one searchable
+index.  Because compact windows of different texts never interact, the
+merge is a per-key concatenation — the inverted list of min-hash ``h``
+in the merged index is the concatenation of the partitions' lists with
+text ids shifted by each partition's base offset.
+
+The merged output is byte-compatible with
+:func:`repro.index.storage.write_index` output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import IndexFormatError, InvalidParameterError
+from repro.index.inverted import POSTING_DTYPE
+from repro.index.storage import DiskInvertedIndex, _IndexWriter
+
+
+def merge_disk_indexes(
+    sources: list[str | Path],
+    destination: str | Path,
+    *,
+    text_offsets: list[int] | None = None,
+) -> Path:
+    """Merge on-disk indexes built over disjoint corpus partitions.
+
+    Parameters
+    ----------
+    sources:
+        Index directories, in partition order.
+    destination:
+        Output index directory.
+    text_offsets:
+        Global text id of each partition's text 0.  Defaults to the
+        cumulative text counts inferred from the partitions themselves
+        (max text id + 1 per partition), which is correct when each
+        partition indexed a contiguous corpus slice starting at local
+        id 0 and every text produced at least one window.
+
+    All sources must share the same hash family and length threshold
+    ``t`` (otherwise their lists are incomparable).
+    """
+    if not sources:
+        raise InvalidParameterError("at least one source index is required")
+    readers = [DiskInvertedIndex(path) for path in sources]
+    family = readers[0].family
+    t = readers[0].t
+    for reader in readers[1:]:
+        if reader.family != family:
+            raise IndexFormatError("source indexes use different hash families")
+        if reader.t != t:
+            raise IndexFormatError("source indexes use different length thresholds")
+
+    if text_offsets is None:
+        text_offsets = []
+        base = 0
+        for reader in readers:
+            text_offsets.append(base)
+            base += _num_texts(reader)
+    if len(text_offsets) != len(readers):
+        raise InvalidParameterError("one text offset per source index is required")
+
+    writer = _IndexWriter(destination, family, t)
+    for func in range(family.k):
+        # Union of this function's keys across all partitions.
+        all_keys = np.unique(
+            np.concatenate([reader._keys[func] for reader in readers])
+            if readers
+            else np.empty(0, dtype=np.uint32)
+        )
+        for minhash in all_keys:
+            chunks = []
+            for reader, offset in zip(readers, text_offsets):
+                postings = reader.load_list(func, int(minhash))
+                if postings.size:
+                    shifted = np.array(postings)
+                    shifted["text"] = shifted["text"] + np.uint32(offset)
+                    chunks.append(shifted)
+            merged = (
+                np.concatenate(chunks) if chunks else np.empty(0, dtype=POSTING_DTYPE)
+            )
+            if merged.size:
+                # Partitions are in ascending text order and internally
+                # sorted, so concatenation preserves the sort invariant.
+                writer.write_list(func, int(minhash), merged)
+    writer.close()
+    return Path(destination)
+
+
+def _num_texts(reader: DiskInvertedIndex) -> int:
+    """Texts in a partition: max text id over function 0's lists, plus 1."""
+    top = -1
+    for minhash in reader._keys[0]:
+        postings = reader.load_list(0, int(minhash))
+        if postings.size:
+            top = max(top, int(postings["text"].max()))
+    return top + 1

@@ -1,0 +1,107 @@
+"""Parallel index construction (paper Section 3.4, last paragraph).
+
+The paper parallelizes the build by assigning each thread a batch of
+texts and a private memory space for the generated compact windows,
+merging the private buffers at the end.  Python threads cannot speed up
+the CPU-bound window generation, so the reproduction uses worker
+*processes*: each worker owns a private buffer of postings for its
+batches (the private memory space), ships it back to the parent, and
+the parent merges all buffers into the final index.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.core.hashing import HashFamily
+from repro.corpus.corpus import Corpus
+from repro.exceptions import InvalidParameterError
+from repro.index.builder import generate_corpus_postings
+from repro.index.inverted import MemoryInvertedIndex, POSTING_DTYPE
+
+_WORKER_FAMILY: HashFamily | None = None
+_WORKER_VOCAB_HASHES: np.ndarray | None = None
+_WORKER_T: int = 0
+
+
+def _init_worker(family_payload: dict, t: int, vocab_size: int) -> None:
+    """Build per-process state once instead of per batch."""
+    from repro.index.builder import MAX_VOCAB_TABLE
+
+    global _WORKER_FAMILY, _WORKER_VOCAB_HASHES, _WORKER_T
+    _WORKER_FAMILY = HashFamily.from_dict(family_payload)
+    _WORKER_VOCAB_HASHES = (
+        _WORKER_FAMILY.hash_vocabulary(vocab_size)
+        if vocab_size <= MAX_VOCAB_TABLE
+        else None
+    )
+    _WORKER_T = t
+
+
+def _process_batch(
+    batch: list[tuple[int, np.ndarray]]
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    assert _WORKER_FAMILY is not None
+    return generate_corpus_postings(batch, _WORKER_FAMILY, _WORKER_T, _WORKER_VOCAB_HASHES)
+
+
+def build_memory_index_parallel(
+    corpus: Corpus,
+    family: HashFamily,
+    t: int,
+    *,
+    vocab_size: int | None = None,
+    workers: int = 2,
+    batch_texts: int = 128,
+) -> MemoryInvertedIndex:
+    """Multi-process variant of :func:`repro.index.builder.build_memory_index`.
+
+    Produces an index identical to the sequential build (the merge is
+    order-insensitive because lists are re-sorted by ``(minhash,
+    text)``).
+    """
+    if workers <= 0:
+        raise InvalidParameterError(f"workers must be positive, got {workers}")
+    if batch_texts <= 0:
+        raise InvalidParameterError(f"batch_texts must be positive, got {batch_texts}")
+    if vocab_size is None:
+        vocab_size = max(
+            (int(text.max()) + 1 for text in corpus if text.size), default=1
+        )
+    batches: list[list[tuple[int, np.ndarray]]] = []
+    current: list[tuple[int, np.ndarray]] = []
+    for text_id in range(len(corpus)):
+        current.append((text_id, np.asarray(corpus[text_id])))
+        if len(current) == batch_texts:
+            batches.append(current)
+            current = []
+    if current:
+        batches.append(current)
+
+    per_func_chunks: list[tuple[list[np.ndarray], list[np.ndarray]]] = [
+        ([], []) for _ in range(family.k)
+    ]
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(family.to_dict(), t, vocab_size),
+    ) as pool:
+        for result in pool.map(_process_batch, batches):
+            for func, (minhashes, postings) in enumerate(result):
+                if postings.size:
+                    per_func_chunks[func][0].append(minhashes)
+                    per_func_chunks[func][1].append(postings)
+
+    per_func = []
+    for minhash_chunks, posting_chunks in per_func_chunks:
+        if minhash_chunks:
+            per_func.append(
+                (np.concatenate(minhash_chunks), np.concatenate(posting_chunks))
+            )
+        else:
+            per_func.append(
+                (np.empty(0, dtype=np.uint32), np.empty(0, dtype=POSTING_DTYPE))
+            )
+    return MemoryInvertedIndex.from_postings(family, t, per_func)

@@ -1,0 +1,153 @@
+"""Sharded index: partition the corpus, query the shards, merge.
+
+The paper scales index *construction* with per-thread private buffers
+(Section 3.4); scaling the *index itself* beyond one machine's memory
+or disk follows the same pattern — partition the corpus into shards of
+contiguous text-id ranges, build an independent index per shard, and
+fan every query out to all shards.  Compact windows never cross texts,
+so the union of per-shard answers is exactly the single-index answer.
+
+:class:`ShardedIndex` also implements the reader protocol, so a single
+:class:`~repro.core.search.NearDuplicateSearcher` *could* run over it;
+but fanning out one searcher per shard keeps per-shard prefix filtering
+local (each shard has its own Zipf head), which is what
+:class:`ShardedSearcher` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hashing import HashFamily
+from repro.corpus.corpus import Corpus, InMemoryCorpus
+from repro.exceptions import InvalidParameterError
+from repro.index.builder import build_memory_index
+
+# NOTE: repro.core.search imports repro.index.inverted, whose package
+# __init__ imports this module — so the searcher types are imported
+# lazily inside ShardedSearcher to break the cycle.
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One shard: an index over texts ``[first_text, first_text + count)``.
+
+    The shard's index numbers texts locally from 0; ``first_text``
+    translates back to global corpus ids.
+    """
+
+    first_text: int
+    count: int
+    index: object  # any InvertedIndexReader
+
+
+class ShardedIndex:
+    """A corpus index split into contiguous text-id shards."""
+
+    def __init__(self, shards: list[Shard], family: HashFamily, t: int) -> None:
+        if not shards:
+            raise InvalidParameterError("at least one shard is required")
+        expected = 0
+        for shard in shards:
+            if shard.first_text != expected:
+                raise InvalidParameterError(
+                    f"shards must cover contiguous text ranges; expected start "
+                    f"{expected}, got {shard.first_text}"
+                )
+            expected += shard.count
+        self.shards = list(shards)
+        self.family = family
+        self.t = int(t)
+
+    @classmethod
+    def build(
+        cls,
+        corpus: Corpus,
+        family: HashFamily,
+        t: int,
+        *,
+        num_shards: int = 4,
+        vocab_size: int | None = None,
+    ) -> "ShardedIndex":
+        """Partition ``corpus`` into ``num_shards`` ranges and index each."""
+        if num_shards <= 0:
+            raise InvalidParameterError(f"num_shards must be positive, got {num_shards}")
+        total = len(corpus)
+        if vocab_size is None:
+            vocab_size = max(
+                (int(text.max()) + 1 for text in corpus if text.size), default=1
+            )
+        per_shard = max(1, (total + num_shards - 1) // num_shards)
+        shards = []
+        start = 0
+        while start < total:
+            count = min(per_shard, total - start)
+            local = InMemoryCorpus(
+                [np.asarray(corpus[start + offset]) for offset in range(count)]
+            )
+            index = build_memory_index(local, family, t, vocab_size=vocab_size)
+            shards.append(Shard(first_text=start, count=count, index=index))
+            start += count
+        if not shards:  # empty corpus: one empty shard keeps the API total
+            index = build_memory_index(InMemoryCorpus([]), family, t, vocab_size=vocab_size)
+            shards.append(Shard(first_text=0, count=0, index=index))
+        return cls(shards, family, t)
+
+    @property
+    def num_postings(self) -> int:
+        return sum(int(shard.index.num_postings) for shard in self.shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+
+class ShardedSearcher:
+    """Fan a query out to every shard and merge the (re-numbered) results."""
+
+    def __init__(self, sharded: ShardedIndex, *, long_list_cutoff: int | None = None) -> None:
+        from repro.core.search import NearDuplicateSearcher
+
+        self.sharded = sharded
+        self.t = sharded.t
+        self._searchers = [
+            NearDuplicateSearcher(shard.index, long_list_cutoff=long_list_cutoff)
+            for shard in sharded.shards
+        ]
+
+    def search(self, query: np.ndarray, theta: float, **kwargs):
+        from repro.core.search import QueryStats, SearchResult
+
+        merged_matches = []
+        stats = QueryStats()
+        beta = k = 0
+        for shard, searcher in zip(self.sharded.shards, self._searchers):
+            result = searcher.search(query, theta, **kwargs)
+            beta, k = result.beta, result.k
+            for match in result.matches:
+                merged_matches.append(
+                    type(match)(
+                        text_id=match.text_id + shard.first_text,
+                        rectangles=match.rectangles,
+                    )
+                )
+            stats.total_seconds += result.stats.total_seconds
+            stats.io_seconds += result.stats.io_seconds
+            stats.io_bytes += result.stats.io_bytes
+            stats.io_calls += result.stats.io_calls
+            stats.lists_loaded += result.stats.lists_loaded
+            stats.long_lists += result.stats.long_lists
+            stats.groups_scanned += result.stats.groups_scanned
+            stats.candidates += result.stats.candidates
+        stats.texts_matched = len(merged_matches)
+        merged_matches.sort(key=lambda m: m.text_id)
+        return SearchResult(
+            matches=merged_matches,
+            stats=stats,
+            k=k,
+            theta=theta,
+            beta=beta,
+            t=self.t,
+        )

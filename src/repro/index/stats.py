@@ -1,0 +1,88 @@
+"""Index statistics and prefix-filter cutoff selection.
+
+The paper's Section 3.5 observes that token frequencies follow Zipf's
+law, so a few inverted lists are very long; the prefix length (which
+lists to treat as "long") trades I/O for CPU (Figure 3(d)).  This
+module summarizes list-length distributions and derives cutoffs from a
+"fraction of most frequent tokens" specification like the paper's
+5%–20% sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class IndexSummary:
+    """Aggregate shape of an inverted index."""
+
+    k: int
+    t: int
+    num_postings: int
+    num_lists: int
+    max_list_length: int
+    mean_list_length: float
+    nbytes: int
+
+    @classmethod
+    def from_index(cls, index) -> "IndexSummary":
+        lengths = all_list_lengths(index)
+        num_lists = int(lengths.size)
+        return cls(
+            k=index.family.k,
+            t=index.t,
+            num_postings=int(index.num_postings),
+            num_lists=num_lists,
+            max_list_length=int(lengths.max()) if num_lists else 0,
+            mean_list_length=float(lengths.mean()) if num_lists else 0.0,
+            nbytes=int(index.nbytes),
+        )
+
+
+def all_list_lengths(index) -> np.ndarray:
+    """Concatenated list lengths across all ``k`` inverted indexes."""
+    parts = [index.list_lengths(func) for func in range(index.family.k)]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate([np.asarray(p, dtype=np.int64) for p in parts])
+
+
+def cutoff_for_top_fraction(index, fraction: float) -> int:
+    """List-length cutoff marking the top-``fraction`` of postings as long.
+
+    Mirrors the paper's prefix lengths ("5% most frequent tokens to 20%
+    most frequent ones"): returns the smallest length ``L`` such that
+    the lists longer than ``L`` together contain at most ``fraction``
+    of all postings.  A query list longer than the returned cutoff is
+    prefix-filtered.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise InvalidParameterError(f"fraction must be in [0, 1), got {fraction}")
+    lengths = np.sort(all_list_lengths(index))
+    if lengths.size == 0:
+        return 0
+    total = int(lengths.sum())
+    if total == 0:
+        return 0
+    allowed = fraction * total
+    running = 0
+    # Walk from the longest list downward, accumulating posting mass.
+    for rank in range(lengths.size - 1, -1, -1):
+        running += int(lengths[rank])
+        if running > allowed:
+            return int(lengths[rank])
+    return 0
+
+
+def zipf_tail_report(index, top: int = 10) -> list[tuple[int, int]]:
+    """The ``top`` longest lists as ``(rank, length)`` pairs.
+
+    Useful to eyeball the Zipf skew the paper's prefix filter exploits.
+    """
+    lengths = np.sort(all_list_lengths(index))[::-1]
+    return [(rank + 1, int(length)) for rank, length in enumerate(lengths[:top])]

@@ -1,0 +1,307 @@
+"""On-disk inverted-index format and reader.
+
+Layout of an index directory:
+
+* ``index.meta.json`` — format version, ``k``, ``t``, the hash-family
+  parameters, zone-map configuration, payload record count;
+* ``index.dir.npz`` — per hash function ``i``: ``keys_i`` (sorted
+  ``uint32`` min-hash values), ``offsets_i`` (``uint64`` start of each
+  list, as a *posting index* into the payload) and ``counts_i``
+  (``uint32`` list lengths); plus, for every long list, its zone-map
+  samples (``zm_keys_i``, ``zm_ptr_i``, ``zm_samples_i``);
+* ``index.postings.bin`` — the concatenated 16-byte postings.  Lists
+  are contiguous and sorted by text id internally, but the order of
+  lists within the file is arbitrary (the out-of-core builder appends
+  them in partition order; the directory carries explicit offsets).
+
+The reader memory-maps the payload and reads only the slices the
+searcher asks for, accounting every byte in ``io_stats`` so the
+benchmarks can reproduce the paper's I/O-vs-CPU latency split.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hashing import HashFamily
+from repro.exceptions import IndexFormatError, InvalidParameterError
+from repro.index.inverted import (
+    IOStats,
+    MemoryInvertedIndex,
+    POSTING_BYTES,
+    POSTING_DTYPE,
+)
+from repro.index.zonemap import DEFAULT_STEP, ZoneMap, build_zone_map
+
+_FORMAT_VERSION = 1
+_META_FILE = "index.meta.json"
+_DIR_FILE = "index.dir.npz"
+_PAYLOAD_FILE = "index.postings.bin"
+
+#: Lists at least this long get a zone map by default.
+DEFAULT_ZONEMAP_MIN_LIST = 256
+
+
+class _IndexWriter:
+    """Streams inverted lists into the on-disk format.
+
+    Both the in-memory dump (:func:`write_index`) and the out-of-core
+    builder (:mod:`repro.index.external`) feed lists through this
+    writer one at a time, in any key order.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        family: HashFamily,
+        t: int,
+        zonemap_step: int = DEFAULT_STEP,
+        zonemap_min_list: int = DEFAULT_ZONEMAP_MIN_LIST,
+    ) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._family = family
+        self._t = int(t)
+        self._zonemap_step = int(zonemap_step)
+        self._zonemap_min_list = int(zonemap_min_list)
+        self._payload = open(self._directory / _PAYLOAD_FILE, "wb")
+        self._written = 0
+        self._keys: list[list[int]] = [[] for _ in range(family.k)]
+        self._offsets: list[list[int]] = [[] for _ in range(family.k)]
+        self._counts: list[list[int]] = [[] for _ in range(family.k)]
+        self._zm_keys: list[list[int]] = [[] for _ in range(family.k)]
+        self._zm_ptr: list[list[int]] = [[] for _ in range(family.k)]
+        self._zm_samples: list[list[np.ndarray]] = [[] for _ in range(family.k)]
+        self.bytes_written = 0
+        self.io_seconds = 0.0
+
+    def write_list(self, func: int, minhash: int, postings: np.ndarray) -> None:
+        """Append one inverted list (postings sorted by text id)."""
+        if postings.dtype != POSTING_DTYPE:
+            raise InvalidParameterError("postings must use POSTING_DTYPE")
+        start = time.perf_counter()
+        postings.tofile(self._payload)
+        self.io_seconds += time.perf_counter() - start
+        self._keys[func].append(int(minhash))
+        self._offsets[func].append(self._written)
+        self._counts[func].append(int(postings.size))
+        if postings.size >= self._zonemap_min_list:
+            zone = build_zone_map(postings["text"], self._zonemap_step)
+            self._zm_keys[func].append(int(minhash))
+            self._zm_ptr[func].append(
+                sum(s.size for s in self._zm_samples[func])
+            )
+            self._zm_samples[func].append(zone.sample_texts)
+        self._written += int(postings.size)
+        self.bytes_written += int(postings.size) * POSTING_BYTES
+
+    def close(self) -> None:
+        """Flush the payload and write the directory + metadata files."""
+        start = time.perf_counter()
+        self._payload.close()
+        arrays: dict[str, np.ndarray] = {}
+        for func in range(self._family.k):
+            keys = np.asarray(self._keys[func], dtype=np.uint32)
+            offsets = np.asarray(self._offsets[func], dtype=np.uint64)
+            counts = np.asarray(self._counts[func], dtype=np.uint32)
+            order = np.argsort(keys, kind="stable")
+            arrays[f"keys_{func}"] = keys[order]
+            arrays[f"offsets_{func}"] = offsets[order]
+            arrays[f"counts_{func}"] = counts[order]
+            zm_keys = np.asarray(self._zm_keys[func], dtype=np.uint32)
+            zm_ptr = np.asarray(self._zm_ptr[func] + [0], dtype=np.uint64)
+            samples = (
+                np.concatenate(self._zm_samples[func])
+                if self._zm_samples[func]
+                else np.empty(0, dtype=np.uint32)
+            )
+            zm_ptr[-1] = samples.size
+            zm_order = np.argsort(zm_keys, kind="stable")
+            arrays[f"zm_keys_{func}"] = zm_keys[zm_order]
+            # Pointer pairs (start, end) per zone-mapped list, re-ordered.
+            starts = zm_ptr[:-1][zm_order]
+            lengths = (np.diff(zm_ptr.astype(np.int64)))[zm_order] if zm_keys.size else np.empty(0, dtype=np.int64)
+            arrays[f"zm_starts_{func}"] = starts.astype(np.uint64)
+            arrays[f"zm_lengths_{func}"] = lengths.astype(np.uint32) if zm_keys.size else np.empty(0, dtype=np.uint32)
+            arrays[f"zm_samples_{func}"] = samples
+        np.savez(self._directory / _DIR_FILE, **arrays)
+        meta = {
+            "format_version": _FORMAT_VERSION,
+            "t": self._t,
+            "num_postings": self._written,
+            "zonemap_step": self._zonemap_step,
+            "zonemap_min_list": self._zonemap_min_list,
+            "family": self._family.to_dict(),
+        }
+        (self._directory / _META_FILE).write_text(json.dumps(meta))
+        self.io_seconds += time.perf_counter() - start
+
+
+def write_index(
+    index: MemoryInvertedIndex,
+    directory: str | Path,
+    zonemap_step: int = DEFAULT_STEP,
+    zonemap_min_list: int = DEFAULT_ZONEMAP_MIN_LIST,
+) -> Path:
+    """Persist an in-memory index to ``directory``; returns the path."""
+    writer = _IndexWriter(
+        directory, index.family, index.t, zonemap_step, zonemap_min_list
+    )
+    for func in range(index.family.k):
+        for minhash, postings in index.iter_lists(func):
+            writer.write_list(func, minhash, postings)
+    writer.close()
+    return Path(directory)
+
+
+class DiskInvertedIndex:
+    """Memory-mapped reader of an on-disk index with I/O accounting."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self._directory = Path(directory)
+        meta_path = self._directory / _META_FILE
+        if not meta_path.exists():
+            raise IndexFormatError(f"missing {_META_FILE} in {self._directory}")
+        meta = json.loads(meta_path.read_text())
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise IndexFormatError(
+                f"unsupported index format version {meta.get('format_version')!r}"
+            )
+        self.family = HashFamily.from_dict(meta["family"])
+        self.t = int(meta["t"])
+        self._num_postings = int(meta["num_postings"])
+        self._zonemap_step = int(meta["zonemap_step"])
+        payload_path = self._directory / _PAYLOAD_FILE
+        expected = self._num_postings * POSTING_BYTES
+        if payload_path.stat().st_size != expected:
+            raise IndexFormatError(
+                f"payload has {payload_path.stat().st_size} bytes, expected {expected}"
+            )
+        if self._num_postings:
+            self._payload = np.memmap(payload_path, dtype=POSTING_DTYPE, mode="r")
+        else:
+            self._payload = np.empty(0, dtype=POSTING_DTYPE)
+        try:
+            with np.load(self._directory / _DIR_FILE) as archive:
+                self._keys = [archive[f"keys_{f}"] for f in range(self.family.k)]
+                self._offsets = [archive[f"offsets_{f}"] for f in range(self.family.k)]
+                self._counts = [archive[f"counts_{f}"] for f in range(self.family.k)]
+                self._zm_keys = [archive[f"zm_keys_{f}"] for f in range(self.family.k)]
+                self._zm_starts = [
+                    archive[f"zm_starts_{f}"] for f in range(self.family.k)
+                ]
+                self._zm_lengths = [
+                    archive[f"zm_lengths_{f}"] for f in range(self.family.k)
+                ]
+                self._zm_samples = [
+                    archive[f"zm_samples_{f}"] for f in range(self.family.k)
+                ]
+        except (OSError, ValueError, KeyError) as exc:
+            raise IndexFormatError(
+                f"directory file {_DIR_FILE} is missing or corrupt: {exc}"
+            ) from exc
+        directory_total = sum(int(c.sum()) for c in self._counts)
+        if directory_total != self._num_postings:
+            raise IndexFormatError(
+                f"directory accounts for {directory_total} postings, "
+                f"metadata says {self._num_postings}"
+            )
+        self.io_stats = IOStats()
+
+    # -- reader protocol ------------------------------------------------
+    def _slot(self, func: int, minhash: int) -> int:
+        keys = self._keys[func]
+        pos = int(np.searchsorted(keys, minhash))
+        if pos < keys.size and int(keys[pos]) == int(minhash):
+            return pos
+        return -1
+
+    def list_length(self, func: int, minhash: int) -> int:
+        slot = self._slot(func, minhash)
+        if slot < 0:
+            return 0
+        return int(self._counts[func][slot])
+
+    def load_list(self, func: int, minhash: int) -> np.ndarray:
+        slot = self._slot(func, minhash)
+        if slot < 0:
+            return np.empty(0, dtype=POSTING_DTYPE)
+        start = int(self._offsets[func][slot])
+        count = int(self._counts[func][slot])
+        begin = time.perf_counter()
+        chunk = np.array(self._payload[start : start + count])
+        self.io_stats.add(count * POSTING_BYTES, time.perf_counter() - begin)
+        return chunk
+
+    def zone_map(self, func: int, minhash: int) -> ZoneMap | None:
+        """The zone map of one list, or ``None`` if the list is short/absent."""
+        zm_keys = self._zm_keys[func]
+        pos = int(np.searchsorted(zm_keys, minhash))
+        if pos >= zm_keys.size or int(zm_keys[pos]) != int(minhash):
+            return None
+        start = int(self._zm_starts[func][pos])
+        length = int(self._zm_lengths[func][pos])
+        samples = self._zm_samples[func][start : start + length]
+        return ZoneMap(
+            sample_texts=samples,
+            step=self._zonemap_step,
+            length=self.list_length(func, minhash),
+        )
+
+    def load_text_windows(self, func: int, minhash: int, text_id: int) -> np.ndarray:
+        slot = self._slot(func, minhash)
+        if slot < 0:
+            return np.empty(0, dtype=POSTING_DTYPE)
+        start = int(self._offsets[func][slot])
+        count = int(self._counts[func][slot])
+        zone = self.zone_map(func, minhash)
+        begin = time.perf_counter()
+        if zone is not None:
+            lo, hi = zone.locate(text_id)
+        else:
+            lo, hi = 0, count
+        chunk = np.array(self._payload[start + lo : start + hi])
+        elapsed = time.perf_counter() - begin
+        self.io_stats.add(max(hi - lo, 0) * POSTING_BYTES, elapsed)
+        left = int(np.searchsorted(chunk["text"], text_id, side="left"))
+        right = int(np.searchsorted(chunk["text"], text_id, side="right"))
+        return chunk[left:right]
+
+    # -- introspection ------------------------------------------------
+    @property
+    def num_postings(self) -> int:
+        return self._num_postings
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes on disk (the paper's index-size metric)."""
+        return self._num_postings * POSTING_BYTES
+
+    def list_lengths(self, func: int) -> np.ndarray:
+        return np.asarray(self._counts[func])
+
+    def to_memory(self) -> MemoryInvertedIndex:
+        """Load the entire index into a :class:`MemoryInvertedIndex`."""
+        per_func = []
+        for func in range(self.family.k):
+            counts = self._counts[func].astype(np.int64)
+            minhashes = np.repeat(self._keys[func], counts)
+            chunks = [
+                self._payload[int(off) : int(off) + int(cnt)]
+                for off, cnt in zip(self._offsets[func], self._counts[func])
+            ]
+            postings = (
+                np.concatenate(chunks) if chunks else np.empty(0, dtype=POSTING_DTYPE)
+            )
+            per_func.append((minhashes.astype(np.uint32), postings))
+        return MemoryInvertedIndex.from_postings(self.family, self.t, per_func)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiskInvertedIndex({str(self._directory)!r}, k={self.family.k}, "
+            f"t={self.t}, postings={self.num_postings})"
+        )

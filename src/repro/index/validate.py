@@ -1,0 +1,142 @@
+"""Index integrity validation.
+
+An operational tool: given an index (and optionally the corpus it was
+built from), verify every structural invariant the query processor
+relies on.  Run it after out-of-core builds, merges, or file transfers
+— a silently corrupted index would return silently wrong answers, since
+the searcher trusts the sort orders unconditionally.
+
+Checked invariants:
+
+1. directory keys are strictly increasing per hash function;
+2. every inverted list is sorted by text id;
+3. posting counts in the directory match the payload slices;
+4. window geometry: ``left <= center <= right`` and width ``>= t``;
+5. (with corpus) every window's center token hash equals the list's
+   min-hash and is minimal within the window span;
+6. (with corpus) window bounds lie inside their text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one validation run."""
+
+    lists_checked: int = 0
+    postings_checked: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def _fail(self, message: str, limit: int = 50) -> None:
+        if len(self.errors) < limit:
+            self.errors.append(message)
+
+
+def _iter_lists(index, func: int):
+    if hasattr(index, "iter_lists"):
+        yield from index.iter_lists(func)
+        return
+    for minhash in index._keys[func]:
+        yield int(minhash), index.load_list(func, int(minhash))
+
+
+def validate_index(
+    index,
+    corpus: Corpus | None = None,
+    *,
+    max_lists_per_func: int | None = None,
+) -> ValidationReport:
+    """Validate an index's structural invariants; see the module docs.
+
+    Parameters
+    ----------
+    index:
+        Any reader (memory or disk).
+    corpus:
+        When given, content-level invariants (5)-(6) are checked too.
+    max_lists_per_func:
+        Optional cap for sampled validation of very large indexes.
+    """
+    report = ValidationReport()
+    family = index.family
+    t = index.t
+    vocab_hashes = None
+    if corpus is not None:
+        vocab_top = 0
+        for text in corpus:
+            if text.size:
+                vocab_top = max(vocab_top, int(text.max()) + 1)
+        if vocab_top and vocab_top <= (1 << 24):
+            vocab_hashes = family.hash_vocabulary(vocab_top)
+
+    for func in range(family.k):
+        previous_key = -1
+        for count, (minhash, postings) in enumerate(_iter_lists(index, func)):
+            if max_lists_per_func is not None and count >= max_lists_per_func:
+                break
+            report.lists_checked += 1
+            report.postings_checked += int(postings.size)
+            if minhash <= previous_key:
+                report._fail(
+                    f"func {func}: keys not strictly increasing at {minhash}"
+                )
+            previous_key = minhash
+
+            texts = postings["text"].astype(np.int64)
+            if np.any(np.diff(texts) < 0):
+                report._fail(f"func {func} list {minhash}: postings not sorted by text")
+
+            lefts = postings["left"].astype(np.int64)
+            centers = postings["center"].astype(np.int64)
+            rights = postings["right"].astype(np.int64)
+            if np.any(lefts > centers) or np.any(centers > rights):
+                report._fail(f"func {func} list {minhash}: bad window geometry")
+            if np.any(rights - lefts + 1 < t):
+                report._fail(f"func {func} list {minhash}: window narrower than t")
+
+            if corpus is None:
+                continue
+            for rec in postings:
+                text_id = int(rec["text"])
+                if text_id >= len(corpus):
+                    report._fail(
+                        f"func {func} list {minhash}: text id {text_id} out of range"
+                    )
+                    continue
+                tokens = np.asarray(corpus[text_id])
+                right = int(rec["right"])
+                if right >= tokens.size:
+                    report._fail(
+                        f"func {func} list {minhash}: window exceeds text {text_id}"
+                    )
+                    continue
+                left, center = int(rec["left"]), int(rec["center"])
+                if vocab_hashes is not None:
+                    hashes = vocab_hashes[func][
+                        tokens[left : right + 1].astype(np.int64)
+                    ]
+                else:
+                    hashes = family.hash_tokens(tokens[left : right + 1], func)
+                center_hash = int(hashes[center - left])
+                if center_hash != int(minhash):
+                    report._fail(
+                        f"func {func} list {minhash}: center hash mismatch in "
+                        f"text {text_id}"
+                    )
+                if center_hash != int(hashes.min()):
+                    report._fail(
+                        f"func {func} list {minhash}: center not minimal in "
+                        f"text {text_id} window [{left},{right}]"
+                    )
+    return report

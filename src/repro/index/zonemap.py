@@ -1,0 +1,71 @@
+"""Zone maps over long inverted lists (paper Section 3.5).
+
+An inverted list stores its postings ordered by text identifier.  For
+long lists, reading the whole list just to check whether one candidate
+text appears in it wastes I/O; a *zone map* records the text id at
+every ``step``-th posting, so a point lookup narrows the read to a
+single zone of ``step`` postings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+#: Default sampling step (postings per zone).
+DEFAULT_STEP = 64
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Sampled text ids of one inverted list.
+
+    Attributes
+    ----------
+    sample_texts:
+        ``sample_texts[z]`` is the text id of posting ``z * step``.
+    step:
+        Number of postings per zone.
+    length:
+        Total number of postings in the underlying list.
+    """
+
+    sample_texts: np.ndarray
+    step: int
+    length: int
+
+    def locate(self, text_id: int) -> tuple[int, int]:
+        """Posting range ``[lo, hi)`` that may contain ``text_id``.
+
+        Because postings are sorted by text id, all postings of
+        ``text_id`` lie between the last sample ``<= text_id`` and the
+        first sample ``> text_id``.  Returns an empty range when the
+        zone map proves the text absent.
+        """
+        if self.length == 0:
+            return (0, 0)
+        # First zone whose leading text id is >= text_id: the text's
+        # postings cannot start before the *previous* zone (a text can
+        # span several zones, so `side="left"` minus one is required,
+        # not "the last zone starting <= text_id").
+        first = int(np.searchsorted(self.sample_texts, text_id, side="left"))
+        lo = max(0, first - 1) * self.step
+        # First zone whose leading text id is > text_id: that zone's
+        # leading posting already belongs to a later text.
+        nxt = int(np.searchsorted(self.sample_texts, text_id, side="right"))
+        hi = min(self.length, nxt * self.step)
+        if hi < lo:
+            return (lo, lo)
+        return (lo, hi)
+
+
+def build_zone_map(text_ids: np.ndarray, step: int = DEFAULT_STEP) -> ZoneMap:
+    """Build the zone map of a posting list's (sorted) text-id column."""
+    if step <= 0:
+        raise InvalidParameterError(f"step must be positive, got {step}")
+    text_ids = np.asarray(text_ids)
+    samples = text_ids[::step].astype(np.uint32)
+    return ZoneMap(sample_texts=samples, step=step, length=int(text_ids.size))

@@ -1,0 +1,26 @@
+"""Language-model substrate: n-gram LMs, decoding strategies, model zoo."""
+
+from repro.lm.evaluation import (
+    LMEvalReport,
+    corpus_perplexity,
+    distinct_n,
+    evaluate_lm,
+)
+from repro.lm.generation import GenerationConfig, generate
+from repro.lm.models import MODEL_ZOO, TrainedModel, train_model, train_zoo
+from repro.lm.ngram import NGramConfig, NGramLM
+
+__all__ = [
+    "GenerationConfig",
+    "LMEvalReport",
+    "MODEL_ZOO",
+    "NGramConfig",
+    "NGramLM",
+    "TrainedModel",
+    "corpus_perplexity",
+    "distinct_n",
+    "evaluate_lm",
+    "generate",
+    "train_model",
+    "train_zoo",
+]

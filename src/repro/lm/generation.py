@@ -1,0 +1,119 @@
+"""Text-generation strategies (paper Section 2, "Generation Strategies").
+
+The paper enumerates the standard decoding strategies — random
+sampling, greedy search, beam search, top-k sampling and top-p
+(nucleus) sampling — and its memorization study (Section 5) generates
+unprompted texts with top-50 sampling.  All five are implemented here
+over any model exposing ``next_token_distribution``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.corpus import TOKEN_DTYPE
+from repro.exceptions import InvalidParameterError
+from repro.lm.ngram import NGramLM
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Decoding configuration.
+
+    ``strategy`` is one of ``"random"``, ``"greedy"``, ``"top_k"``,
+    ``"top_p"`` or ``"beam"``; the paper's Section 5 setting is
+    ``top_k`` with ``k=50``.
+    """
+
+    strategy: str = "top_k"
+    top_k: int = 50
+    top_p: float = 0.95
+    beam_width: int = 4
+
+    def __post_init__(self) -> None:
+        if self.strategy not in {"random", "greedy", "top_k", "top_p", "beam"}:
+            raise InvalidParameterError(f"unknown strategy {self.strategy!r}")
+        if self.top_k < 1:
+            raise InvalidParameterError("top_k must be >= 1")
+        if not 0.0 < self.top_p <= 1.0:
+            raise InvalidParameterError("top_p must be in (0, 1]")
+        if self.beam_width < 1:
+            raise InvalidParameterError("beam_width must be >= 1")
+
+
+def generate(
+    model: NGramLM,
+    length: int,
+    *,
+    config: GenerationConfig | None = None,
+    prompt: np.ndarray | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Generate ``length`` tokens, optionally continuing a ``prompt``.
+
+    Returns only the newly generated tokens (the prompt is context but
+    is not echoed), matching how the paper's unprompted evaluation
+    treats generated text.
+    """
+    if length <= 0:
+        raise InvalidParameterError(f"length must be positive, got {length}")
+    if config is None:
+        config = GenerationConfig()
+    if config.strategy == "beam":
+        return _beam_search(model, length, config.beam_width, prompt)
+    rng = np.random.default_rng(seed)
+    context: list[int] = [] if prompt is None else np.asarray(prompt).tolist()
+    prompt_len = len(context)
+    for _ in range(length):
+        probs = model.next_token_distribution(context)
+        context.append(_pick(probs, config, rng))
+    return np.asarray(context[prompt_len:], dtype=TOKEN_DTYPE)
+
+
+def _pick(probs: np.ndarray, config: GenerationConfig, rng: np.random.Generator) -> int:
+    if config.strategy == "greedy":
+        return int(np.argmax(probs))
+    if config.strategy == "random":
+        return int(rng.choice(probs.size, p=probs))
+    if config.strategy == "top_k":
+        k = min(config.top_k, probs.size)
+        # Stable descending order: ties resolve to the smaller token id,
+        # matching greedy's argmax (so top_k=1 == greedy exactly).
+        top = np.argsort(-probs, kind="stable")[:k]
+        weights = probs[top]
+        total = weights.sum()
+        if total <= 0:
+            return int(np.argmax(probs))
+        return int(rng.choice(top, p=weights / total))
+    # top_p: smallest prefix of the sorted distribution reaching mass p.
+    order = np.argsort(-probs, kind="stable")
+    cumulative = np.cumsum(probs[order])
+    keep = int(np.searchsorted(cumulative, config.top_p)) + 1
+    chosen = order[:keep]
+    weights = probs[chosen]
+    return int(rng.choice(chosen, p=weights / weights.sum()))
+
+
+def _beam_search(
+    model: NGramLM, length: int, beam_width: int, prompt: np.ndarray | None
+) -> np.ndarray:
+    """Deterministic beam search decoding."""
+    base: list[int] = [] if prompt is None else np.asarray(prompt).tolist()
+    beams: list[tuple[float, list[int]]] = [(0.0, [])]
+    for _ in range(length):
+        expansions: list[tuple[float, list[int]]] = []
+        for score, generated in beams:
+            probs = model.next_token_distribution(base + generated)
+            top = np.argsort(-probs, kind="stable")[:beam_width]
+            for token in top:
+                prob = float(probs[token])
+                if prob <= 0:
+                    continue
+                expansions.append((score + float(np.log(prob)), generated + [int(token)]))
+        if not expansions:
+            break
+        expansions.sort(key=lambda pair: pair[0], reverse=True)
+        beams = expansions[:beam_width]
+    return np.asarray(beams[0][1], dtype=TOKEN_DTYPE)

@@ -1,0 +1,47 @@
+"""Memorization evaluation harness (paper Section 5)."""
+
+from repro.memorization.evaluator import (
+    MemorizationReport,
+    QueryOutcome,
+    evaluate_generated_texts,
+    evaluate_model,
+    sliding_queries,
+)
+from repro.memorization.extraction import (
+    ExtractionCandidate,
+    ExtractionReport,
+    run_extraction_attack,
+)
+from repro.memorization.metrics import (
+    QualityReport,
+    approximation_quality,
+    recall_curve,
+)
+from repro.memorization.report import (
+    Table1Row,
+    figure4_series,
+    format_series_table,
+    table1_rows,
+)
+from repro.memorization.sweep import SweepConfig, SweepResult, run_figure4_sweep
+
+__all__ = [
+    "ExtractionCandidate",
+    "ExtractionReport",
+    "MemorizationReport",
+    "run_extraction_attack",
+    "QualityReport",
+    "QueryOutcome",
+    "SweepConfig",
+    "SweepResult",
+    "Table1Row",
+    "run_figure4_sweep",
+    "approximation_quality",
+    "recall_curve",
+    "evaluate_generated_texts",
+    "evaluate_model",
+    "figure4_series",
+    "format_series_table",
+    "sliding_queries",
+    "table1_rows",
+]

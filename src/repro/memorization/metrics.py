@@ -1,0 +1,130 @@
+"""Quality metrics for the approximate search (recall/precision studies).
+
+Definition 2 trades exactness for speed: a sequence with true Jaccard
+``J`` is reported with probability ``P[Binomial(k, J) >= ceil(k θ)]``.
+These helpers measure the realized trade-off on a concrete corpus:
+
+* :func:`approximation_quality` — precision/recall of the indexed
+  searcher against the exact Definition 1 answer set (brute force, so
+  test-scale corpora only);
+* :func:`recall_curve` — measured recall as a function of ``k``,
+  alongside the binomial model, for choosing ``k`` in deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.bruteforce import search_exact
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.core.theory import recall_estimate
+from repro.core.verify import Span
+from repro.corpus.corpus import Corpus
+from repro.index.builder import build_memory_index
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Precision/recall of the approximate searcher vs exact ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def _result_spans(result) -> set[tuple[int, int, int]]:
+    return {
+        (m.text_id, i, j)
+        for m in result.matches
+        for rect in m.rectangles
+        for (i, j) in rect.iter_spans(result.t)
+    }
+
+
+def approximation_quality(
+    corpus: Corpus,
+    searcher: NearDuplicateSearcher,
+    queries: list[np.ndarray],
+    theta: float,
+) -> QualityReport:
+    """Compare the searcher's output to the exact Definition 1 answers.
+
+    Quadratic in text lengths (exact enumeration) — reserve for small
+    corpora.  Note the two definitions legitimately disagree on
+    borderline sequences; that disagreement is exactly what this
+    measures.
+    """
+    tp = fp = fn = 0
+    for query in queries:
+        exact = {
+            (s.text_id, s.start, s.end)
+            for s in search_exact(corpus, query, theta, searcher.t)
+        }
+        approx = _result_spans(searcher.search(query, theta))
+        tp += len(exact & approx)
+        fp += len(approx - exact)
+        fn += len(exact - approx)
+    return QualityReport(true_positives=tp, false_positives=fp, false_negatives=fn)
+
+
+def recall_curve(
+    corpus: Corpus,
+    pairs: list[tuple[np.ndarray, Span]],
+    theta: float,
+    t: int,
+    *,
+    k_values: tuple[int, ...] = (8, 16, 32, 64),
+    seed: int = 0,
+    vocab_size: int | None = None,
+) -> list[dict]:
+    """Measured vs modeled recall on known (query, target-span) pairs.
+
+    For each ``k``, builds an index and checks how often the known
+    target text is retrieved, next to the binomial prediction at the
+    pairs' mean true similarity.
+    """
+    from repro.core.verify import distinct_jaccard
+
+    similarities = []
+    for query, span in pairs:
+        target = np.asarray(corpus[span.text_id])[span.start : span.end + 1]
+        similarities.append(distinct_jaccard(query, target))
+    mean_similarity = float(np.mean(similarities)) if similarities else 0.0
+
+    rows = []
+    for k in k_values:
+        family = HashFamily(k=k, seed=seed)
+        index = build_memory_index(corpus, family, t=t, vocab_size=vocab_size)
+        searcher = NearDuplicateSearcher(index)
+        hits = 0
+        for query, span in pairs:
+            result = searcher.search(query, theta)
+            if any(m.text_id == span.text_id for m in result.matches):
+                hits += 1
+        rows.append(
+            {
+                "k": k,
+                "measured_recall": hits / len(pairs) if pairs else 1.0,
+                "modeled_recall": recall_estimate(k, theta, mean_similarity),
+                "mean_similarity": mean_similarity,
+            }
+        )
+    return rows

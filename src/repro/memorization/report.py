@@ -1,0 +1,85 @@
+"""Formatting of memorization results: Figure-4 series and Table-1 rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus
+from repro.memorization.evaluator import MemorizationReport
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One generated query and a near-duplicate found in the corpus."""
+
+    model_name: str
+    query_tokens: np.ndarray
+    match_text: int
+    match_start: int
+    match_end: int
+    match_tokens: np.ndarray
+
+    def render(self, tokenizer=None) -> str:
+        """Human-readable row; decodes tokens when a tokenizer is given."""
+        if tokenizer is not None:
+            query = tokenizer.decode(self.query_tokens)
+            match = tokenizer.decode(self.match_tokens)
+        else:
+            query = " ".join(str(t) for t in self.query_tokens.tolist())
+            match = " ".join(str(t) for t in self.match_tokens.tolist())
+        return (
+            f"[{self.model_name}] generated: {query!s}\n"
+            f"  near-duplicate (text {self.match_text}, "
+            f"tokens {self.match_start}..{self.match_end}): {match!s}"
+        )
+
+
+def table1_rows(
+    report: MemorizationReport, corpus: Corpus, limit: int = 5
+) -> list[Table1Row]:
+    """Extract example (generated, near-duplicate) pairs from a report."""
+    rows = []
+    for outcome in report.examples(limit):
+        span = outcome.example
+        if span is None:
+            continue
+        match_tokens = np.asarray(corpus[span.text_id])[span.start : span.end + 1]
+        rows.append(
+            Table1Row(
+                model_name=report.model_name,
+                query_tokens=outcome.query,
+                match_text=span.text_id,
+                match_start=span.start,
+                match_end=span.end,
+                match_tokens=match_tokens,
+            )
+        )
+    return rows
+
+
+def figure4_series(reports: list[MemorizationReport]) -> list[dict]:
+    """Rows of (model, theta, window, fraction) for the Figure-4 plots."""
+    return [
+        {
+            "model": report.model_name,
+            "theta": report.theta,
+            "window_width": report.window_width,
+            "num_queries": report.num_queries,
+            "memorized_fraction": report.memorized_fraction,
+        }
+        for report in reports
+    ]
+
+
+def format_series_table(rows: list[dict]) -> str:
+    """Fixed-width text table of :func:`figure4_series` rows."""
+    header = f"{'model':>8} {'theta':>6} {'x':>5} {'queries':>8} {'memorized%':>11}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['model']:>8} {row['theta']:>6.2f} {row['window_width']:>5d} "
+            f"{row['num_queries']:>8d} {100.0 * row['memorized_fraction']:>10.2f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Byte-level BPE tokenizer: training, encoding, decoding, persistence."""
+
+from repro.tokenizer.bpe import BPETokenizer, pretokenize
+from repro.tokenizer.vocab import NUM_BYTE_TOKENS, Vocabulary
+
+__all__ = ["BPETokenizer", "NUM_BYTE_TOKENS", "Vocabulary", "pretokenize"]

@@ -1,0 +1,241 @@
+"""Trainable byte-level BPE tokenizer (paper Section 4, "BPE Tokenization").
+
+The paper trains a byte-pair-encoding model (vocabulary 64K) on a
+sample of OpenWebText and uses the GPT-2 tokenizer for Pile.  This is a
+from-scratch equivalent: train on any iterable of strings, encode text
+to ``uint32`` token ids, decode back, save/load as JSON.
+
+Training follows the classic Sennrich et al. procedure on word
+frequencies: pre-tokenize into "words" (runs of letters/digits with an
+optional leading space, GPT-2 style), count them, then repeatedly merge
+the most frequent adjacent symbol pair until the vocabulary budget is
+reached.  Encoding applies the learned merges in rank order.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.corpus.corpus import TOKEN_DTYPE
+from repro.exceptions import TokenizerError
+from repro.tokenizer.vocab import NUM_BYTE_TOKENS, Vocabulary
+
+# GPT-2-style pre-tokenization, simplified: an optional leading space
+# glued to a run of letters, digits, or other non-space characters.
+_PRETOKEN_RE = re.compile(r" ?[A-Za-z]+| ?[0-9]+| ?[^\sA-Za-z0-9]+|\s+")
+
+
+def pretokenize(text: str) -> Iterator[bytes]:
+    """Split ``text`` into byte-string pre-tokens (BPE never merges across them)."""
+    for match in _PRETOKEN_RE.finditer(text):
+        yield match.group().encode("utf-8")
+
+
+class BPETokenizer:
+    """Byte-level BPE with a trained merge table.
+
+    Use :meth:`train` to learn merges, then :meth:`encode` /
+    :meth:`decode`.  An untrained tokenizer degenerates to plain byte
+    encoding (vocabulary 256), which is still a valid token stream for
+    the search engine.
+    """
+
+    def __init__(self) -> None:
+        self.vocab = Vocabulary()
+        self._merges: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    @classmethod
+    def train(
+        cls,
+        texts: Iterable[str],
+        vocab_size: int,
+        *,
+        max_texts: int | None = None,
+        max_text_length: int | None = None,
+    ) -> "BPETokenizer":
+        """Learn a BPE model with at most ``vocab_size`` tokens.
+
+        Parameters
+        ----------
+        texts:
+            Training strings; consumed once.
+        vocab_size:
+            Total vocabulary budget including the 256 byte tokens.
+        max_texts, max_text_length:
+            Optional training-sample caps, mirroring the paper's "1
+            million texts with maximum length 10000".
+        """
+        if vocab_size < NUM_BYTE_TOKENS:
+            raise TokenizerError(
+                f"vocab_size must be >= {NUM_BYTE_TOKENS}, got {vocab_size}"
+            )
+        tokenizer = cls()
+        word_freqs: Counter[bytes] = Counter()
+        for count, text in enumerate(texts):
+            if max_texts is not None and count >= max_texts:
+                break
+            if max_text_length is not None:
+                text = text[:max_text_length]
+            word_freqs.update(pretokenize(text))
+
+        # Represent each distinct word as a list of token ids (initially bytes).
+        words: list[list[int]] = []
+        freqs: list[int] = []
+        for word, freq in word_freqs.items():
+            words.append(list(word))
+            freqs.append(freq)
+
+        pair_counts: Counter[tuple[int, int]] = Counter()
+        pair_words: dict[tuple[int, int], set[int]] = {}
+        for wid, symbols in enumerate(words):
+            for pair in zip(symbols, symbols[1:]):
+                pair_counts[pair] += freqs[wid]
+                pair_words.setdefault(pair, set()).add(wid)
+
+        while len(tokenizer.vocab) < vocab_size and pair_counts:
+            # Deterministic: highest count, ties broken by smallest pair ids.
+            best_pair, best_count = None, 0
+            for pair, count in pair_counts.items():
+                if count > best_count or (
+                    count == best_count and (best_pair is None or pair < best_pair)
+                ):
+                    best_pair, best_count = pair, count
+            if best_pair is None or best_count <= 0:
+                break
+            new_id = tokenizer.vocab.add(
+                tokenizer.vocab.token_bytes(best_pair[0])
+                + tokenizer.vocab.token_bytes(best_pair[1])
+            )
+            tokenizer._merges[best_pair] = new_id
+
+            # Apply the merge to every word containing the pair and
+            # incrementally fix up the affected pair statistics.
+            affected = pair_words.pop(best_pair, set())
+            pair_counts.pop(best_pair, None)
+            for wid in affected:
+                symbols = words[wid]
+                freq = freqs[wid]
+                merged = _merge_word(symbols, best_pair, new_id)
+                if merged is None:
+                    continue
+                for pair in zip(symbols, symbols[1:]):
+                    if pair == best_pair:
+                        continue
+                    pair_counts[pair] -= freq
+                    if pair_counts[pair] <= 0:
+                        del pair_counts[pair]
+                        pair_words.pop(pair, None)
+                    else:
+                        followers = pair_words.get(pair)
+                        if followers is not None:
+                            followers.discard(wid)
+                words[wid] = merged
+                for pair in zip(merged, merged[1:]):
+                    pair_counts[pair] += freq
+                    pair_words.setdefault(pair, set()).add(wid)
+        return tokenizer
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding
+    # ------------------------------------------------------------------
+    def encode_word(self, word: bytes) -> list[int]:
+        """Encode one pre-token by applying merges in rank order."""
+        symbols = list(word)
+        if len(symbols) < 2 or not self._merges:
+            return symbols
+        while True:
+            best_rank = None
+            best_pos = -1
+            for pos in range(len(symbols) - 1):
+                rank = self._merges.get((symbols[pos], symbols[pos + 1]))
+                if rank is not None and (best_rank is None or rank < best_rank):
+                    best_rank = rank
+                    best_pos = pos
+            if best_rank is None:
+                return symbols
+            symbols[best_pos : best_pos + 2] = [best_rank]
+
+    def encode(self, text: str) -> np.ndarray:
+        """Encode a string into a ``uint32`` token-id array."""
+        ids: list[int] = []
+        for word in pretokenize(text):
+            ids.extend(self.encode_word(word))
+        return np.asarray(ids, dtype=TOKEN_DTYPE)
+
+    def decode(self, token_ids: np.ndarray) -> str:
+        """Decode token ids back to a string (lossless for valid UTF-8)."""
+        payload = b"".join(
+            self.vocab.token_bytes(int(token)) for token in np.asarray(token_ids)
+        )
+        return payload.decode("utf-8", errors="replace")
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    @property
+    def num_merges(self) -> int:
+        return len(self._merges)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the model as JSON (latin-1 escapes byte content safely)."""
+        payload = {
+            "version": 1,
+            "tokens": [token.decode("latin-1") for token in self.vocab.to_list()],
+            "merges": [
+                [int(a), int(b), int(new_id)]
+                for (a, b), new_id in sorted(self._merges.items(), key=lambda kv: kv[1])
+            ],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BPETokenizer":
+        """Read a model previously written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != 1:
+            raise TokenizerError(f"unsupported tokenizer version {payload.get('version')!r}")
+        tokenizer = cls()
+        tokenizer.vocab = Vocabulary(
+            [token.encode("latin-1") for token in payload["tokens"]]
+        )
+        tokenizer._merges = {
+            (int(a), int(b)): int(new_id) for a, b, new_id in payload["merges"]
+        }
+        return tokenizer
+
+
+def _merge_word(
+    symbols: list[int], pair: tuple[int, int], new_id: int
+) -> list[int] | None:
+    """Replace every occurrence of ``pair`` in ``symbols`` with ``new_id``.
+
+    Returns ``None`` when the word does not contain the pair (the
+    pair-to-word map can hold stale entries after earlier merges).
+    """
+    first, second = pair
+    out: list[int] = []
+    pos = 0
+    changed = False
+    length = len(symbols)
+    while pos < length:
+        if pos + 1 < length and symbols[pos] == first and symbols[pos + 1] == second:
+            out.append(new_id)
+            pos += 2
+            changed = True
+        else:
+            out.append(symbols[pos])
+            pos += 1
+    return out if changed else None

@@ -1,0 +1,57 @@
+"""Vocabulary for the byte-level BPE tokenizer.
+
+A vocabulary maps token ids to their byte content.  The first 256 ids
+are always the raw bytes (so any input is encodable); merged tokens
+follow in merge order.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TokenizerError
+
+#: Number of base byte tokens present in every vocabulary.
+NUM_BYTE_TOKENS = 256
+
+
+class Vocabulary:
+    """Id <-> bytes mapping with O(1) lookups both ways."""
+
+    def __init__(self, tokens: list[bytes] | None = None) -> None:
+        if tokens is None:
+            tokens = [bytes([value]) for value in range(NUM_BYTE_TOKENS)]
+        if len(tokens) < NUM_BYTE_TOKENS:
+            raise TokenizerError("vocabulary must include all 256 byte tokens")
+        for value in range(NUM_BYTE_TOKENS):
+            if tokens[value] != bytes([value]):
+                raise TokenizerError(f"token id {value} must be the raw byte {value}")
+        self._tokens = list(tokens)
+        self._ids = {token: idx for idx, token in enumerate(self._tokens)}
+        if len(self._ids) != len(self._tokens):
+            raise TokenizerError("vocabulary contains duplicate token byte strings")
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def token_bytes(self, token_id: int) -> bytes:
+        """Byte content of one token id."""
+        try:
+            return self._tokens[token_id]
+        except IndexError:
+            raise TokenizerError(f"token id {token_id} out of range") from None
+
+    def token_id(self, content: bytes) -> int | None:
+        """Id of a byte string, or ``None`` if it is not a token."""
+        return self._ids.get(content)
+
+    def add(self, content: bytes) -> int:
+        """Register a new merged token; returns its id."""
+        if content in self._ids:
+            raise TokenizerError(f"token {content!r} already in vocabulary")
+        token_id = len(self._tokens)
+        self._tokens.append(content)
+        self._ids[content] = token_id
+        return token_id
+
+    def to_list(self) -> list[bytes]:
+        """The id-ordered token list (for serialization)."""
+        return list(self._tokens)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.corpus.corpus import InMemoryCorpus
+from repro.corpus.synthetic import synthweb
+from repro.index.builder import build_memory_index
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def family() -> HashFamily:
+    return HashFamily(k=8, seed=7)
+
+
+@pytest.fixture
+def tiny_corpus(rng: np.random.Generator) -> InMemoryCorpus:
+    """A dozen short random texts over a small vocabulary."""
+    texts = [
+        rng.integers(0, 50, size=int(rng.integers(10, 60))).astype(np.uint32)
+        for _ in range(12)
+    ]
+    return InMemoryCorpus(texts)
+
+
+@pytest.fixture(scope="session")
+def planted_data():
+    """A medium synthetic corpus with planted near-duplicates (session-wide)."""
+    return synthweb(
+        num_texts=250,
+        mean_length=150,
+        vocab_size=1024,
+        duplicate_rate=0.2,
+        span_length=48,
+        mutation_rate=0.04,
+        seed=99,
+    )
+
+
+@pytest.fixture(scope="session")
+def planted_index(planted_data):
+    """Index over the planted corpus with realistic paper parameters."""
+    family = HashFamily(k=16, seed=3)
+    index = build_memory_index(planted_data.corpus, family, t=25, vocab_size=1024)
+    return index

@@ -1,0 +1,196 @@
+"""Tests for the baseline algorithms (brute force, window LSH, seed-extend)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import (
+    BruteForceStats,
+    search_definition2,
+    search_exact,
+)
+from repro.baselines.lsh import WindowLSHIndex
+from repro.baselines.seed_extend import SeedExtendIndex
+from repro.core.hashing import HashFamily
+from repro.core.verify import distinct_jaccard
+from repro.corpus.corpus import InMemoryCorpus
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    rng = np.random.default_rng(3)
+    vocab = 60
+    texts = [rng.integers(0, vocab, size=40).astype(np.uint32) for _ in range(5)]
+    # Plant an exact copy of a span of text 0 into text 3.
+    texts[3][5:25] = texts[0][10:30]
+    return InMemoryCorpus(texts)
+
+
+class TestSearchExact:
+    def test_finds_planted_copy(self, small_corpus):
+        query = np.asarray(small_corpus[0])[10:30]
+        spans = search_exact(small_corpus, query, theta=1.0, t=20)
+        found = {(s.text_id, s.start, s.end) for s in spans}
+        assert (0, 10, 29) in found
+        assert (3, 5, 24) in found
+
+    def test_every_result_satisfies_threshold(self, small_corpus):
+        query = np.asarray(small_corpus[1])[0:15]
+        theta = 0.7
+        for span in search_exact(small_corpus, query, theta, t=8):
+            tokens = np.asarray(small_corpus[span.text_id])[span.start : span.end + 1]
+            assert distinct_jaccard(query, tokens) >= theta
+            assert span.length >= 8
+
+    def test_multiset_mode(self, small_corpus):
+        query = np.asarray(small_corpus[0])[10:30]
+        spans = search_exact(
+            small_corpus, query, theta=1.0, t=20, similarity="multiset"
+        )
+        assert any(s.text_id == 3 for s in spans)
+
+    def test_stats(self, small_corpus):
+        stats = BruteForceStats()
+        search_exact(small_corpus, small_corpus[0][:10], 0.9, 5, stats=stats)
+        assert stats.sequences_examined > 0
+        assert stats.seconds > 0
+
+    def test_validation(self, small_corpus):
+        with pytest.raises(InvalidParameterError):
+            search_exact(small_corpus, small_corpus[0][:5], 0.0, 5)
+        with pytest.raises(InvalidParameterError):
+            search_exact(small_corpus, small_corpus[0][:5], 0.5, 0)
+
+
+class TestSearchDefinition2:
+    def test_matches_naive_sketching(self, small_corpus):
+        """The incremental-sketch oracle equals per-span sketching."""
+        family = HashFamily(k=6, seed=8)
+        query = np.asarray(small_corpus[2])[0:12]
+        theta, t = 0.5, 4
+        fast = {
+            (s.text_id, s.start, s.end)
+            for s in search_definition2(small_corpus, query, theta, t, family)
+        }
+        from repro.core.theory import collision_threshold
+
+        beta = collision_threshold(family.k, theta)
+        qsk = family.sketch(query)
+        slow = set()
+        for text_id in range(len(small_corpus)):
+            text = np.asarray(small_corpus[text_id])
+            for i in range(text.size):
+                for j in range(i + t - 1, text.size):
+                    s = int(np.count_nonzero(family.sketch(text[i : j + 1]) == qsk))
+                    if s >= beta:
+                        slow.add((text_id, i, j))
+        assert fast == slow
+
+    def test_t_equal_one(self, small_corpus):
+        family = HashFamily(k=4, seed=2)
+        query = np.asarray(small_corpus[0])[:3]
+        spans = search_definition2(small_corpus, query, 0.25, 1, family)
+        assert all(s.length >= 1 for s in spans)
+
+
+class TestWindowLSH:
+    def test_finds_exact_copy(self, small_corpus):
+        family = HashFamily(k=16, seed=6)
+        index = WindowLSHIndex(family, window=20, bands=8, rows=2).build(small_corpus)
+        query = np.asarray(small_corpus[0])[10:30]
+        spans = index.query(small_corpus, query, theta=0.95)
+        found = {(s.text_id, s.start) for s in spans}
+        assert (0, 10) in found and (3, 5) in found
+
+    def test_index_explodes_vs_compact_windows(self, small_corpus):
+        """The structural point: entries ~ k/stride per token position."""
+        family = HashFamily(k=16, seed=6)
+        index = WindowLSHIndex(family, window=20, stride=1, bands=8, rows=2).build(
+            small_corpus
+        )
+        positions = sum(max(0, t.size - 20 + 1) for t in small_corpus)
+        assert index.stats.windows_indexed == positions
+        assert index.stats.index_entries == positions * 8
+
+    def test_wrong_width_invisible(self, small_corpus):
+        """A near-duplicate longer than the window width is not findable
+        as a whole — the no-guarantee failure mode."""
+        family = HashFamily(k=16, seed=6)
+        index = WindowLSHIndex(family, window=10, bands=8, rows=2).build(small_corpus)
+        query = np.asarray(small_corpus[0])[10:30]  # width 20 != 10
+        spans = index.query(small_corpus, query, theta=0.9)
+        assert all(s.length == 10 for s in spans)
+
+    def test_band_config_validated(self):
+        family = HashFamily(k=16, seed=1)
+        with pytest.raises(InvalidParameterError):
+            WindowLSHIndex(family, window=10, bands=3, rows=3)
+        with pytest.raises(InvalidParameterError):
+            WindowLSHIndex(family, window=0)
+        with pytest.raises(InvalidParameterError):
+            WindowLSHIndex(family, window=5, stride=0)
+
+    def test_default_banding(self):
+        family = HashFamily(k=16, seed=1)
+        index = WindowLSHIndex(family, window=5)
+        assert index.bands * index.rows == 16
+
+    def test_theta_validated(self, small_corpus):
+        family = HashFamily(k=16, seed=1)
+        index = WindowLSHIndex(family, window=5, bands=8, rows=2)
+        with pytest.raises(InvalidParameterError):
+            index.query(small_corpus, small_corpus[0][:5], theta=0.0)
+
+    def test_nbytes_positive_after_build(self, small_corpus):
+        family = HashFamily(k=16, seed=1)
+        index = WindowLSHIndex(family, window=10, bands=8, rows=2).build(small_corpus)
+        assert index.nbytes > 0
+
+
+class TestSeedExtend:
+    def test_finds_exact_copy(self, small_corpus):
+        index = SeedExtendIndex(seed_length=8).build(small_corpus)
+        query = np.asarray(small_corpus[0])[10:30]
+        spans = index.query(small_corpus, query, theta=0.9, t=10)
+        assert any(s.text_id == 3 for s in spans)
+        assert any(s.text_id == 0 for s in spans)
+
+    def test_misses_without_shared_seed(self):
+        """Mutations every few tokens defeat the heuristic — no guarantee."""
+        rng = np.random.default_rng(9)
+        base = rng.integers(0, 1000, size=40).astype(np.uint32)
+        mutated = np.array(base)
+        mutated[::4] = rng.integers(1000, 2000, size=mutated[::4].size)  # break all 8-grams
+        corpus = InMemoryCorpus([mutated])
+        index = SeedExtendIndex(seed_length=8).build(corpus)
+        assert distinct_jaccard(base, mutated) >= 0.55
+        spans = index.query(corpus, base, theta=0.55, t=10)
+        assert spans == []  # the paper's point: recall failure
+
+    def test_stats(self, small_corpus):
+        index = SeedExtendIndex(seed_length=6).build(small_corpus)
+        assert index.stats.seeds_indexed > 0
+        index.query(small_corpus, small_corpus[0][:20], theta=0.8, t=10)
+        assert index.stats.query_seconds > 0
+
+    def test_validation(self, small_corpus):
+        with pytest.raises(InvalidParameterError):
+            SeedExtendIndex(seed_length=0)
+        index = SeedExtendIndex(seed_length=4).build(small_corpus)
+        with pytest.raises(InvalidParameterError):
+            index.query(small_corpus, small_corpus[0][:8], theta=2.0, t=5)
+        with pytest.raises(InvalidParameterError):
+            index.query(small_corpus, small_corpus[0][:8], theta=0.5, t=0)
+
+    def test_results_disjoint(self, small_corpus):
+        index = SeedExtendIndex(seed_length=6).build(small_corpus)
+        spans = index.query(small_corpus, small_corpus[0][:30], theta=0.5, t=6)
+        by_text: dict[int, list] = {}
+        for span in spans:
+            by_text.setdefault(span.text_id, []).append(span)
+        for group in by_text.values():
+            ordered = sorted(group, key=lambda s: s.start)
+            for a, b in zip(ordered, ordered[1:]):
+                assert a.end < b.start

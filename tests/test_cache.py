@@ -1,0 +1,134 @@
+"""Tests for the LRU inverted-list cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.search import NearDuplicateSearcher
+from repro.exceptions import InvalidParameterError
+from repro.index.cache import CachedIndexReader
+from repro.index.inverted import POSTING_BYTES
+
+
+@pytest.fixture
+def cached(planted_index):
+    planted_index.io_stats.reset()
+    return CachedIndexReader(planted_index, capacity_bytes=1 << 20)
+
+
+def first_list(index):
+    for func in range(index.family.k):
+        for minhash, postings in index.iter_lists(func):
+            if postings.size:
+                return func, minhash, postings
+    raise AssertionError("index is empty")
+
+
+class TestBasics:
+    def test_capacity_validated(self, planted_index):
+        with pytest.raises(InvalidParameterError):
+            CachedIndexReader(planted_index, capacity_bytes=0)
+
+    def test_passthrough_metadata(self, cached, planted_index):
+        assert cached.family == planted_index.family
+        assert cached.t == planted_index.t
+        assert cached.num_postings == planted_index.num_postings
+        assert cached.nbytes == planted_index.nbytes
+
+    def test_list_contents_identical(self, cached, planted_index):
+        func, minhash, postings = first_list(planted_index)
+        assert np.array_equal(cached.load_list(func, minhash), postings)
+
+    def test_list_length_passthrough(self, cached, planted_index):
+        func, minhash, postings = first_list(planted_index)
+        assert cached.list_length(func, minhash) == postings.size
+        cached.load_list(func, minhash)
+        assert cached.list_length(func, minhash) == postings.size
+
+
+class TestCaching:
+    def test_second_read_hits(self, cached):
+        func, minhash, _ = first_list(cached.inner)
+        cached.load_list(func, minhash)
+        assert cached.misses == 1 and cached.hits == 0
+        cached.load_list(func, minhash)
+        assert cached.hits == 1
+
+    def test_hit_costs_no_io(self, cached):
+        func, minhash, postings = first_list(cached.inner)
+        cached.load_list(func, minhash)
+        before = cached.io_stats.bytes_read
+        cached.load_list(func, minhash)
+        assert cached.io_stats.bytes_read == before
+
+    def test_point_read_served_from_cached_list(self, cached):
+        func, minhash, postings = first_list(cached.inner)
+        cached.load_list(func, minhash)
+        text_id = int(postings["text"][0])
+        before = cached.io_stats.bytes_read
+        windows = cached.load_text_windows(func, minhash, text_id)
+        assert cached.io_stats.bytes_read == before
+        expected = postings[postings["text"] == text_id]
+        assert np.array_equal(windows, expected)
+
+    def test_point_read_uncached_delegates(self, cached):
+        func, minhash, postings = first_list(cached.inner)
+        text_id = int(postings["text"][0])
+        windows = cached.load_text_windows(func, minhash, text_id)
+        expected = postings[postings["text"] == text_id]
+        assert np.array_equal(windows, expected)
+
+    def test_eviction_respects_capacity(self, planted_index):
+        func, minhash, postings = first_list(planted_index)
+        tiny = CachedIndexReader(
+            planted_index, capacity_bytes=max(POSTING_BYTES * 8, 64)
+        )
+        for mh, lst in planted_index.iter_lists(func):
+            tiny.load_list(func, mh)
+            assert tiny.cached_bytes <= tiny._capacity
+
+    def test_oversized_list_bypasses(self, planted_index):
+        func, minhash, postings = first_list(planted_index)
+        tiny = CachedIndexReader(planted_index, capacity_bytes=1)
+        tiny.load_list(func, minhash)
+        assert tiny.cached_bytes == 0
+
+    def test_clear(self, cached):
+        func, minhash, _ = first_list(cached.inner)
+        cached.load_list(func, minhash)
+        cached.clear()
+        assert cached.cached_bytes == 0
+        cached.load_list(func, minhash)
+        assert cached.misses == 2
+
+    def test_hit_rate(self, cached):
+        func, minhash, _ = first_list(cached.inner)
+        assert cached.hit_rate == 0.0
+        cached.load_list(func, minhash)
+        cached.load_list(func, minhash)
+        assert cached.hit_rate == pytest.approx(0.5)
+
+
+class TestSearchThroughCache:
+    def test_results_identical(self, planted_data, planted_index):
+        query = np.asarray(planted_data.corpus[0])[:40]
+        direct = NearDuplicateSearcher(planted_index).search(query, 0.8)
+        cached_reader = CachedIndexReader(planted_index)
+        through_cache = NearDuplicateSearcher(cached_reader).search(query, 0.8)
+        as_set = lambda res: {
+            (m.text_id, r.i_lo, r.i_hi, r.j_lo, r.j_hi, r.count)
+            for m in res.matches
+            for r in m.rectangles
+        }
+        assert as_set(direct) == as_set(through_cache)
+
+    def test_repeat_queries_hit(self, planted_data, planted_index):
+        cached_reader = CachedIndexReader(planted_index)
+        searcher = NearDuplicateSearcher(cached_reader)
+        query = np.asarray(planted_data.corpus[0])[:40]
+        searcher.search(query, 0.8)
+        misses_after_first = cached_reader.misses
+        searcher.search(query, 0.8)
+        assert cached_reader.misses == misses_after_first
+        assert cached_reader.hits > 0

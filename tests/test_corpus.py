@@ -1,0 +1,161 @@
+"""Tests for corpus abstractions and the on-disk store."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.corpus.corpus import Corpus, InMemoryCorpus, TOKEN_DTYPE, corpus_nbytes
+from repro.corpus.store import DiskCorpus, write_corpus
+from repro.exceptions import CorpusFormatError, InvalidParameterError
+
+
+class TestInMemoryCorpus:
+    def test_basic_access(self):
+        corpus = InMemoryCorpus([[1, 2, 3], [4, 5]])
+        assert len(corpus) == 2
+        assert corpus.total_tokens == 5
+        assert np.array_equal(corpus[0], np.array([1, 2, 3], dtype=TOKEN_DTYPE))
+
+    def test_iteration_order(self):
+        corpus = InMemoryCorpus([[1], [2], [3]])
+        assert [int(t[0]) for t in corpus] == [1, 2, 3]
+
+    def test_dtype_coerced(self):
+        corpus = InMemoryCorpus([np.array([1.0, 2.0])])
+        assert corpus[0].dtype == TOKEN_DTYPE
+
+    def test_empty_corpus(self):
+        corpus = InMemoryCorpus([])
+        assert len(corpus) == 0
+        assert corpus.total_tokens == 0
+
+    def test_empty_text_allowed(self):
+        corpus = InMemoryCorpus([[], [1]])
+        assert corpus[0].size == 0
+        assert corpus.total_tokens == 1
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            InMemoryCorpus([np.zeros((2, 2))])
+
+    def test_satisfies_protocol(self):
+        assert isinstance(InMemoryCorpus([[1]]), Corpus)
+
+    def test_vocabulary_size(self):
+        corpus = InMemoryCorpus([[0, 5], [3]])
+        assert corpus.vocabulary_size() == 6
+        assert InMemoryCorpus([]).vocabulary_size() == 0
+
+    def test_subset(self):
+        corpus = InMemoryCorpus([[1], [2], [3]])
+        sub = corpus.subset(2)
+        assert len(sub) == 2
+        assert int(sub[1][0]) == 2
+        with pytest.raises(InvalidParameterError):
+            corpus.subset(-1)
+
+    def test_iter_batches(self):
+        corpus = InMemoryCorpus([[i] for i in range(7)])
+        batches = list(corpus.iter_batches(3))
+        assert [len(b) for b in batches] == [3, 3, 1]
+        ids = [text_id for batch in batches for text_id, _ in batch]
+        assert ids == list(range(7))
+
+    def test_iter_batches_validation(self):
+        with pytest.raises(InvalidParameterError):
+            list(InMemoryCorpus([[1]]).iter_batches(0))
+
+    def test_corpus_nbytes(self):
+        corpus = InMemoryCorpus([[1, 2], [3]])
+        assert corpus_nbytes(corpus) == 12
+
+
+class TestDiskCorpus:
+    def test_roundtrip(self, tmp_path, tiny_corpus):
+        directory = write_corpus(tiny_corpus, tmp_path / "corpus")
+        disk = DiskCorpus(directory)
+        assert len(disk) == len(tiny_corpus)
+        assert disk.total_tokens == tiny_corpus.total_tokens
+        for text_id in range(len(tiny_corpus)):
+            assert np.array_equal(disk[text_id], tiny_corpus[text_id])
+
+    def test_write_from_generator(self, tmp_path):
+        def produce():
+            yield np.array([1, 2], dtype=TOKEN_DTYPE)
+            yield np.array([3], dtype=TOKEN_DTYPE)
+
+        directory = write_corpus(produce(), tmp_path / "gen")
+        disk = DiskCorpus(directory)
+        assert len(disk) == 2
+        assert disk.total_tokens == 3
+
+    def test_empty_corpus(self, tmp_path):
+        directory = write_corpus([], tmp_path / "empty")
+        disk = DiskCorpus(directory)
+        assert len(disk) == 0
+        assert disk.total_tokens == 0
+
+    def test_index_out_of_range(self, tmp_path):
+        directory = write_corpus([np.array([1], dtype=TOKEN_DTYPE)], tmp_path / "c")
+        disk = DiskCorpus(directory)
+        with pytest.raises(IndexError):
+            disk[1]
+        with pytest.raises(IndexError):
+            disk[-1]
+
+    def test_missing_meta(self, tmp_path):
+        with pytest.raises(CorpusFormatError):
+            DiskCorpus(tmp_path)
+
+    def test_truncated_tokens_detected(self, tmp_path):
+        directory = write_corpus(
+            [np.arange(100, dtype=TOKEN_DTYPE)], tmp_path / "trunc"
+        )
+        tokens = directory / "tokens.bin"
+        tokens.write_bytes(tokens.read_bytes()[:-4])
+        with pytest.raises(CorpusFormatError):
+            DiskCorpus(directory)
+
+    def test_bad_version_detected(self, tmp_path):
+        directory = write_corpus([np.array([1], dtype=TOKEN_DTYPE)], tmp_path / "v")
+        meta = directory / "meta.json"
+        payload = json.loads(meta.read_text())
+        payload["format_version"] = 999
+        meta.write_text(json.dumps(payload))
+        with pytest.raises(CorpusFormatError):
+            DiskCorpus(directory)
+
+    def test_meta_text_count_mismatch(self, tmp_path):
+        directory = write_corpus([np.array([1], dtype=TOKEN_DTYPE)], tmp_path / "m")
+        meta = directory / "meta.json"
+        payload = json.loads(meta.read_text())
+        payload["num_texts"] = 7
+        meta.write_text(json.dumps(payload))
+        with pytest.raises(CorpusFormatError):
+            DiskCorpus(directory)
+
+    def test_iter_batches_copies(self, tmp_path, tiny_corpus):
+        directory = write_corpus(tiny_corpus, tmp_path / "b")
+        disk = DiskCorpus(directory)
+        batches = list(disk.iter_batches(5))
+        total = sum(tokens.size for batch in batches for _, tokens in batch)
+        assert total == tiny_corpus.total_tokens
+        first_batch_text = batches[0][0][1]
+        assert first_batch_text.flags.owndata  # copied out of the memmap
+
+    def test_to_memory(self, tmp_path, tiny_corpus):
+        directory = write_corpus(tiny_corpus, tmp_path / "mem")
+        loaded = DiskCorpus(directory).to_memory()
+        assert isinstance(loaded, InMemoryCorpus)
+        for text_id in range(len(tiny_corpus)):
+            assert np.array_equal(loaded[text_id], tiny_corpus[text_id])
+
+    def test_iteration(self, tmp_path):
+        directory = write_corpus(
+            [np.array([i], dtype=TOKEN_DTYPE) for i in range(5)], tmp_path / "it"
+        )
+        values = [int(text[0]) for text in DiskCorpus(directory)]
+        assert values == list(range(5))

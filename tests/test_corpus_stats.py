@@ -1,0 +1,105 @@
+"""Tests for corpus statistics (Zipf profile, duplication probe)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.corpus import InMemoryCorpus
+from repro.corpus.stats import (
+    LengthProfile,
+    fit_zipf_exponent,
+    frequency_profile,
+    ngram_duplication_rate,
+    token_frequencies,
+)
+from repro.corpus.synthetic import zipf_corpus
+from repro.exceptions import InvalidParameterError
+
+
+class TestTokenFrequencies:
+    def test_counts(self):
+        corpus = InMemoryCorpus([[0, 0, 1], [1, 2]])
+        counts = token_frequencies(corpus)
+        assert counts.tolist() == [2, 2, 1]
+
+    def test_explicit_vocab(self):
+        corpus = InMemoryCorpus([[0]])
+        counts = token_frequencies(corpus, vocab_size=5)
+        assert counts.tolist() == [1, 0, 0, 0, 0]
+
+    def test_empty_corpus(self):
+        assert token_frequencies(InMemoryCorpus([]), vocab_size=3).tolist() == [0, 0, 0]
+
+
+class TestZipfFit:
+    def test_perfect_zipf(self):
+        ranks = np.arange(1, 501, dtype=np.float64)
+        counts = np.round(1e6 / ranks**1.2).astype(np.int64)
+        assert fit_zipf_exponent(counts) == pytest.approx(1.2, abs=0.05)
+
+    def test_uniform_has_low_exponent(self):
+        counts = np.full(100, 50, dtype=np.int64)
+        assert fit_zipf_exponent(counts) == pytest.approx(0.0, abs=0.05)
+
+    def test_too_few_tokens(self):
+        with pytest.raises(InvalidParameterError):
+            fit_zipf_exponent(np.array([5, 3]))
+
+
+class TestFrequencyProfile:
+    def test_synthetic_corpus_is_skewed(self):
+        corpus = zipf_corpus(150, mean_length=150, vocab_size=2000, seed=5)
+        profile = frequency_profile(corpus, vocab_size=2000)
+        assert profile.is_skewed
+        assert profile.zipf_exponent > 0.6
+        assert profile.top1_share > 0.01
+        assert profile.total_tokens == corpus.total_tokens
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            frequency_profile(InMemoryCorpus([[]]), vocab_size=4)
+
+
+class TestLengthProfile:
+    def test_fields(self):
+        corpus = InMemoryCorpus([[1] * 10, [1] * 20, [1] * 100])
+        profile = LengthProfile.from_corpus(corpus, t=25)
+        assert profile.num_texts == 3
+        assert profile.maximum == 100
+        assert profile.below_t == 2
+        assert profile.median == 20
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LengthProfile.from_corpus(InMemoryCorpus([]))
+
+
+class TestDuplicationRate:
+    def test_no_duplicates(self, rng):
+        texts = [
+            np.arange(i * 1000, i * 1000 + 100, dtype=np.uint32) for i in range(5)
+        ]
+        assert ngram_duplication_rate(InMemoryCorpus(texts), n=20) == 0.0
+
+    def test_planted_exact_duplicates_detected(self, rng):
+        texts = [rng.integers(0, 10**6, size=100).astype(np.uint32) for _ in range(5)]
+        texts[3][0:40] = texts[0][0:40]
+        rate = ngram_duplication_rate(InMemoryCorpus(texts), n=20)
+        assert rate > 0.0
+
+    def test_within_text_repeats_not_counted(self):
+        """The probe counts cross-text duplication only."""
+        text = np.tile(np.arange(20, dtype=np.uint32), 5)
+        assert ngram_duplication_rate(InMemoryCorpus([text]), n=20) == 0.0
+
+    def test_sampling(self, rng):
+        texts = [rng.integers(0, 100, size=60).astype(np.uint32) for _ in range(20)]
+        rate = ngram_duplication_rate(
+            InMemoryCorpus(texts), n=10, sample_texts=5, seed=1
+        )
+        assert 0.0 <= rate <= 1.0
+
+    def test_n_validated(self):
+        with pytest.raises(InvalidParameterError):
+            ngram_duplication_rate(InMemoryCorpus([[1]]), n=0)

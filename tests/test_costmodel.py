@@ -1,0 +1,94 @@
+"""Tests for the prefix-filter cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.search import NearDuplicateSearcher
+from repro.exceptions import InvalidParameterError
+from repro.index.costmodel import (
+    CostModelSearcher,
+    estimate_cost,
+    plan_prefix,
+)
+
+
+class TestEstimateCost:
+    def test_zero_long_lists(self):
+        lengths = np.array([100, 50, 10, 5])
+        estimate = estimate_cost(lengths, 0, beta=3)
+        assert estimate.num_long == 0
+        assert estimate.lazy_bytes == 0
+        assert estimate.eager_bytes == 165 * 16
+
+    def test_more_long_lists_less_eager_io(self):
+        lengths = np.array([10_000, 100, 50, 10])
+        none_long = estimate_cost(lengths, 0, beta=3)
+        one_long = estimate_cost(lengths, 1, beta=3)
+        assert one_long.eager_bytes < none_long.eager_bytes
+
+    def test_skewed_lists_favor_filtering(self):
+        """With one huge list the model must prefer to filter it."""
+        lengths = np.array([1_000_000, 100, 80, 60, 40, 20, 10, 5])
+        none_long = estimate_cost(lengths, 0, beta=6)
+        one_long = estimate_cost(lengths, 1, beta=6)
+        assert one_long.total < none_long.total
+
+    def test_uniform_lists_favor_no_filtering(self):
+        """With uniform short lists, lazy point reads are pure overhead."""
+        lengths = np.array([50] * 8)
+        none_long = estimate_cost(lengths, 0, beta=6)
+        two_long = estimate_cost(lengths, 2, beta=6)
+        assert none_long.total <= two_long.total
+
+    def test_num_long_validated(self):
+        lengths = np.array([10, 10])
+        with pytest.raises(InvalidParameterError):
+            estimate_cost(lengths, -1, beta=2)
+        with pytest.raises(InvalidParameterError):
+            estimate_cost(lengths, 2, beta=2)  # must stay < beta
+
+
+class TestPlanPrefix:
+    def test_plan_picks_longest_lists(self):
+        lengths = np.array([5, 1_000_000, 10, 500_000, 20, 30, 40, 50])
+        plan = plan_prefix(lengths, k=8, theta=0.75)  # beta = 6
+        for func in plan.long_funcs:
+            assert lengths[func] >= 500_000
+
+    def test_plan_respects_beta_cap(self):
+        lengths = np.array([1_000] * 8)
+        plan = plan_prefix(lengths, k=8, theta=0.25)  # beta = 2 -> at most 1 long
+        assert len(plan.long_funcs) <= 1
+
+    def test_length_count_validated(self):
+        with pytest.raises(InvalidParameterError):
+            plan_prefix(np.array([1, 2]), k=4, theta=0.5)
+
+    def test_no_filtering_when_uniform(self):
+        lengths = np.array([40] * 16)
+        plan = plan_prefix(lengths, k=16, theta=0.8)
+        assert plan.long_funcs == ()
+
+
+class TestCostModelSearcher:
+    def test_same_answers_as_fixed_cutoff(self, planted_data, planted_index):
+        query = np.asarray(planted_data.corpus[0])[:40]
+        reference = NearDuplicateSearcher(planted_index, long_list_cutoff=0).search(
+            query, 0.8
+        )
+        adaptive = CostModelSearcher(planted_index).search(query, 0.8)
+        as_set = lambda res: {
+            (m.text_id, r.i_lo, r.i_hi, r.j_lo, r.j_hi, r.count)
+            for m in res.matches
+            for r in m.rectangles
+        }
+        assert as_set(adaptive) == as_set(reference)
+
+    def test_multiple_thetas(self, planted_data, planted_index):
+        searcher = CostModelSearcher(planted_index)
+        query = np.asarray(planted_data.corpus[1])[:40]
+        for theta in (0.6, 0.9, 1.0):
+            result = searcher.search(query, theta)
+            assert result.theta == theta

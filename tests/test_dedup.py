@@ -1,0 +1,165 @@
+"""Tests for the corpus deduplication pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.core.verify import Span
+from repro.corpus.corpus import InMemoryCorpus
+from repro.dedup.clusters import DuplicateCluster, UnionFind, build_clusters
+from repro.dedup.pipeline import deduplicate, find_duplicate_clusters
+from repro.exceptions import InvalidParameterError
+from repro.index.builder import build_memory_index
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        forest = UnionFind(4)
+        assert len({forest.find(i) for i in range(4)}) == 4
+
+    def test_union_merges(self):
+        forest = UnionFind(4)
+        assert forest.union(0, 1)
+        assert forest.find(0) == forest.find(1)
+        assert not forest.union(1, 0)
+
+    def test_transitive(self):
+        forest = UnionFind(5)
+        forest.union(0, 1)
+        forest.union(1, 2)
+        assert forest.find(0) == forest.find(2)
+        assert forest.find(3) != forest.find(0)
+
+    def test_groups(self):
+        forest = UnionFind(5)
+        forest.union(0, 1)
+        forest.union(2, 3)
+        groups = sorted(sorted(g) for g in forest.groups().values())
+        assert groups == [[0, 1], [2, 3], [4]]
+
+
+class TestClusters:
+    def test_representative_is_longest(self):
+        cluster = DuplicateCluster(
+            (Span(0, 0, 10), Span(1, 5, 20), Span(2, 0, 5))
+        )
+        assert cluster.representative == Span(1, 5, 20)
+        assert set(cluster.redundant()) == {Span(0, 0, 10), Span(2, 0, 5)}
+
+    def test_build_clusters_skips_singletons(self):
+        spans = [Span(0, 0, 5), Span(1, 0, 5), Span(2, 0, 5)]
+        clusters = build_clusters(spans, [(0, 1)])
+        assert len(clusters) == 1
+        assert clusters[0].size == 2
+
+    def test_build_clusters_sorted_by_size(self):
+        spans = [Span(i, 0, 5) for i in range(6)]
+        clusters = build_clusters(spans, [(0, 1), (2, 3), (3, 4)])
+        assert [c.size for c in clusters] == [3, 2]
+
+
+@pytest.fixture(scope="module")
+def dedup_setup():
+    """A corpus where one 40-token passage appears in texts 1, 4 and 7."""
+    rng = np.random.default_rng(8)
+    vocab = 400
+    texts = [rng.integers(0, vocab, size=120).astype(np.uint32) for _ in range(10)]
+    passage = np.array(texts[1][30:70])
+    texts[4][10:50] = passage
+    texts[7][60:100] = passage
+    corpus = InMemoryCorpus(texts)
+    family = HashFamily(k=16, seed=9)
+    index = build_memory_index(corpus, family, t=20, vocab_size=vocab)
+    return corpus, NearDuplicateSearcher(index)
+
+
+class TestPipeline:
+    def test_finds_the_planted_cluster(self, dedup_setup):
+        corpus, searcher = dedup_setup
+        report = find_duplicate_clusters(
+            corpus, searcher, theta=0.9, window=40, stride=10
+        )
+        assert report.clusters
+        biggest = report.clusters[0]
+        member_texts = {span.text_id for span in biggest.members}
+        assert {1, 4, 7} <= member_texts
+
+    def test_probe_count(self, dedup_setup):
+        corpus, searcher = dedup_setup
+        report = find_duplicate_clusters(
+            corpus, searcher, theta=0.9, window=40, stride=40
+        )
+        expected = sum(
+            len(range(0, max(0, np.asarray(corpus[i]).size - 40 + 1), 40))
+            for i in range(len(corpus))
+        )
+        assert report.probes == expected
+
+    def test_max_probes_cap(self, dedup_setup):
+        corpus, searcher = dedup_setup
+        report = find_duplicate_clusters(
+            corpus, searcher, theta=0.9, window=40, max_probes=3
+        )
+        assert report.probes == 3
+
+    def test_window_validated(self, dedup_setup):
+        corpus, searcher = dedup_setup
+        with pytest.raises(InvalidParameterError):
+            find_duplicate_clusters(corpus, searcher, window=5)
+        with pytest.raises(InvalidParameterError):
+            find_duplicate_clusters(corpus, searcher, window=40, stride=0)
+
+    def test_report_accounting(self, dedup_setup):
+        corpus, searcher = dedup_setup
+        report = find_duplicate_clusters(
+            corpus, searcher, theta=0.9, window=40, stride=10
+        )
+        assert report.duplicated_spans >= 3
+        assert report.redundant_tokens > 0
+        assert report.seconds > 0
+        drop = report.drop_list()
+        # Drop list is disjoint per text.
+        per_text: dict[int, list[Span]] = {}
+        for span in drop:
+            per_text.setdefault(span.text_id, []).append(span)
+        for group in per_text.values():
+            ordered = sorted(group, key=lambda s: s.start)
+            for a, b in zip(ordered, ordered[1:]):
+                assert a.end < b.start
+
+
+class TestDeduplicate:
+    def test_removes_redundant_tokens(self, dedup_setup):
+        corpus, searcher = dedup_setup
+        report = find_duplicate_clusters(
+            corpus, searcher, theta=0.9, window=40, stride=10
+        )
+        cleaned = deduplicate(corpus, report)
+        assert len(cleaned) == len(corpus)
+        total_before = corpus.total_tokens
+        total_after = sum(t.size for t in cleaned)
+        assert total_after == total_before - sum(
+            s.length for s in report.drop_list()
+        )
+
+    def test_untouched_texts_identical(self, dedup_setup):
+        corpus, searcher = dedup_setup
+        report = find_duplicate_clusters(
+            corpus, searcher, theta=0.9, window=40, stride=10
+        )
+        dropped_texts = {s.text_id for s in report.drop_list()}
+        cleaned = deduplicate(corpus, report)
+        for text_id in range(len(corpus)):
+            if text_id not in dropped_texts:
+                assert np.array_equal(cleaned[text_id], corpus[text_id])
+
+    def test_empty_report_is_identity(self, dedup_setup):
+        corpus, searcher = dedup_setup
+        from repro.dedup.pipeline import DedupReport
+
+        cleaned = deduplicate(corpus, DedupReport(theta=0.9, window=40, stride=40))
+        for text_id in range(len(corpus)):
+            assert np.array_equal(cleaned[text_id], corpus[text_id])

@@ -1,0 +1,134 @@
+"""Tests for the suffix-array exact-substring baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact_substring import SuffixArrayIndex
+from repro.core.verify import Span
+from repro.corpus.corpus import InMemoryCorpus
+from repro.exceptions import InvalidParameterError
+
+
+def brute_force_occurrences(corpus, query):
+    query = np.asarray(query, dtype=np.int64)
+    spans = []
+    for text_id in range(len(corpus)):
+        text = np.asarray(corpus[text_id], dtype=np.int64)
+        for start in range(0, text.size - query.size + 1):
+            if np.array_equal(text[start : start + query.size], query):
+                spans.append(Span(text_id, start, start + query.size - 1))
+    return spans
+
+
+class TestSuffixSort:
+    def test_sorted_order(self, rng):
+        sequence = rng.integers(0, 5, size=60).astype(np.int64)
+        suffixes = SuffixArrayIndex._sort_suffixes(sequence)
+        assert sorted(suffixes.tolist()) == list(range(60))
+        for a, b in zip(suffixes, suffixes[1:]):
+            assert tuple(sequence[a:].tolist()) < tuple(sequence[b:].tolist())
+
+    def test_empty(self):
+        assert SuffixArrayIndex._sort_suffixes(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_all_equal_tokens(self):
+        sequence = np.zeros(10, dtype=np.int64)
+        suffixes = SuffixArrayIndex._sort_suffixes(sequence)
+        # Shorter suffixes of a constant string sort first.
+        assert suffixes.tolist() == list(range(9, -1, -1))
+
+
+class TestFindOccurrences:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        rng = np.random.default_rng(77)
+        texts = [rng.integers(0, 6, size=40).astype(np.uint32) for _ in range(6)]
+        texts[4][7:19] = texts[1][3:15]  # planted exact copy
+        return InMemoryCorpus(texts)
+
+    @pytest.fixture(scope="class")
+    def index(self, corpus):
+        return SuffixArrayIndex().build(corpus)
+
+    def test_matches_brute_force(self, corpus, index, rng):
+        for _ in range(25):
+            text_id = int(rng.integers(0, len(corpus)))
+            text = np.asarray(corpus[text_id])
+            start = int(rng.integers(0, text.size - 5))
+            length = int(rng.integers(1, min(12, text.size - start)))
+            query = text[start : start + length]
+            got = index.find_occurrences(query)
+            assert got == brute_force_occurrences(corpus, query)
+
+    def test_planted_copy_found_in_both_texts(self, corpus, index):
+        query = np.asarray(corpus[1])[3:15]
+        spans = index.find_occurrences(query)
+        texts = {s.text_id for s in spans}
+        assert {1, 4} <= texts
+
+    def test_absent_query(self, index):
+        query = np.array([99, 98, 97], dtype=np.uint32)
+        assert index.find_occurrences(query) == []
+        assert not index.contains(query)
+
+    def test_count(self, corpus, index):
+        query = np.asarray(corpus[1])[3:15]
+        assert index.count(query) == len(brute_force_occurrences(corpus, query))
+
+    def test_match_never_spans_texts(self, corpus, index):
+        """A query formed by the end of one text + start of the next
+        must not match (the sentinel separates them)."""
+        tail = np.asarray(corpus[0])[-3:]
+        head = np.asarray(corpus[1])[:3]
+        query = np.concatenate([tail, head])
+        assert index.find_occurrences(query) == brute_force_occurrences(corpus, query)
+
+    def test_empty_query_rejected(self, index):
+        with pytest.raises(InvalidParameterError):
+            index.find_occurrences(np.array([], dtype=np.uint32))
+
+    def test_unbuilt_index_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SuffixArrayIndex().find_occurrences(np.array([1]))
+
+    def test_full_text_query(self, corpus, index):
+        text = np.asarray(corpus[2])
+        spans = index.find_occurrences(text)
+        assert Span(2, 0, text.size - 1) in spans
+
+    def test_stats(self, corpus):
+        index = SuffixArrayIndex().build(corpus)
+        assert index.stats.total_positions == corpus.total_tokens + len(corpus)
+        assert index.stats.build_seconds > 0
+        index.find_occurrences(np.asarray(corpus[0])[:5])
+        assert index.stats.queries == 1
+
+
+class TestExactVsNearGap:
+    def test_near_duplicates_more_pervasive_than_exact(self):
+        """The paper's headline: a mutated copy is invisible to exact
+        matching but found by near-duplicate search."""
+        rng = np.random.default_rng(5)
+        vocab = 300
+        texts = [rng.integers(0, vocab, size=80).astype(np.uint32) for _ in range(8)]
+        query = np.array(texts[0][10:50])
+        mutated = np.array(query)
+        mutated[::8] = rng.integers(0, vocab, size=mutated[::8].size)
+        texts[5][20:60] = mutated
+        corpus = InMemoryCorpus(texts)
+
+        exact = SuffixArrayIndex().build(corpus)
+        exact_texts = {s.text_id for s in exact.find_occurrences(query)}
+        assert exact_texts == {0}  # only the verbatim original
+
+        from repro.core.hashing import HashFamily
+        from repro.core.search import NearDuplicateSearcher
+        from repro.index.builder import build_memory_index
+
+        family = HashFamily(k=16, seed=1)
+        index = build_memory_index(corpus, family, t=20, vocab_size=vocab)
+        near = NearDuplicateSearcher(index).search(query, 0.7)
+        near_texts = {m.text_id for m in near.matches}
+        assert {0, 5} <= near_texts  # the near-duplicate copy too

@@ -1,0 +1,154 @@
+"""Tests for incremental index maintenance (main + delta)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.corpus.corpus import InMemoryCorpus
+from repro.exceptions import InvalidParameterError
+from repro.index.builder import build_memory_index
+from repro.index.incremental import IncrementalIndex
+
+
+VOCAB = 200
+
+
+@pytest.fixture
+def setup(rng):
+    initial = [rng.integers(0, VOCAB, size=60).astype(np.uint32) for _ in range(6)]
+    extra = [rng.integers(0, VOCAB, size=60).astype(np.uint32) for _ in range(4)]
+    family = HashFamily(k=8, seed=4)
+    main = build_memory_index(InMemoryCorpus(initial), family, t=10, vocab_size=VOCAB)
+    return initial, extra, family, main
+
+
+def indexes_answer_equally(a, b, corpus_texts, theta=0.7):
+    query = np.asarray(corpus_texts[0])[:30]
+    res_a = NearDuplicateSearcher(a).search(query, theta)
+    res_b = NearDuplicateSearcher(b).search(query, theta)
+    as_set = lambda res: {
+        (m.text_id, r.i_lo, r.i_hi, r.j_lo, r.j_hi, r.count)
+        for m in res.matches
+        for r in m.rectangles
+    }
+    return as_set(res_a) == as_set(res_b)
+
+
+class TestAppend:
+    def test_ids_continue_from_main(self, setup):
+        initial, extra, family, main = setup
+        inc = IncrementalIndex(main, VOCAB)
+        ids = inc.append_texts(extra)
+        assert ids == [6, 7, 8, 9]
+
+    def test_union_equals_full_rebuild(self, setup):
+        initial, extra, family, main = setup
+        inc = IncrementalIndex(main, VOCAB)
+        inc.append_texts(extra)
+        rebuilt = build_memory_index(
+            InMemoryCorpus(initial + extra), family, t=10, vocab_size=VOCAB
+        )
+        assert inc.num_postings == rebuilt.num_postings
+        assert indexes_answer_equally(inc, rebuilt, initial + extra)
+
+    def test_new_text_searchable(self, setup):
+        initial, extra, family, main = setup
+        inc = IncrementalIndex(main, VOCAB)
+        new_id = inc.append_text(extra[0])
+        result = NearDuplicateSearcher(inc).search(extra[0][:30], 1.0)
+        assert any(m.text_id == new_id for m in result.matches)
+
+    def test_vocab_overflow_rejected(self, setup):
+        _, _, _, main = setup
+        inc = IncrementalIndex(main, VOCAB)
+        with pytest.raises(InvalidParameterError):
+            inc.append_text(np.array([VOCAB + 5] * 20, dtype=np.uint32))
+
+    def test_lists_stay_sorted_by_text(self, setup):
+        initial, extra, family, main = setup
+        inc = IncrementalIndex(main, VOCAB)
+        inc.append_texts(extra)
+        for func in range(family.k):
+            for minhash in np.unique(
+                np.concatenate(
+                    [
+                        np.array([mh for mh, _ in main.iter_lists(func)], dtype=np.uint64)
+                    ]
+                )
+            )[:5]:
+                postings = inc.load_list(func, int(minhash))
+                texts = postings["text"].astype(np.int64)
+                assert np.all(np.diff(texts) >= 0)
+
+
+class TestConsolidation:
+    def test_threshold_triggers_merge(self, setup):
+        initial, extra, family, main = setup
+        inc = IncrementalIndex(main, VOCAB, merge_threshold=1)
+        inc.append_texts(extra[:2])
+        assert inc.merges >= 1
+        assert inc.delta_postings == 0
+
+    def test_manual_consolidate_preserves_answers(self, setup):
+        initial, extra, family, main = setup
+        inc = IncrementalIndex(main, VOCAB)
+        inc.append_texts(extra)
+        rebuilt = build_memory_index(
+            InMemoryCorpus(initial + extra), family, t=10, vocab_size=VOCAB
+        )
+        inc.consolidate()
+        assert inc.delta_postings == 0
+        assert inc.num_postings == rebuilt.num_postings
+        assert indexes_answer_equally(inc, rebuilt, initial + extra)
+
+    def test_consolidate_empty_delta_noop(self, setup):
+        _, _, _, main = setup
+        inc = IncrementalIndex(main, VOCAB)
+        inc.consolidate()
+        assert inc.merges == 0
+
+    def test_merge_threshold_validated(self, setup):
+        _, _, _, main = setup
+        with pytest.raises(InvalidParameterError):
+            IncrementalIndex(main, VOCAB, merge_threshold=0)
+
+
+class TestReaderProtocol:
+    def test_list_length_is_union(self, setup):
+        initial, extra, family, main = setup
+        inc = IncrementalIndex(main, VOCAB)
+        inc.append_texts(extra)
+        rebuilt = build_memory_index(
+            InMemoryCorpus(initial + extra), family, t=10, vocab_size=VOCAB
+        )
+        for func in range(family.k):
+            for minhash, postings in rebuilt.iter_lists(func):
+                assert inc.list_length(func, int(minhash)) == postings.size
+
+    def test_load_text_windows_from_both_sides(self, setup):
+        initial, extra, family, main = setup
+        inc = IncrementalIndex(main, VOCAB)
+        new_ids = inc.append_texts(extra)
+        rebuilt = build_memory_index(
+            InMemoryCorpus(initial + extra), family, t=10, vocab_size=VOCAB
+        )
+        for func in range(family.k):
+            for minhash, postings in rebuilt.iter_lists(func):
+                for probe in {0, new_ids[0]}:
+                    got = inc.load_text_windows(func, int(minhash), probe)
+                    expected = postings[postings["text"] == probe]
+                    assert np.array_equal(
+                        np.sort(got, order=["center"]),
+                        np.sort(expected, order=["center"]),
+                    )
+                break  # one list per function keeps the test quick
+
+    def test_list_lengths_concatenated(self, setup):
+        initial, extra, family, main = setup
+        inc = IncrementalIndex(main, VOCAB)
+        inc.append_texts(extra)
+        total = sum(int(inc.list_lengths(func).sum()) for func in range(family.k))
+        assert total == inc.num_postings

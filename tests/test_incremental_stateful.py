@@ -1,0 +1,92 @@
+"""Stateful property test: IncrementalIndex vs a rebuild-from-scratch model.
+
+A hypothesis rule-based state machine drives an
+:class:`~repro.index.incremental.IncrementalIndex` through arbitrary
+interleavings of appends, consolidations, and queries, checking after
+every step that it answers exactly like an index rebuilt offline over
+the same accumulated corpus.
+
+Initial texts are forced to length ``>= t`` so every initial text owns
+postings and the incremental id assignment coincides with positional
+ids (an initial text shorter than ``t`` would leave no trace in the
+main index, shifting ``_next_text_id`` — a documented property of the
+constructor, exercised separately in ``tests/test_incremental.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.corpus.corpus import InMemoryCorpus
+from repro.index.builder import build_memory_index
+from repro.index.incremental import IncrementalIndex
+
+VOCAB = 24
+T = 4
+FAMILY = HashFamily(k=5, seed=77)
+
+long_text = st.lists(st.integers(0, VOCAB - 1), min_size=T + 1, max_size=20).map(
+    lambda xs: np.asarray(xs, dtype=np.uint32)
+)
+any_text = st.lists(st.integers(0, VOCAB - 1), min_size=1, max_size=20).map(
+    lambda xs: np.asarray(xs, dtype=np.uint32)
+)
+
+
+def result_set(index, query, theta):
+    result = NearDuplicateSearcher(index).search(query, theta)
+    return {
+        (m.text_id, r.i_lo, r.i_hi, r.j_lo, r.j_hi, r.count)
+        for m in result.matches
+        for r in m.rectangles
+    }
+
+
+class IncrementalIndexMachine(RuleBasedStateMachine):
+    @initialize(initial=st.lists(long_text, min_size=1, max_size=3))
+    def start(self, initial):
+        self.texts = list(initial)
+        main = build_memory_index(
+            InMemoryCorpus(self.texts), FAMILY, T, vocab_size=VOCAB
+        )
+        self.incremental = IncrementalIndex(main, VOCAB, merge_threshold=10**9)
+        assert self.incremental._next_text_id == len(self.texts)
+
+    @rule(text=any_text)
+    def append(self, text):
+        new_id = self.incremental.append_text(text)
+        assert new_id == len(self.texts)
+        self.texts.append(text)
+
+    @rule()
+    def consolidate(self):
+        self.incremental.consolidate()
+
+    @rule(probe=st.integers(0, 10**6), theta=st.sampled_from([0.4, 0.8, 1.0]))
+    def query_matches_rebuild(self, probe, theta):
+        text = self.texts[probe % len(self.texts)]
+        query = text[: max(1, text.size // 2)]
+        rebuilt = build_memory_index(
+            InMemoryCorpus(self.texts), FAMILY, T, vocab_size=VOCAB
+        )
+        assert result_set(self.incremental, query, theta) == result_set(
+            rebuilt, query, theta
+        )
+
+    @invariant()
+    def posting_count_consistent(self):
+        rebuilt = build_memory_index(
+            InMemoryCorpus(self.texts), FAMILY, T, vocab_size=VOCAB
+        )
+        assert self.incremental.num_postings == rebuilt.num_postings
+
+
+IncrementalIndexMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=8, deadline=None
+)
+TestIncrementalIndexStateful = IncrementalIndexMachine.TestCase

@@ -1,0 +1,181 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import search_exact
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.core.theory import recall_estimate
+from repro.core.verify import verify_spans
+from repro.corpus.corpus import InMemoryCorpus
+from repro.corpus.store import DiskCorpus, write_corpus
+from repro.index.builder import build_memory_index
+from repro.index.external import ExternalBuildConfig, build_external_index
+from repro.index.storage import DiskInvertedIndex
+from repro.lm.models import train_zoo
+from repro.memorization.evaluator import evaluate_model
+from repro.tokenizer.bpe import BPETokenizer
+
+
+class TestTextPipeline:
+    """Raw strings -> BPE -> corpus -> index -> search -> decoded matches."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        boiler = (
+            "subscribe to our newsletter for the latest updates and offers "
+            "delivered directly to your inbox every single morning "
+        )
+        rng = np.random.default_rng(0)
+        words = ["alpha", "beta", "gamma", "delta", "omega", "sigma", "kappa"]
+        documents = []
+        for doc in range(30):
+            body = " ".join(rng.choice(words, size=60))
+            if doc % 3 == 0:
+                body = body[:60] + " " + boiler + body[60:]
+            documents.append(body)
+        tokenizer = BPETokenizer.train(documents, vocab_size=400)
+        corpus = InMemoryCorpus([tokenizer.encode(doc) for doc in documents])
+        family = HashFamily(k=16, seed=1)
+        index = build_memory_index(corpus, family, t=15)
+        return tokenizer, corpus, index, boiler
+
+    def test_boilerplate_found_across_documents(self, pipeline):
+        tokenizer, corpus, index, boiler = pipeline
+        # The in-document form starts with a leading space, which BPE
+        # tokenizes differently from the bare string — query as planted.
+        query = tokenizer.encode(" " + boiler)
+        result = NearDuplicateSearcher(index).search(query, 0.7)
+        assert result.num_texts >= 8  # planted in 10 documents
+
+    def test_matches_decode_to_boilerplate(self, pipeline):
+        tokenizer, corpus, index, boiler = pipeline
+        query = tokenizer.encode(" " + boiler)
+        result = NearDuplicateSearcher(index).search(query, 0.7)
+        span = result.merged_spans()[0]
+        decoded = tokenizer.decode(
+            np.asarray(corpus[span.text_id])[span.start : span.end + 1]
+        )
+        assert "newsletter" in decoded
+
+    def test_exact_verification_agrees(self, pipeline):
+        tokenizer, corpus, index, boiler = pipeline
+        query = tokenizer.encode(" " + boiler)
+        result = NearDuplicateSearcher(index).search(query, 0.7)
+        spans = result.merged_spans()
+        texts = [np.asarray(corpus[i]) for i in range(len(corpus))]
+        verified = verify_spans(query, texts, spans, theta=0.5)
+        assert len(verified) >= 0.8 * len(spans)
+
+
+class TestRecallOnPlantedDuplicates:
+    def test_planted_near_duplicates_found(self, planted_data, planted_index):
+        """Search for each planted target span; the source must be found
+        at a rate consistent with the binomial recall estimate."""
+        searcher = NearDuplicateSearcher(planted_index)
+        theta = 0.7
+        hits = 0
+        usable = 0
+        from repro.core.verify import distinct_jaccard
+
+        for plant in planted_data.planted[:30]:
+            query = np.asarray(planted_data.corpus[plant.target_text])[
+                plant.target_start : plant.target_start + plant.length
+            ]
+            src = np.asarray(planted_data.corpus[plant.source_text])[
+                plant.source_start : plant.source_start + plant.length
+            ]
+            true_sim = distinct_jaccard(query, src)
+            if true_sim < 0.85:  # overwritten by a later plant
+                continue
+            usable += 1
+            result = searcher.search(query, theta)
+            if any(m.text_id == plant.source_text for m in result.matches):
+                hits += 1
+        assert usable >= 10
+        predicted = recall_estimate(planted_index.family.k, theta, 0.9)
+        assert hits / usable >= 0.6 * predicted
+
+    def test_query_always_finds_itself(self, planted_data, planted_index):
+        searcher = NearDuplicateSearcher(planted_index)
+        for text_id in (0, 5, 10):
+            text = np.asarray(planted_data.corpus[text_id])
+            if text.size < 40:
+                continue
+            result = searcher.search(text[:40], 1.0)
+            assert any(m.text_id == text_id for m in result.matches)
+
+
+class TestDiskPipeline:
+    def test_full_disk_roundtrip(self, tmp_path, planted_data):
+        corpus_dir = write_corpus(planted_data.corpus, tmp_path / "corpus")
+        disk_corpus = DiskCorpus(corpus_dir)
+        family = HashFamily(k=8, seed=2)
+        build_external_index(
+            disk_corpus,
+            family,
+            25,
+            tmp_path / "idx",
+            config=ExternalBuildConfig(batch_texts=40, num_partitions=4),
+        )
+        index = DiskInvertedIndex(tmp_path / "idx")
+        searcher = NearDuplicateSearcher(index)
+        text = np.asarray(disk_corpus[0])
+        result = searcher.search(text[: max(30, index.t)], 0.9)
+        assert any(m.text_id == 0 for m in result.matches)
+        assert result.stats.io_bytes > 0
+
+
+class TestApproxVsExact:
+    def test_high_k_recovers_exact_answers(self):
+        """With large k, Definition 2 converges to Definition 1: the
+        indexed search finds what exact enumeration finds."""
+        rng = np.random.default_rng(31)
+        vocab = 100
+        texts = [rng.integers(0, vocab, size=60).astype(np.uint32) for _ in range(6)]
+        texts[4][10:40] = texts[1][5:35]
+        corpus = InMemoryCorpus(texts)
+        family = HashFamily(k=48, seed=7)
+        t = 15
+        index = build_memory_index(corpus, family, t=t, vocab_size=vocab)
+        query = np.asarray(texts[1][5:35])
+        theta = 0.8
+        exact = {
+            (s.text_id, s.start, s.end)
+            for s in search_exact(corpus, query, theta, t)
+        }
+        result = NearDuplicateSearcher(index).search(query, theta)
+        approx = {
+            (m.text_id, i, j)
+            for m in result.matches
+            for rect in m.rectangles
+            for (i, j) in rect.iter_spans(t)
+        }
+        # Most exact answers are recovered (binomial recall), and the
+        # planted copy in particular must be.
+        assert (4, 10, 39) in approx
+        assert len(exact & approx) >= 0.5 * len(exact)
+
+
+class TestMemorizationTrends:
+    def test_capacity_increases_memorization(self, planted_data, planted_index):
+        """Figure 4(a)/(c): larger models memorize more."""
+        searcher = NearDuplicateSearcher(planted_index)
+        zoo = train_zoo(planted_data.corpus, ["small", "xl"])
+        fractions = []
+        for tier in zoo:
+            report = evaluate_model(
+                tier.model,
+                searcher,
+                theta=0.8,
+                num_texts=3,
+                text_length=128,
+                window_width=32,
+                model_name=tier.name,
+                seed=6,
+            )
+            fractions.append(report.memorized_fraction)
+        assert fractions[1] >= fractions[0]

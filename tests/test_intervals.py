@@ -1,0 +1,204 @@
+"""Tests for IntervalScan (Algorithm 5) and CollisionCount (Algorithm 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compact_windows import CompactWindow, windows_to_array
+from repro.core.intervals import (
+    CollisionRectangle,
+    collision_count,
+    interval_scan,
+    max_collisions,
+)
+from repro.exceptions import InvalidParameterError
+
+
+def brute_force_coverage(intervals, alpha):
+    """point -> id set, for every point covered by >= alpha intervals."""
+    coverage = {}
+    if not intervals:
+        return coverage
+    lo = min(start for start, _ in intervals)
+    hi = max(end for _, end in intervals)
+    for point in range(lo, hi + 1):
+        members = frozenset(
+            ident
+            for ident, (start, end) in enumerate(intervals)
+            if start <= point <= end
+        )
+        if len(members) >= alpha:
+            coverage[point] = members
+    return coverage
+
+
+class TestIntervalScan:
+    def test_empty_input(self):
+        assert interval_scan([], 1) == []
+
+    def test_alpha_validated(self):
+        with pytest.raises(InvalidParameterError):
+            interval_scan([(0, 1)], 0)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            interval_scan([(5, 2)], 1)
+
+    def test_single_interval(self):
+        results = interval_scan([(2, 6)], 1)
+        assert len(results) == 1
+        assert results[0].members == (0,)
+        assert (results[0].start, results[0].end) == (2, 6)
+
+    def test_disjoint_intervals_alpha2(self):
+        assert interval_scan([(0, 1), (5, 9)], 2) == []
+
+    def test_nested_intervals(self):
+        results = interval_scan([(0, 10), (3, 5)], 2)
+        assert len(results) == 1
+        assert set(results[0].members) == {0, 1}
+        assert (results[0].start, results[0].end) == (3, 5)
+
+    def test_paper_lemma_every_point_reported_exactly_once(self, rng):
+        """Lemma 1: each point with >= alpha cover lies in exactly one
+        reported segment, whose member set is the exact covering set."""
+        for _ in range(25):
+            m = int(rng.integers(1, 12))
+            intervals = []
+            for _ in range(m):
+                start = int(rng.integers(0, 30))
+                end = start + int(rng.integers(0, 10))
+                intervals.append((start, end))
+            alpha = int(rng.integers(1, m + 1))
+            expected = brute_force_coverage(intervals, alpha)
+            got = {}
+            for result in interval_scan(intervals, alpha):
+                for point in range(result.start, result.end + 1):
+                    assert point not in got, "point reported twice"
+                    got[point] = frozenset(result.members)
+            assert got == expected
+
+    def test_identical_intervals(self):
+        results = interval_scan([(1, 4), (1, 4), (1, 4)], 3)
+        assert len(results) == 1
+        assert set(results[0].members) == {0, 1, 2}
+
+    def test_adjacent_segments_have_distinct_member_sets(self):
+        results = interval_scan([(0, 10), (0, 10), (3, 4)], 2)
+        for first, second in zip(results, results[1:]):
+            if first.end + 1 == second.start:
+                assert set(first.members) != set(second.members)
+
+    def test_touching_endpoints(self):
+        """[0,3] and [3,6] overlap exactly at point 3."""
+        results = interval_scan([(0, 3), (3, 6)], 2)
+        assert len(results) == 1
+        assert (results[0].start, results[0].end) == (3, 3)
+
+
+class TestCollisionRectangle:
+    def test_iter_spans_min_length(self):
+        rect = CollisionRectangle(i_lo=0, i_hi=2, j_lo=4, j_hi=5, count=3)
+        spans = list(rect.iter_spans(min_length=6))
+        assert spans == [(0, 5)]
+
+    def test_iter_spans_all(self):
+        rect = CollisionRectangle(i_lo=1, i_hi=2, j_lo=3, j_hi=4, count=2)
+        assert sorted(rect.iter_spans()) == [(1, 3), (1, 4), (2, 3), (2, 4)]
+
+    def test_span_count_matches_iteration(self):
+        rect = CollisionRectangle(i_lo=0, i_hi=4, j_lo=3, j_hi=9, count=2)
+        for min_length in (1, 4, 8, 20):
+            assert rect.span_count(min_length) == len(list(rect.iter_spans(min_length)))
+
+    def test_widest_span(self):
+        rect = CollisionRectangle(i_lo=2, i_hi=4, j_lo=5, j_hi=9, count=2)
+        assert rect.widest_span() == (2, 9)
+        assert rect.widest_span(min_length=8) == (2, 9)
+        assert rect.widest_span(min_length=9) is None
+
+    def test_clip_min_length(self):
+        rect = CollisionRectangle(i_lo=0, i_hi=1, j_lo=2, j_hi=3, count=1)
+        assert rect.clip_min_length(4) is rect
+        assert rect.clip_min_length(5) is None
+
+
+class TestCollisionCount:
+    def make_windows(self, triples):
+        return [CompactWindow(*t) for t in triples]
+
+    def test_single_window(self):
+        rects = collision_count(self.make_windows([(0, 3, 8)]), 1)
+        assert len(rects) == 1
+        rect = rects[0]
+        assert (rect.i_lo, rect.i_hi, rect.j_lo, rect.j_hi) == (0, 3, 3, 8)
+        assert rect.count == 1
+
+    def test_threshold_not_met(self):
+        windows = self.make_windows([(0, 2, 5), (10, 12, 15)])
+        assert collision_count(windows, 2) == []
+
+    def test_two_overlapping_windows(self):
+        windows = self.make_windows([(0, 4, 9), (2, 5, 12)])
+        rects = collision_count(windows, 2)
+        covered = {(i, j) for rect in rects for (i, j) in rect.iter_spans()}
+        expected = {
+            (i, j)
+            for i in range(0, 13)
+            for j in range(i, 13)
+            if max_collisions(windows, i, j) >= 2
+        }
+        assert covered == expected
+
+    def test_counts_are_exact(self, rng):
+        for _ in range(20):
+            m = int(rng.integers(1, 10))
+            windows = []
+            for _ in range(m):
+                left = int(rng.integers(0, 20))
+                center = left + int(rng.integers(0, 8))
+                right = center + int(rng.integers(0, 8))
+                windows.append(CompactWindow(left, center, right))
+            alpha = int(rng.integers(1, m + 1))
+            rects = collision_count(windows, alpha)
+            seen = set()
+            for rect in rects:
+                assert rect.count >= alpha
+                for (i, j) in rect.iter_spans():
+                    assert (i, j) not in seen, "rectangles overlap"
+                    seen.add((i, j))
+                    assert max_collisions(windows, i, j) == rect.count
+            # completeness
+            for i in range(0, 40):
+                for j in range(i, 40):
+                    if max_collisions(windows, i, j) >= alpha:
+                        assert (i, j) in seen
+
+    def test_structured_array_input(self, rng):
+        windows = [CompactWindow(0, 2, 6), CompactWindow(1, 3, 8)]
+        array = windows_to_array(windows)
+        rects_list = collision_count(windows, 2)
+        rects_array = collision_count(array, 2)
+        as_set = lambda rects: {
+            (r.i_lo, r.i_hi, r.j_lo, r.j_hi, r.count) for r in rects
+        }
+        assert as_set(rects_list) == as_set(rects_array)
+
+    def test_i_le_j_always(self, rng):
+        windows = [
+            CompactWindow(0, 5, 10),
+            CompactWindow(3, 5, 7),
+            CompactWindow(5, 5, 5),
+        ]
+        for rect in collision_count(windows, 2):
+            for (i, j) in rect.iter_spans():
+                assert i <= j
+
+    def test_max_collisions_helper(self):
+        windows = self.make_windows([(0, 2, 5), (1, 3, 6)])
+        assert max_collisions(windows, 1, 3) == 2
+        assert max_collisions(windows, 0, 5) == 1
+        assert max_collisions(windows, 4, 5) == 0
+        array = windows_to_array(windows)
+        assert max_collisions(array, 1, 3) == 2

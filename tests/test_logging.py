@@ -1,0 +1,71 @@
+"""Tests that the instrumentation logging actually fires."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.corpus.corpus import InMemoryCorpus
+from repro.index.builder import build_memory_index
+
+
+@pytest.fixture
+def small_corpus(rng):
+    return InMemoryCorpus(
+        [rng.integers(0, 40, size=30).astype(np.uint32) for _ in range(4)]
+    )
+
+
+def test_build_logs_summary(small_corpus, caplog):
+    family = HashFamily(k=2, seed=1)
+    with caplog.at_level(logging.INFO, logger="repro.index.builder"):
+        build_memory_index(small_corpus, family, t=5, vocab_size=40)
+    messages = [rec.message for rec in caplog.records]
+    assert any("built in-memory index" in m for m in messages)
+
+
+def test_search_logs_debug(small_corpus, caplog):
+    family = HashFamily(k=4, seed=2)
+    index = build_memory_index(small_corpus, family, t=5, vocab_size=40)
+    searcher = NearDuplicateSearcher(index)
+    with caplog.at_level(logging.DEBUG, logger="repro.core.search"):
+        searcher.search(np.asarray(small_corpus[0])[:10], 0.8)
+    assert any("query theta=" in rec.message for rec in caplog.records)
+
+
+def test_external_build_logs(small_corpus, caplog, tmp_path):
+    from repro.index.external import ExternalBuildConfig, build_external_index
+
+    family = HashFamily(k=2, seed=3)
+    with caplog.at_level(logging.INFO, logger="repro.index.external"):
+        build_external_index(
+            small_corpus,
+            family,
+            5,
+            tmp_path / "idx",
+            vocab_size=40,
+            config=ExternalBuildConfig(batch_texts=2, num_partitions=2),
+        )
+    assert any("external build complete" in rec.message for rec in caplog.records)
+
+
+def test_recursive_partitioning_logs_debug(small_corpus, caplog, tmp_path):
+    from repro.index.external import ExternalBuildConfig, build_external_index
+
+    family = HashFamily(k=2, seed=4)
+    with caplog.at_level(logging.DEBUG, logger="repro.index.external"):
+        build_external_index(
+            small_corpus,
+            family,
+            5,
+            tmp_path / "deep",
+            vocab_size=40,
+            config=ExternalBuildConfig(
+                batch_texts=2, num_partitions=2, memory_budget_bytes=64
+            ),
+        )
+    assert any("re-partitioning" in rec.message for rec in caplog.records)

@@ -1,0 +1,93 @@
+"""Tests for the approximation-quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.core.verify import Span
+from repro.corpus.corpus import InMemoryCorpus
+from repro.index.builder import build_memory_index
+from repro.memorization.metrics import (
+    QualityReport,
+    approximation_quality,
+    recall_curve,
+)
+
+
+class TestQualityReport:
+    def test_perfect(self):
+        report = QualityReport(true_positives=10, false_positives=0, false_negatives=0)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_empty(self):
+        report = QualityReport(0, 0, 0)
+        assert report.precision == 1.0 and report.recall == 1.0
+
+    def test_partial(self):
+        report = QualityReport(true_positives=6, false_positives=2, false_negatives=4)
+        assert report.precision == pytest.approx(0.75)
+        assert report.recall == pytest.approx(0.6)
+        assert 0.6 < report.f1 < 0.75
+
+
+@pytest.fixture(scope="module")
+def metric_setup():
+    rng = np.random.default_rng(15)
+    vocab = 120
+    texts = [rng.integers(0, vocab, size=50).astype(np.uint32) for _ in range(6)]
+    texts[3][5:35] = texts[0][10:40]
+    corpus = InMemoryCorpus(texts)
+    return corpus, vocab
+
+
+class TestApproximationQuality:
+    def test_high_k_high_quality(self, metric_setup):
+        corpus, vocab = metric_setup
+        family = HashFamily(k=48, seed=3)
+        index = build_memory_index(corpus, family, t=12, vocab_size=vocab)
+        searcher = NearDuplicateSearcher(index)
+        queries = [np.asarray(corpus[0])[10:40]]
+        report = approximation_quality(corpus, searcher, queries, theta=0.85)
+        assert report.recall > 0.5
+        assert report.true_positives > 0
+
+    def test_quality_improves_with_k(self, metric_setup):
+        corpus, vocab = metric_setup
+        queries = [np.asarray(corpus[0])[10:40], np.asarray(corpus[1])[0:30]]
+        f1_scores = []
+        for k in (4, 64):
+            family = HashFamily(k=k, seed=3)
+            index = build_memory_index(corpus, family, t=12, vocab_size=vocab)
+            searcher = NearDuplicateSearcher(index)
+            report = approximation_quality(corpus, searcher, queries, theta=0.8)
+            f1_scores.append(report.f1)
+        assert f1_scores[1] >= f1_scores[0]
+
+
+class TestRecallCurve:
+    def test_curve_shape(self, metric_setup):
+        corpus, vocab = metric_setup
+        pairs = [(np.asarray(corpus[0])[10:40], Span(3, 5, 34))]
+        rows = recall_curve(
+            corpus, pairs, theta=0.9, t=12, k_values=(8, 32), vocab_size=vocab
+        )
+        assert [row["k"] for row in rows] == [8, 32]
+        for row in rows:
+            assert 0.0 <= row["measured_recall"] <= 1.0
+            assert 0.0 <= row["modeled_recall"] <= 1.0
+        # The planted pair is exact (similarity 1.0): recall must be 1
+        # at any k and the model must agree.
+        assert rows[-1]["measured_recall"] == 1.0
+        assert rows[-1]["modeled_recall"] == pytest.approx(1.0)
+
+    def test_empty_pairs(self, metric_setup):
+        corpus, vocab = metric_setup
+        rows = recall_curve(
+            corpus, [], theta=0.9, t=12, k_values=(8,), vocab_size=vocab
+        )
+        assert rows[0]["measured_recall"] == 1.0

@@ -1,0 +1,44 @@
+"""Tests for the model zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.synthetic import zipf_corpus
+from repro.exceptions import InvalidParameterError
+from repro.lm.models import MODEL_ZOO, train_model, train_zoo
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return zipf_corpus(60, mean_length=100, vocab_size=256, seed=44)
+
+
+class TestZoo:
+    def test_four_tiers(self):
+        assert set(MODEL_ZOO) == {"small", "medium", "large", "xl"}
+
+    def test_unknown_tier(self, corpus):
+        with pytest.raises(InvalidParameterError):
+            train_model("gigantic", corpus)
+
+    def test_capacity_monotone(self, corpus):
+        """Parameter counts must increase along the tier axis (Figure 4's x-axis)."""
+        zoo = train_zoo(corpus, vocab_size=256)
+        params = [tier.num_parameters for tier in zoo]
+        assert params == sorted(params)
+        assert params[0] < params[-1]
+
+    def test_metadata(self, corpus):
+        tier = train_model("small", corpus, vocab_size=256)
+        assert tier.name == "small"
+        assert "GPT-2" in tier.paper_analogue
+
+    def test_subset_training(self, corpus):
+        zoo = train_zoo(corpus, names=["small", "large"], vocab_size=256)
+        assert [tier.name for tier in zoo] == ["small", "large"]
+
+    def test_vocab_inferred(self, corpus):
+        tier = train_model("small", corpus)
+        assert tier.model.vocab_size == 256

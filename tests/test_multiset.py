@@ -1,0 +1,144 @@
+"""Tests for multiset Jaccard sketching and verification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.core.multiset import (
+    MultisetVerifier,
+    estimate_multiset_jaccard,
+    expand_multiset,
+    multiset_sketch,
+    search_definition2_multiset,
+)
+from repro.core.verify import Span, multiset_jaccard
+from repro.corpus.corpus import InMemoryCorpus
+from repro.exceptions import InvalidParameterError
+
+
+class TestExpandMultiset:
+    def test_ranks_assigned_in_order(self):
+        codes = expand_multiset(np.array([7, 7, 3, 7], dtype=np.uint32))
+        tokens = (codes >> np.uint64(32)).astype(np.int64)
+        ranks = (codes & np.uint64(0xFFFFFFFF)).astype(np.int64)
+        assert tokens.tolist() == [7, 7, 3, 7]
+        assert ranks.tolist() == [0, 1, 0, 2]
+
+    def test_bag_equality_is_set_equality(self):
+        a = expand_multiset(np.array([1, 2, 2, 3], dtype=np.uint32))
+        b = expand_multiset(np.array([2, 3, 1, 2], dtype=np.uint32))
+        assert set(a.tolist()) == set(b.tolist())
+
+    def test_extra_copy_changes_set(self):
+        a = expand_multiset(np.array([1, 1], dtype=np.uint32))
+        b = expand_multiset(np.array([1], dtype=np.uint32))
+        assert set(a.tolist()) != set(b.tolist())
+
+
+class TestMultisetSketch:
+    def test_empty_rejected(self, family):
+        with pytest.raises(InvalidParameterError):
+            multiset_sketch(family, np.array([], dtype=np.uint32))
+
+    def test_bag_permutation_invariant(self, family):
+        a = np.array([5, 5, 9, 2, 2, 2], dtype=np.uint32)
+        b = np.array([2, 9, 2, 5, 2, 5], dtype=np.uint32)
+        assert np.array_equal(multiset_sketch(family, a), multiset_sketch(family, b))
+
+    def test_multiplicity_sensitive(self, family):
+        a = np.array([5] * 10, dtype=np.uint32)
+        b = np.array([5], dtype=np.uint32)
+        assert not np.array_equal(
+            multiset_sketch(family, a), multiset_sketch(family, b)
+        )
+
+    def test_estimator_unbiased(self):
+        """Mean collision fraction tracks the true multiset Jaccard."""
+        a = np.array([1, 1, 1, 2, 2], dtype=np.uint32)  # paper's example bags
+        b = np.array([1, 2, 2, 2, 3], dtype=np.uint32)
+        truth = multiset_jaccard(a, b)  # 3/7
+        estimates = [
+            estimate_multiset_jaccard(HashFamily(k=64, seed=seed), a, b)
+            for seed in range(80)
+        ]
+        assert abs(float(np.mean(estimates)) - truth) < 0.04
+
+
+class TestMultisetOracle:
+    def test_finds_exact_bag_copy(self):
+        rng = np.random.default_rng(4)
+        texts = [rng.integers(0, 20, size=30).astype(np.uint32) for _ in range(4)]
+        query = np.array(texts[2][5:20])
+        family = HashFamily(k=12, seed=3)
+        spans = search_definition2_multiset(
+            InMemoryCorpus(texts), query, theta=1.0, t=10, family=family
+        )
+        assert Span(2, 5, 19) in spans
+
+    def test_matches_per_span_sketching(self):
+        """Incremental sketch == from-scratch sketch for every span."""
+        rng = np.random.default_rng(9)
+        texts = [rng.integers(0, 8, size=15).astype(np.uint32)]
+        corpus = InMemoryCorpus(texts)
+        family = HashFamily(k=6, seed=5)
+        query = rng.integers(0, 8, size=8).astype(np.uint32)
+        theta, t = 0.5, 3
+        fast = {
+            (s.text_id, s.start, s.end)
+            for s in search_definition2_multiset(corpus, query, theta, t, family)
+        }
+        from repro.core.theory import collision_threshold
+
+        beta = collision_threshold(family.k, theta)
+        qsk = multiset_sketch(family, query)
+        slow = set()
+        text = texts[0]
+        for i in range(text.size):
+            for j in range(i + t - 1, text.size):
+                sk = multiset_sketch(family, text[i : j + 1])
+                if int(np.count_nonzero(sk == qsk)) >= beta:
+                    slow.add((0, i, j))
+        assert fast == slow
+
+    def test_validation(self):
+        corpus = InMemoryCorpus([[1, 2, 3]])
+        family = HashFamily(k=4, seed=0)
+        with pytest.raises(InvalidParameterError):
+            search_definition2_multiset(corpus, np.array([1]), 0.0, 2, family)
+        with pytest.raises(InvalidParameterError):
+            search_definition2_multiset(corpus, np.array([1]), 0.5, 0, family)
+
+
+class TestMultisetVerifier:
+    def test_filters_by_bag_similarity(self):
+        # Distinct Jaccard of ([1,1,1,2], [1,2]) is 1.0; multiset is 0.5.
+        texts = [np.array([1, 1, 1, 2], dtype=np.uint32)]
+        corpus = InMemoryCorpus(texts)
+        verifier = MultisetVerifier(corpus)
+        query = np.array([1, 2], dtype=np.uint32)
+        spans = [Span(0, 0, 3)]
+        assert verifier.verify(query, spans, theta=0.9) == []
+        kept = verifier.verify(query, spans, theta=0.4)
+        assert len(kept) == 1
+        assert kept[0][1] == pytest.approx(0.5)
+
+    def test_sorted_by_similarity(self):
+        texts = [
+            np.array([1, 2, 3, 4], dtype=np.uint32),
+            np.array([1, 2, 9, 9], dtype=np.uint32),
+        ]
+        corpus = InMemoryCorpus(texts)
+        verifier = MultisetVerifier(corpus)
+        query = np.array([1, 2, 3, 4], dtype=np.uint32)
+        kept = verifier.verify(
+            query, [Span(1, 0, 3), Span(0, 0, 3)], theta=0.1
+        )
+        similarities = [sim for _, sim in kept]
+        assert similarities == sorted(similarities, reverse=True)
+
+    def test_theta_validated(self):
+        verifier = MultisetVerifier(InMemoryCorpus([[1]]))
+        with pytest.raises(InvalidParameterError):
+            verifier.verify(np.array([1]), [], theta=0.0)

@@ -1,0 +1,105 @@
+"""Tests for the n-gram language model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.corpus import InMemoryCorpus
+from repro.exceptions import InvalidParameterError
+from repro.lm.ngram import NGramConfig, NGramLM
+
+
+@pytest.fixture(scope="module")
+def repeated_corpus():
+    """A corpus dominated by one repeated phrase (easy to memorize)."""
+    phrase = [1, 2, 3, 4, 5, 6, 7, 8]
+    rng = np.random.default_rng(5)
+    texts = []
+    for _ in range(20):
+        noise = rng.integers(0, 20, size=10).tolist()
+        texts.append(np.array(phrase * 3 + noise, dtype=np.uint32))
+    return InMemoryCorpus(texts)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            NGramConfig(order=0)
+        with pytest.raises(InvalidParameterError):
+            NGramConfig(order=2, prune_min_count=0)
+        with pytest.raises(InvalidParameterError):
+            NGramConfig(order=2, interpolation=1.0)
+
+
+class TestTraining:
+    def test_vocab_validated(self):
+        with pytest.raises(InvalidParameterError):
+            NGramLM(NGramConfig(order=2), vocab_size=0)
+
+    def test_fit_counts_tokens(self, repeated_corpus):
+        model = NGramLM(NGramConfig(order=3), 20).fit(repeated_corpus)
+        assert model.trained_tokens == repeated_corpus.total_tokens
+
+    def test_num_parameters_grows_with_order(self, repeated_corpus):
+        small = NGramLM(NGramConfig(order=2), 20).fit(repeated_corpus)
+        large = NGramLM(NGramConfig(order=5), 20).fit(repeated_corpus)
+        assert large.num_parameters > small.num_parameters
+
+    def test_pruning_shrinks_model(self, repeated_corpus):
+        full = NGramLM(NGramConfig(order=3, prune_min_count=1), 20).fit(repeated_corpus)
+        pruned = NGramLM(NGramConfig(order=3, prune_min_count=5), 20).fit(
+            repeated_corpus
+        )
+        assert pruned.num_parameters < full.num_parameters
+
+
+class TestDistribution:
+    def test_probabilities_normalized(self, repeated_corpus):
+        model = NGramLM(NGramConfig(order=3), 20).fit(repeated_corpus)
+        for context in ([], [1], [1, 2], [19, 19, 19]):
+            probs = model.next_token_distribution(context)
+            assert probs.shape == (20,)
+            assert probs.min() > 0  # smoothing never zeroes an event
+            assert float(probs.sum()) == pytest.approx(1.0)
+
+    def test_learned_continuation_dominates(self, repeated_corpus):
+        """After (1, 2, 3) the corpus always continues with 4."""
+        model = NGramLM(NGramConfig(order=4, interpolation=0.95), 20).fit(
+            repeated_corpus
+        )
+        probs = model.next_token_distribution([1, 2, 3])
+        assert int(np.argmax(probs)) == 4
+        assert probs[4] > 0.5
+
+    def test_unseen_context_falls_back(self, repeated_corpus):
+        model = NGramLM(NGramConfig(order=3), 20).fit(repeated_corpus)
+        probs = model.next_token_distribution([17, 13])
+        # Falls back towards the unigram: frequent tokens still likelier.
+        assert probs[1] > probs[19] or probs[2] > probs[19]
+
+
+class TestScoring:
+    def test_sequence_log_prob_finite(self, repeated_corpus):
+        model = NGramLM(NGramConfig(order=3), 20).fit(repeated_corpus)
+        logp = model.sequence_log_prob(np.array([1, 2, 3, 4]))
+        assert np.isfinite(logp) and logp < 0
+
+    def test_memorized_sequence_more_likely(self, repeated_corpus):
+        model = NGramLM(NGramConfig(order=4), 20).fit(repeated_corpus)
+        seen = model.sequence_log_prob(np.array([1, 2, 3, 4, 5, 6]))
+        unseen = model.sequence_log_prob(np.array([9, 17, 11, 13, 19, 10]))
+        assert seen > unseen
+
+    def test_perplexity(self, repeated_corpus):
+        model = NGramLM(NGramConfig(order=3), 20).fit(repeated_corpus)
+        ppl = model.perplexity(np.array([1, 2, 3, 4, 5]))
+        assert 1.0 <= ppl < 20.0
+        with pytest.raises(InvalidParameterError):
+            model.perplexity(np.array([]))
+
+    def test_higher_capacity_lower_perplexity(self, repeated_corpus):
+        seq = np.array([1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4])
+        small = NGramLM(NGramConfig(order=2), 20).fit(repeated_corpus)
+        large = NGramLM(NGramConfig(order=5), 20).fit(repeated_corpus)
+        assert large.perplexity(seq) < small.perplexity(seq)

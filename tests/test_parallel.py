@@ -1,0 +1,51 @@
+"""Tests for the multi-process index builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.corpus.corpus import InMemoryCorpus
+from repro.exceptions import InvalidParameterError
+from repro.index.builder import build_memory_index
+from repro.index.parallel import build_memory_index_parallel
+
+
+class TestParallelBuild:
+    def test_matches_sequential(self, tiny_corpus):
+        family = HashFamily(k=4, seed=2)
+        sequential = build_memory_index(tiny_corpus, family, t=5)
+        parallel = build_memory_index_parallel(
+            tiny_corpus, family, 5, workers=2, batch_texts=3
+        )
+        assert parallel.num_postings == sequential.num_postings
+        for func in range(family.k):
+            lists_a = dict(sequential.iter_lists(func))
+            lists_b = dict(parallel.iter_lists(func))
+            assert lists_a.keys() == lists_b.keys()
+            for key in lists_a:
+                assert np.array_equal(lists_a[key], lists_b[key])
+
+    def test_single_worker(self, tiny_corpus):
+        family = HashFamily(k=2, seed=3)
+        index = build_memory_index_parallel(
+            tiny_corpus, family, 5, workers=1, batch_texts=100
+        )
+        assert index.num_postings == build_memory_index(
+            tiny_corpus, family, t=5
+        ).num_postings
+
+    def test_empty_corpus(self):
+        family = HashFamily(k=2, seed=0)
+        index = build_memory_index_parallel(
+            InMemoryCorpus([]), family, 5, workers=2, vocab_size=4
+        )
+        assert index.num_postings == 0
+
+    def test_validation(self, tiny_corpus):
+        family = HashFamily(k=2, seed=0)
+        with pytest.raises(InvalidParameterError):
+            build_memory_index_parallel(tiny_corpus, family, 5, workers=0)
+        with pytest.raises(InvalidParameterError):
+            build_memory_index_parallel(tiny_corpus, family, 5, batch_texts=0)

@@ -1,0 +1,71 @@
+"""Tests for report formatting and remaining evaluator surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memorization.evaluator import MemorizationReport, QueryOutcome
+from repro.memorization.report import figure4_series, format_series_table
+
+
+def make_report(fractions: list[bool], model="m", theta=0.8, width=32):
+    report = MemorizationReport(model_name=model, theta=theta, window_width=width)
+    for idx, matched in enumerate(fractions):
+        report.outcomes.append(
+            QueryOutcome(
+                generated_text=0,
+                window_index=idx,
+                query=np.array([1, 2, 3], dtype=np.uint32),
+                matched=matched,
+                num_texts=int(matched),
+                example=None,
+            )
+        )
+    return report
+
+
+class TestMemorizationReport:
+    def test_fraction_math(self):
+        report = make_report([True, False, True, False])
+        assert report.num_queries == 4
+        assert report.num_memorized == 2
+        assert report.memorized_fraction == 0.5
+
+    def test_empty_report(self):
+        report = make_report([])
+        assert report.memorized_fraction == 0.0
+
+    def test_examples_only_matched(self):
+        report = make_report([True, False, True])
+        examples = report.examples(limit=10)
+        assert len(examples) == 2
+        assert all(outcome.matched for outcome in examples)
+
+    def test_examples_limit(self):
+        report = make_report([True] * 10)
+        assert len(report.examples(limit=3)) == 3
+
+
+class TestSeriesFormatting:
+    def test_rows_structure(self):
+        rows = figure4_series([make_report([True]), make_report([False], theta=1.0)])
+        assert rows[0]["memorized_fraction"] == 1.0
+        assert rows[1]["theta"] == 1.0
+
+    def test_table_renders_all_rows(self):
+        rows = figure4_series(
+            [make_report([True], model="small"), make_report([False], model="xl")]
+        )
+        table = format_series_table(rows)
+        assert "small" in table and "xl" in table
+        assert "100.00%" in table and "0.00%" in table
+
+    def test_table_header(self):
+        table = format_series_table([])
+        assert "model" in table and "theta" in table
+
+    def test_percent_formatting(self):
+        rows = figure4_series([make_report([True, False, False])])
+        table = format_series_table(rows)
+        assert "33.33%" in table

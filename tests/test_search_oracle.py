@@ -1,0 +1,142 @@
+"""Integration tests: the indexed searcher vs the brute-force oracle.
+
+Theorem 2 says Algorithm 3 is *sound and complete* for the approximate
+Definition 2.  These tests enumerate Definition 2's answer set directly
+and require exact equality — across corpora, thresholds, thetas, prefix
+filter settings and both index backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import search_definition2
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.corpus.corpus import InMemoryCorpus
+from repro.index.builder import build_memory_index
+from repro.index.storage import DiskInvertedIndex, write_index
+
+
+def result_spans(result) -> set[tuple[int, int, int]]:
+    return {
+        (m.text_id, i, j)
+        for m in result.matches
+        for rect in m.rectangles
+        for (i, j) in rect.iter_spans(result.t)
+    }
+
+
+def oracle_spans(corpus, query, theta, t, family) -> set[tuple[int, int, int]]:
+    return {
+        (s.text_id, s.start, s.end)
+        for s in search_definition2(corpus, query, theta, t, family)
+    }
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("theta", [0.4, 0.7, 1.0])
+def test_exact_equality_random_corpora(seed, theta):
+    rng = np.random.default_rng(seed)
+    vocab = 60
+    texts = [
+        rng.integers(0, vocab, size=int(rng.integers(15, 70))).astype(np.uint32)
+        for _ in range(10)
+    ]
+    corpus = InMemoryCorpus(texts)
+    t = int(rng.integers(3, 8))
+    family = HashFamily(k=int(rng.integers(4, 10)), seed=seed + 50)
+    index = build_memory_index(corpus, family, t=t, vocab_size=vocab)
+    query = rng.integers(0, vocab, size=25).astype(np.uint32)
+    expected = oracle_spans(corpus, query, theta, t, family)
+    got = result_spans(NearDuplicateSearcher(index).search(query, theta))
+    assert got == expected
+
+
+def test_equality_with_planted_duplicates():
+    """Realistic case: query copied into the corpus with mutations."""
+    rng = np.random.default_rng(7)
+    vocab = 120
+    texts = [rng.integers(0, vocab, size=80).astype(np.uint32) for _ in range(8)]
+    query = np.array(texts[2][10:50])
+    mutated = np.array(query)
+    mutated[::9] = rng.integers(0, vocab, size=mutated[::9].size)
+    texts[6][30:70] = mutated
+    corpus = InMemoryCorpus(texts)
+    family = HashFamily(k=12, seed=3)
+    t = 10
+    index = build_memory_index(corpus, family, t=t, vocab_size=vocab)
+    for theta in (0.5, 0.8, 0.95):
+        expected = oracle_spans(corpus, query, theta, t, family)
+        got = result_spans(NearDuplicateSearcher(index).search(query, theta))
+        assert got == expected
+
+
+@pytest.mark.parametrize("cutoff", [0, 1, 4, None])
+def test_prefix_filter_preserves_equality(cutoff):
+    """Zipf-skewed corpus (long lists exist) with every filter setting."""
+    rng = np.random.default_rng(21)
+    vocab = 30  # tiny vocabulary -> heavy skew -> long lists
+    texts = [rng.integers(0, vocab, size=60).astype(np.uint32) for _ in range(8)]
+    corpus = InMemoryCorpus(texts)
+    family = HashFamily(k=8, seed=9)
+    t = 5
+    index = build_memory_index(corpus, family, t=t, vocab_size=vocab)
+    query = rng.integers(0, vocab, size=20).astype(np.uint32)
+    for theta in (0.5, 0.9):
+        expected = oracle_spans(corpus, query, theta, t, family)
+        searcher = NearDuplicateSearcher(index, long_list_cutoff=cutoff)
+        assert result_spans(searcher.search(query, theta)) == expected
+
+
+def test_disk_index_equality(tmp_path):
+    rng = np.random.default_rng(31)
+    vocab = 50
+    texts = [rng.integers(0, vocab, size=50).astype(np.uint32) for _ in range(8)]
+    corpus = InMemoryCorpus(texts)
+    family = HashFamily(k=6, seed=11)
+    t = 6
+    memory = build_memory_index(corpus, family, t=t, vocab_size=vocab)
+    write_index(memory, tmp_path / "idx", zonemap_step=4, zonemap_min_list=8)
+    disk = DiskInvertedIndex(tmp_path / "idx")
+    query = rng.integers(0, vocab, size=18).astype(np.uint32)
+    for theta in (0.5, 0.8):
+        expected = oracle_spans(corpus, query, theta, t, family)
+        got = result_spans(
+            NearDuplicateSearcher(disk, long_list_cutoff=4).search(query, theta)
+        )
+        assert got == expected
+
+
+def test_query_is_corpus_span():
+    """A query lifted verbatim from the corpus must match itself at theta=1."""
+    rng = np.random.default_rng(13)
+    vocab = 200
+    texts = [rng.integers(0, vocab, size=100).astype(np.uint32) for _ in range(5)]
+    corpus = InMemoryCorpus(texts)
+    family = HashFamily(k=10, seed=5)
+    t = 8
+    index = build_memory_index(corpus, family, t=t, vocab_size=vocab)
+    query = np.array(texts[3][20:60])
+    result = NearDuplicateSearcher(index).search(query, 1.0)
+    spans = result_spans(result)
+    assert (3, 20, 59) in spans
+    expected = oracle_spans(corpus, query, 1.0, t, family)
+    assert spans == expected
+
+
+def test_duplicate_heavy_text():
+    """Texts full of repeated tokens exercise the tie-breaking path."""
+    rng = np.random.default_rng(17)
+    vocab = 6  # extreme duplication
+    texts = [rng.integers(0, vocab, size=40).astype(np.uint32) for _ in range(6)]
+    corpus = InMemoryCorpus(texts)
+    family = HashFamily(k=6, seed=23)
+    t = 4
+    index = build_memory_index(corpus, family, t=t, vocab_size=vocab)
+    query = rng.integers(0, vocab, size=12).astype(np.uint32)
+    for theta in (0.5, 1.0):
+        expected = oracle_spans(corpus, query, theta, t, family)
+        got = result_spans(NearDuplicateSearcher(index).search(query, theta))
+        assert got == expected

@@ -1,0 +1,202 @@
+"""Tests for the synthetic corpus generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.verify import distinct_jaccard
+from repro.corpus.synthetic import (
+    inject_duplicates,
+    minipile,
+    synthweb,
+    zipf_corpus,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestZipfCorpus:
+    def test_shape(self):
+        corpus = zipf_corpus(50, mean_length=40, vocab_size=500, seed=1)
+        assert len(corpus) == 50
+        assert corpus.total_tokens >= 50 * 8
+
+    def test_deterministic(self):
+        a = zipf_corpus(10, 30, 100, seed=5)
+        b = zipf_corpus(10, 30, 100, seed=5)
+        for i in range(10):
+            assert np.array_equal(a[i], b[i])
+
+    def test_seed_changes_output(self):
+        a = zipf_corpus(10, 30, 100, seed=5)
+        b = zipf_corpus(10, 30, 100, seed=6)
+        assert any(not np.array_equal(a[i], b[i]) for i in range(10))
+
+    def test_token_ids_in_vocab(self):
+        corpus = zipf_corpus(20, 30, 64, seed=0)
+        for text in corpus:
+            assert int(text.max()) < 64
+
+    def test_zipf_skew(self):
+        """The most frequent token should dominate (Zipf head)."""
+        corpus = zipf_corpus(100, 100, 1000, seed=2)
+        counts = np.zeros(1000, dtype=np.int64)
+        for text in corpus:
+            counts += np.bincount(text, minlength=1000)
+        ordered = np.sort(counts)[::-1]
+        assert ordered[0] > 5 * ordered[50]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            zipf_corpus(0, 30, 100)
+        with pytest.raises(InvalidParameterError):
+            zipf_corpus(10, 2, 100, min_length=8)
+        with pytest.raises(InvalidParameterError):
+            zipf_corpus(10, 30, 1)
+        with pytest.raises(InvalidParameterError):
+            zipf_corpus(10, 30, 100, paragraph_repeat_rate=1.5)
+
+    def test_paragraph_repeats_create_internal_duplicates(self):
+        """With the repeat knob, texts contain exact internal copies."""
+        plain = zipf_corpus(60, 150, 5000, seed=4, paragraph_repeat_rate=0.0)
+        repeated = zipf_corpus(60, 150, 5000, seed=4, paragraph_repeat_rate=1.0)
+
+        def internal_duplication(corpus, n=12):
+            hits = total = 0
+            for text in corpus:
+                seen = set()
+                for start in range(0, text.size - n + 1, n):
+                    key = text[start : start + n].tobytes()
+                    total += 1
+                    if key in seen:
+                        hits += 1
+                    seen.add(key)
+            return hits / max(total, 1)
+
+        assert internal_duplication(repeated) > internal_duplication(plain)
+
+    def test_paragraph_repeats_searchable(self):
+        """The engine finds the internal copy against itself (high-vocab
+        corpus: an exact 20-token internal repeat is otherwise rare)."""
+        from repro.core.hashing import HashFamily
+        from repro.core.search import NearDuplicateSearcher
+        from repro.index.builder import build_memory_index
+
+        corpus = zipf_corpus(
+            30, 200, 50_000, seed=8, paragraph_repeat_rate=1.0,
+            zipf_exponent=0.5,
+        )
+        # Locate a within-text repeated 15-gram (the planted copy).
+        probe = None
+        for text_id in range(len(corpus)):
+            text = np.ascontiguousarray(corpus[text_id])
+            seen: dict[bytes, int] = {}
+            for start in range(0, text.size - 15 + 1):
+                key = text[start : start + 15].tobytes()
+                if key in seen and abs(seen[key] - start) >= 15:
+                    probe = (text_id, seen[key], start)
+                    break
+                seen.setdefault(key, start)
+            if probe:
+                break
+        assert probe is not None, "generator planted no internal repeat"
+
+        family = HashFamily(k=12, seed=2)
+        index = build_memory_index(corpus, family, t=10, vocab_size=50_000)
+        searcher = NearDuplicateSearcher(index)
+        text_id, first, second = probe
+        query = np.asarray(corpus[text_id])[first : first + 15]
+        result = searcher.search(query, 1.0)
+        own = [m for m in result.matches if m.text_id == text_id]
+        assert own
+        covered = {
+            (i, j) for rect in own[0].rectangles for (i, j) in rect.iter_spans(10)
+        }
+        # Both occurrences of the repeated span are reported.
+        assert any(i <= first and j >= first + 9 for (i, j) in covered)
+        assert any(i <= second and j >= second + 9 for (i, j) in covered)
+
+
+class TestInjectDuplicates:
+    def test_plants_expected_count(self):
+        base = zipf_corpus(100, 100, 256, seed=3)
+        data = inject_duplicates(base, rate=0.2, span_length=32, seed=4)
+        assert len(data.planted) == 20
+
+    def test_input_not_modified(self):
+        base = zipf_corpus(30, 100, 256, seed=3)
+        originals = [np.array(t) for t in base]
+        inject_duplicates(base, rate=0.5, span_length=32, seed=4)
+        for before, after in zip(originals, base):
+            assert np.array_equal(before, after)
+
+    def test_planted_pairs_are_similar(self):
+        base = zipf_corpus(80, 150, 512, seed=7)
+        data = inject_duplicates(
+            base, rate=0.3, span_length=50, mutation_rate=0.05, seed=8
+        )
+        assert data.planted, "no duplicates planted"
+        similar = 0
+        for plant in data.planted:
+            src = data.corpus[plant.source_text][
+                plant.source_start : plant.source_start + plant.length
+            ]
+            dst = data.corpus[plant.target_text][
+                plant.target_start : plant.target_start + plant.length
+            ]
+            if distinct_jaccard(src, dst) >= 0.6:
+                similar += 1
+        # Later plants may overwrite earlier source or target spans, so
+        # a few pairs can degrade; the bulk must stay near-duplicates.
+        assert similar >= 0.7 * len(data.planted)
+
+    def test_zero_mutation_gives_exact_copy(self):
+        base = zipf_corpus(40, 120, 256, seed=9)
+        data = inject_duplicates(base, rate=0.2, span_length=30, mutation_rate=0.0, seed=1)
+        for plant in data.planted:
+            assert plant.mutated_tokens == 0
+
+    def test_expected_jaccard_upper(self):
+        base = zipf_corpus(40, 120, 256, seed=9)
+        data = inject_duplicates(base, rate=0.2, span_length=40, mutation_rate=0.1, seed=2)
+        for plant in data.planted:
+            assert 0.0 <= plant.expected_jaccard_upper <= 1.0
+
+    def test_validation(self):
+        base = zipf_corpus(5, 30, 64, seed=0)
+        with pytest.raises(InvalidParameterError):
+            inject_duplicates(base, rate=1.5)
+        with pytest.raises(InvalidParameterError):
+            inject_duplicates(base, mutation_rate=-0.1)
+        with pytest.raises(InvalidParameterError):
+            inject_duplicates(base, span_length=0)
+
+
+class TestPresets:
+    def test_synthweb(self):
+        data = synthweb(num_texts=60, mean_length=80, vocab_size=512, seed=1)
+        assert len(data.corpus) == 60
+        assert data.vocab_size == 512
+        assert data.planted
+
+    def test_minipile_has_domains(self):
+        data = minipile(
+            num_texts=80, mean_length=80, vocab_size=512, num_domains=4, seed=1
+        )
+        assert len(data.corpus) == 80
+        # Domains rotate the Zipf head, so the global head is flatter
+        # than a single-domain corpus of the same size.
+        counts = np.zeros(512, dtype=np.int64)
+        for text in data.corpus:
+            counts += np.bincount(text, minlength=512)
+        assert np.count_nonzero(counts > counts.max() // 4) >= 4
+
+    def test_minipile_validation(self):
+        with pytest.raises(InvalidParameterError):
+            minipile(num_texts=10, num_domains=0)
+
+    def test_presets_deterministic(self):
+        a = synthweb(num_texts=20, mean_length=50, vocab_size=128, seed=3)
+        b = synthweb(num_texts=20, mean_length=50, vocab_size=128, seed=3)
+        for i in range(20):
+            assert np.array_equal(a.corpus[i], b.corpus[i])

@@ -1,0 +1,85 @@
+"""Tests for raw-text corpus ingestion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.store import DiskCorpus
+from repro.corpus.textfile import (
+    ingest_directory,
+    ingest_texts,
+    iter_text_files,
+)
+from repro.exceptions import InvalidParameterError
+from repro.tokenizer.bpe import BPETokenizer
+
+DOCS = [
+    "the rain in spain stays mainly in the plain",
+    "the quick brown fox jumps over the lazy dog",
+    "pack my box with five dozen liquor jugs",
+]
+
+
+class TestIterTextFiles:
+    def test_reads_sorted(self, tmp_path):
+        (tmp_path / "b.txt").write_text("second")
+        (tmp_path / "a.txt").write_text("first")
+        (tmp_path / "ignored.md").write_text("nope")
+        assert list(iter_text_files(tmp_path)) == ["first", "second"]
+
+    def test_not_a_directory(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            list(iter_text_files(tmp_path / "missing"))
+
+    def test_custom_pattern(self, tmp_path):
+        (tmp_path / "doc.md").write_text("markdown")
+        assert list(iter_text_files(tmp_path, "*.md")) == ["markdown"]
+
+
+class TestIngestTexts:
+    def test_roundtrip(self, tmp_path):
+        report = ingest_texts(DOCS, tmp_path / "out", vocab_size=400)
+        assert report.num_texts == 3
+        assert report.total_tokens > 0
+        corpus = DiskCorpus(report.corpus_dir)
+        tokenizer = BPETokenizer.load(report.tokenizer_path)
+        for doc, text_id in zip(DOCS, range(3)):
+            assert tokenizer.decode(np.asarray(corpus[text_id])) == doc
+
+    def test_pretrained_tokenizer_reused(self, tmp_path):
+        tokenizer = BPETokenizer.train(DOCS, vocab_size=300)
+        report = ingest_texts(
+            DOCS, tmp_path / "out2", tokenizer=tokenizer, vocab_size=999
+        )
+        assert report.vocab_size == tokenizer.vocab_size  # not retrained
+
+    def test_searchable_after_ingest(self, tmp_path):
+        """End to end: files -> corpus -> index -> find a copied sentence."""
+        docs = DOCS + [DOCS[0] + " and extra trailing words beyond it"]
+        report = ingest_texts(docs, tmp_path / "out3", vocab_size=400)
+        corpus = DiskCorpus(report.corpus_dir)
+        tokenizer = BPETokenizer.load(report.tokenizer_path)
+
+        from repro.core.hashing import HashFamily
+        from repro.core.search import NearDuplicateSearcher
+        from repro.index.builder import build_memory_index
+
+        family = HashFamily(k=16, seed=2)
+        index = build_memory_index(corpus.to_memory(), family, t=5)
+        query = tokenizer.encode(DOCS[0])
+        result = NearDuplicateSearcher(index).search(query, 0.9)
+        matched = {m.text_id for m in result.matches}
+        assert {0, 3} <= matched
+
+
+class TestIngestDirectory:
+    def test_directory_pipeline(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        for idx, doc in enumerate(DOCS):
+            (src / f"doc{idx}.txt").write_text(doc)
+        report = ingest_directory(src, tmp_path / "out", vocab_size=400)
+        assert report.num_texts == 3
+        assert report.corpus_dir.exists()
+        assert report.tokenizer_path.exists()

@@ -1,0 +1,122 @@
+"""Tests for the closed-form analysis helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.theory import (
+    collision_threshold,
+    estimator_variance_bound,
+    expected_corpus_window_count,
+    expected_window_count,
+    index_size_ratio_bound,
+    recall_estimate,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestExpectedWindowCount:
+    def test_below_threshold_is_zero(self):
+        assert expected_window_count(4, 5) == 0.0
+        assert expected_window_count(0, 1) == 0.0
+
+    def test_base_case_n_equals_t(self):
+        # S_t = 1 exactly: 2(t+1)/(t+1) - 1 = 1.
+        for t in (1, 5, 25, 100):
+            assert expected_window_count(t, t) == 1.0
+
+    def test_paper_example(self):
+        assert expected_window_count(17, 5) == 5.0
+
+    def test_t1_gives_n_windows(self):
+        # Every position is its own window when t = 1: 2(n+1)/2 - 1 = n.
+        for n in (1, 10, 1000):
+            assert expected_window_count(n, 1) == float(n)
+
+    def test_inverse_in_t(self):
+        assert expected_window_count(1000, 25) > expected_window_count(1000, 50)
+        assert expected_window_count(1000, 50) > expected_window_count(1000, 100)
+
+    def test_linear_in_n(self):
+        small = expected_window_count(1000, 10)
+        large = expected_window_count(2000, 10)
+        assert large / small == pytest.approx(2.0, rel=0.01)
+
+    def test_recurrence_satisfied(self):
+        """S_n = 1 + (2/n) * sum_{i<n} S_i, the recurrence in Theorem 1."""
+        t = 4
+        for n in range(t, 60):
+            total = sum(expected_window_count(i, t) for i in range(n))
+            assert expected_window_count(n, t) == pytest.approx(1 + 2 * total / n)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            expected_window_count(10, 0)
+        with pytest.raises(InvalidParameterError):
+            expected_window_count(-1, 5)
+
+
+class TestCorpusLevel:
+    def test_scales_with_k(self):
+        one = expected_corpus_window_count(10_000, 100, 25, k=1)
+        four = expected_corpus_window_count(10_000, 100, 25, k=4)
+        assert four == pytest.approx(4 * one)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            expected_corpus_window_count(100, 0, 5, 1)
+        with pytest.raises(InvalidParameterError):
+            expected_corpus_window_count(100, 10, 5, 0)
+
+
+class TestRatioAndVariance:
+    def test_ratio_bound(self):
+        assert index_size_ratio_bound(50) == pytest.approx(0.16)
+        assert index_size_ratio_bound(100) == pytest.approx(0.08)
+
+    def test_ratio_validation(self):
+        with pytest.raises(InvalidParameterError):
+            index_size_ratio_bound(0)
+
+    def test_variance_bound(self):
+        assert estimator_variance_bound(64) == pytest.approx(1 / 256)
+
+    def test_variance_validation(self):
+        with pytest.raises(InvalidParameterError):
+            estimator_variance_bound(0)
+
+
+class TestCollisionThreshold:
+    def test_ceiling(self):
+        assert collision_threshold(32, 0.8) == math.ceil(25.6) == 26
+        assert collision_threshold(32, 1.0) == 32
+        assert collision_threshold(10, 0.01) == 1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            collision_threshold(0, 0.5)
+        with pytest.raises(InvalidParameterError):
+            collision_threshold(8, 0.0)
+        with pytest.raises(InvalidParameterError):
+            collision_threshold(8, 1.5)
+
+
+class TestRecallEstimate:
+    def test_certainties(self):
+        assert recall_estimate(16, 0.5, 1.0) == pytest.approx(1.0)
+        assert recall_estimate(16, 0.5, 0.0) == pytest.approx(0.0)
+
+    def test_monotone_in_jaccard(self):
+        lo = recall_estimate(32, 0.8, 0.7)
+        hi = recall_estimate(32, 0.8, 0.9)
+        assert hi > lo
+
+    def test_larger_k_sharpens(self):
+        """With more hash functions, a clearly-similar pair is found more reliably."""
+        assert recall_estimate(64, 0.8, 0.9) > recall_estimate(8, 0.8, 0.9)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            recall_estimate(8, 0.5, 1.5)

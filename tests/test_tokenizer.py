@@ -1,0 +1,168 @@
+"""Tests for the byte-level BPE tokenizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.corpus import TOKEN_DTYPE
+from repro.exceptions import TokenizerError
+from repro.tokenizer.bpe import BPETokenizer, pretokenize
+from repro.tokenizer.vocab import NUM_BYTE_TOKENS, Vocabulary
+
+SAMPLES = [
+    "the quick brown fox jumps over the lazy dog",
+    "the quick brown cat sleeps under the warm sun",
+    "hello world, hello SIGMOD! numbers 12345 and 67890.",
+    "tokenization handles  multiple   spaces and\nnewlines\ttabs",
+]
+
+
+class TestPretokenize:
+    def test_words_with_leading_space(self):
+        parts = list(pretokenize("hello world"))
+        assert parts == [b"hello", b" world"]
+
+    def test_numbers_separate(self):
+        parts = list(pretokenize("abc123"))
+        assert parts == [b"abc", b"123"]
+
+    def test_punctuation_separate(self):
+        parts = list(pretokenize("hi!"))
+        assert parts == [b"hi", b"!"]
+
+    def test_lossless(self):
+        for text in SAMPLES:
+            assert b"".join(pretokenize(text)).decode("utf-8") == text
+
+    def test_unicode(self):
+        text = "café ☕ 日本語"
+        assert b"".join(pretokenize(text)).decode("utf-8") == text
+
+
+class TestVocabulary:
+    def test_default_is_bytes(self):
+        vocab = Vocabulary()
+        assert len(vocab) == NUM_BYTE_TOKENS
+        assert vocab.token_bytes(65) == b"A"
+        assert vocab.token_id(b"A") == 65
+
+    def test_add(self):
+        vocab = Vocabulary()
+        token_id = vocab.add(b"th")
+        assert token_id == 256
+        assert vocab.token_bytes(256) == b"th"
+
+    def test_duplicate_add_rejected(self):
+        vocab = Vocabulary()
+        vocab.add(b"th")
+        with pytest.raises(TokenizerError):
+            vocab.add(b"th")
+
+    def test_missing_lookup(self):
+        vocab = Vocabulary()
+        assert vocab.token_id(b"zz") is None
+        with pytest.raises(TokenizerError):
+            vocab.token_bytes(9999)
+
+    def test_byte_prefix_enforced(self):
+        with pytest.raises(TokenizerError):
+            Vocabulary([b"x"] * 256)
+
+
+class TestTraining:
+    def test_vocab_budget_respected(self):
+        tokenizer = BPETokenizer.train(SAMPLES, vocab_size=300)
+        assert NUM_BYTE_TOKENS <= tokenizer.vocab_size <= 300
+
+    def test_merges_learned(self):
+        tokenizer = BPETokenizer.train(SAMPLES * 3, vocab_size=300)
+        assert tokenizer.num_merges > 0
+
+    def test_vocab_too_small_rejected(self):
+        with pytest.raises(TokenizerError):
+            BPETokenizer.train(SAMPLES, vocab_size=100)
+
+    def test_frequent_word_becomes_few_tokens(self):
+        texts = ["the cat and the dog and the bird"] * 50
+        tokenizer = BPETokenizer.train(texts, vocab_size=300)
+        assert len(tokenizer.encode_word(b"the")) <= 2
+
+    def test_caps_applied(self):
+        tokenizer = BPETokenizer.train(
+            ["abcdef" * 100] * 10, vocab_size=270, max_texts=2, max_text_length=12
+        )
+        assert tokenizer.vocab_size <= 270
+
+    def test_untrained_is_byte_level(self):
+        tokenizer = BPETokenizer()
+        ids = tokenizer.encode("AB")
+        assert ids.tolist() == [65, 66]
+
+
+class TestEncodingDecoding:
+    @pytest.fixture(scope="class")
+    def tokenizer(self):
+        return BPETokenizer.train(SAMPLES * 5, vocab_size=350)
+
+    def test_roundtrip(self, tokenizer):
+        for text in SAMPLES:
+            assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_roundtrip_unseen_text(self, tokenizer):
+        text = "completely unseen zebra xylophone!"
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_roundtrip_unicode(self, tokenizer):
+        text = "émoji ✨ and ümlauts"
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_encode_dtype(self, tokenizer):
+        assert tokenizer.encode("hello").dtype == TOKEN_DTYPE
+
+    def test_empty_string(self, tokenizer):
+        assert tokenizer.encode("").size == 0
+        assert tokenizer.decode(np.array([], dtype=TOKEN_DTYPE)) == ""
+
+    def test_compression(self, tokenizer):
+        """Trained BPE must beat byte-level encoding on in-domain text."""
+        text = SAMPLES[0]
+        assert tokenizer.encode(text).size < len(text.encode("utf-8"))
+
+    def test_larger_vocab_fewer_tokens(self):
+        small = BPETokenizer.train(SAMPLES * 5, vocab_size=280)
+        large = BPETokenizer.train(SAMPLES * 5, vocab_size=400)
+        text = SAMPLES[0] + " " + SAMPLES[1]
+        assert large.encode(text).size <= small.encode(text).size
+
+    def test_deterministic(self):
+        a = BPETokenizer.train(SAMPLES, vocab_size=300)
+        b = BPETokenizer.train(SAMPLES, vocab_size=300)
+        text = SAMPLES[2]
+        assert a.encode(text).tolist() == b.encode(text).tolist()
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        tokenizer = BPETokenizer.train(SAMPLES * 3, vocab_size=320)
+        path = tmp_path / "bpe.json"
+        tokenizer.save(path)
+        loaded = BPETokenizer.load(path)
+        assert loaded.vocab_size == tokenizer.vocab_size
+        assert loaded.num_merges == tokenizer.num_merges
+        for text in SAMPLES:
+            assert loaded.encode(text).tolist() == tokenizer.encode(text).tolist()
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(TokenizerError):
+            BPETokenizer.load(path)
+
+    def test_binary_safe(self, tmp_path):
+        """Byte tokens above 127 must survive the JSON round-trip."""
+        tokenizer = BPETokenizer.train(["ÿÿÿÿ ÿÿ"] * 5, vocab_size=300)
+        path = tmp_path / "bin.json"
+        tokenizer.save(path)
+        loaded = BPETokenizer.load(path)
+        assert loaded.decode(loaded.encode("ÿÿ")) == "ÿÿ"

@@ -1,0 +1,100 @@
+"""Tests for the exact-verification search mode (Definition 1 pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import search_exact
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.core.verify import distinct_jaccard
+from repro.corpus.corpus import InMemoryCorpus
+from repro.exceptions import InvalidParameterError
+from repro.index.builder import build_memory_index
+
+
+@pytest.fixture(scope="module")
+def engine():
+    rng = np.random.default_rng(91)
+    vocab = 150
+    texts = [rng.integers(0, vocab, size=70).astype(np.uint32) for _ in range(8)]
+    texts[5][10:40] = texts[1][20:50]
+    corpus = InMemoryCorpus(texts)
+    family = HashFamily(k=24, seed=5)
+    index = build_memory_index(corpus, family, t=12, vocab_size=vocab)
+    return corpus, NearDuplicateSearcher(index, corpus=corpus)
+
+
+class TestVerifiedSearch:
+    def test_requires_corpus(self, engine):
+        corpus, searcher = engine
+        bare = NearDuplicateSearcher(searcher.index)  # no corpus
+        with pytest.raises(InvalidParameterError):
+            bare.search(np.asarray(corpus[0])[:20], 0.8, verify=True)
+
+    def test_every_verified_span_passes_exact_jaccard(self, engine):
+        corpus, searcher = engine
+        query = np.asarray(corpus[1])[20:50]
+        theta = 0.8
+        result = searcher.search(query, theta, verify=True)
+        assert result.matches
+        for match in result.matches:
+            text = np.asarray(corpus[match.text_id])
+            passed_any = False
+            for rect in match.rectangles:
+                for (i, j) in rect.iter_spans(searcher.t):
+                    if distinct_jaccard(query, text[i : j + 1]) >= theta:
+                        passed_any = True
+            assert passed_any
+
+    def test_verified_subset_of_unverified(self, engine):
+        corpus, searcher = engine
+        query = np.asarray(corpus[1])[20:50]
+        loose = searcher.search(query, 0.8)
+        strict = searcher.search(query, 0.8, verify=True)
+        loose_texts = {m.text_id for m in loose.matches}
+        strict_texts = {m.text_id for m in strict.matches}
+        assert strict_texts <= loose_texts
+
+    def test_verified_finds_true_positives(self, engine):
+        """The planted copy passes exact verification."""
+        corpus, searcher = engine
+        query = np.asarray(corpus[1])[20:50]
+        result = searcher.search(query, 0.9, verify=True)
+        assert {m.text_id for m in result.matches} >= {1, 5}
+
+    def test_verified_covers_exact_answers_found_by_sketching(self, engine):
+        """Everything in Definition 1 that the sketches surfaced must
+        survive verification (verification never drops a true positive)."""
+        corpus, searcher = engine
+        query = np.asarray(corpus[1])[20:50]
+        theta = 0.85
+        exact = {
+            (s.text_id, s.start, s.end)
+            for s in search_exact(corpus, query, theta, searcher.t)
+        }
+        unverified = searcher.search(query, theta)
+        surfaced = {
+            (m.text_id, i, j)
+            for m in unverified.matches
+            for rect in m.rectangles
+            for (i, j) in rect.iter_spans(searcher.t)
+        }
+        verified = searcher.search(query, theta, verify=True)
+        kept = {
+            (m.text_id, i, j)
+            for m in verified.matches
+            for rect in m.rectangles
+            for (i, j) in rect.iter_spans(searcher.t)
+        }
+        # True positives the engine surfaced are all kept (the kept
+        # rectangles are bounding boxes, so kept may slightly exceed
+        # the exact intersection but never lose a member of it).
+        assert (exact & surfaced) <= kept
+
+    def test_theta_one_verification(self, engine):
+        corpus, searcher = engine
+        query = np.asarray(corpus[3])[:20]
+        result = searcher.search(query, 1.0, verify=True)
+        assert any(m.text_id == 3 for m in result.matches)

@@ -1,0 +1,166 @@
+"""Tests for exact Jaccard measures and span post-processing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.verify import (
+    Span,
+    distinct_jaccard,
+    estimate_jaccard,
+    merge_overlapping_spans,
+    multiset_jaccard,
+    verify_spans,
+)
+
+
+class TestDistinctJaccard:
+    def test_identical(self):
+        a = np.array([1, 2, 3])
+        assert distinct_jaccard(a, a) == 1.0
+
+    def test_disjoint(self):
+        assert distinct_jaccard(np.array([1, 2]), np.array([3, 4])) == 0.0
+
+    def test_paper_example(self):
+        """Section 3.1: (A,A,A,B,B) vs (A,B,B,C) has distinct Jaccard 2/3."""
+        a = np.array([0, 0, 0, 1, 1])  # A=0, B=1, C=2
+        b = np.array([0, 1, 1, 2])
+        assert distinct_jaccard(a, b) == pytest.approx(2 / 3)
+
+    def test_duplicates_ignored(self):
+        a = np.array([1, 1, 1, 2])
+        b = np.array([1, 2, 2, 2])
+        assert distinct_jaccard(a, b) == 1.0
+
+    def test_empty_vs_empty(self):
+        assert distinct_jaccard(np.array([]), np.array([])) == 1.0
+
+    def test_empty_vs_nonempty(self):
+        assert distinct_jaccard(np.array([]), np.array([1])) == 0.0
+
+    def test_symmetric(self, rng):
+        a = rng.integers(0, 10, 20)
+        b = rng.integers(0, 10, 20)
+        assert distinct_jaccard(a, b) == distinct_jaccard(b, a)
+
+
+class TestMultisetJaccard:
+    def test_paper_example(self):
+        """Section 3.1: (A,A,A,B,B) vs (A,B,B,B,C) has multiset Jaccard 3/7.
+
+        The paper expands the pair to (A1,A2,A3,B1,B2) and
+        (A1,B1,B2,B3,C1): intersection {A1,B1,B2} (3), union 7.
+        """
+        a = np.array([0, 0, 0, 1, 1])
+        b = np.array([0, 1, 1, 1, 2])
+        assert multiset_jaccard(a, b) == pytest.approx(3 / 7)
+        assert distinct_jaccard(a, b) == pytest.approx(2 / 3)
+
+    def test_identical(self):
+        a = np.array([1, 1, 2, 3])
+        assert multiset_jaccard(a, a) == 1.0
+
+    def test_duplicates_matter(self):
+        a = np.array([1, 1])
+        b = np.array([1])
+        assert multiset_jaccard(a, b) == pytest.approx(0.5)
+        assert distinct_jaccard(a, b) == 1.0
+
+    def test_empty_vs_empty(self):
+        assert multiset_jaccard(np.array([]), np.array([])) == 1.0
+
+
+class TestEstimateJaccard:
+    def test_identical_sketches(self):
+        sketch = np.array([1, 2, 3, 4], dtype=np.uint32)
+        assert estimate_jaccard(sketch, sketch) == 1.0
+
+    def test_half_collisions(self):
+        a = np.array([1, 2, 3, 4], dtype=np.uint32)
+        b = np.array([1, 2, 9, 9], dtype=np.uint32)
+        assert estimate_jaccard(a, b) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            estimate_jaccard(np.array([1]), np.array([1, 2]))
+
+
+class TestSpan:
+    def test_length(self):
+        assert Span(0, 3, 7).length == 5
+
+    def test_frozen(self):
+        span = Span(0, 1, 2)
+        with pytest.raises(AttributeError):
+            span.start = 5
+
+
+class TestMergeOverlappingSpans:
+    def test_empty(self):
+        assert merge_overlapping_spans([]) == []
+
+    def test_single(self):
+        assert merge_overlapping_spans([Span(0, 1, 5)]) == [Span(0, 1, 5)]
+
+    def test_overlapping_merge(self):
+        merged = merge_overlapping_spans([Span(0, 0, 5), Span(0, 3, 9)])
+        assert merged == [Span(0, 0, 9)]
+
+    def test_adjacent_merge(self):
+        merged = merge_overlapping_spans([Span(0, 0, 4), Span(0, 5, 8)])
+        assert merged == [Span(0, 0, 8)]
+
+    def test_gap_preserved(self):
+        merged = merge_overlapping_spans([Span(0, 0, 3), Span(0, 6, 9)])
+        assert merged == [Span(0, 0, 3), Span(0, 6, 9)]
+
+    def test_texts_kept_separate(self):
+        merged = merge_overlapping_spans([Span(1, 0, 5), Span(0, 0, 5)])
+        assert merged == [Span(0, 0, 5), Span(1, 0, 5)]
+
+    def test_nested_spans(self):
+        merged = merge_overlapping_spans([Span(0, 0, 10), Span(0, 2, 4)])
+        assert merged == [Span(0, 0, 10)]
+
+    def test_result_disjoint(self, rng):
+        spans = [
+            Span(int(rng.integers(0, 3)), s, s + int(rng.integers(0, 10)))
+            for s in rng.integers(0, 50, size=30).tolist()
+        ]
+        merged = merge_overlapping_spans(spans)
+        by_text: dict[int, list[Span]] = {}
+        for span in merged:
+            by_text.setdefault(span.text_id, []).append(span)
+        for text_spans in by_text.values():
+            ordered = sorted(text_spans, key=lambda s: s.start)
+            for first, second in zip(ordered, ordered[1:]):
+                assert first.end + 1 < second.start
+
+    def test_coverage_preserved(self):
+        spans = [Span(0, 0, 3), Span(0, 2, 6), Span(0, 10, 12)]
+        merged = merge_overlapping_spans(spans)
+        original = {
+            (s.text_id, p) for s in spans for p in range(s.start, s.end + 1)
+        }
+        covered = {
+            (s.text_id, p) for s in merged for p in range(s.start, s.end + 1)
+        }
+        assert covered == original
+
+
+class TestVerifySpans:
+    def test_filters_by_exact_similarity(self):
+        texts = [np.array([1, 2, 3, 4, 5, 6], dtype=np.uint32)]
+        query = np.array([1, 2, 3], dtype=np.uint32)
+        spans = [Span(0, 0, 2), Span(0, 3, 5)]
+        kept = verify_spans(query, texts, spans, theta=0.99)
+        assert kept == [Span(0, 0, 2)]
+
+    def test_multiset_mode(self):
+        texts = [np.array([1, 1], dtype=np.uint32)]
+        query = np.array([1], dtype=np.uint32)
+        spans = [Span(0, 0, 1)]
+        assert verify_spans(query, texts, spans, theta=0.9) == spans
+        assert verify_spans(query, texts, spans, theta=0.9, similarity="multiset") == []

@@ -1,0 +1,78 @@
+"""Tests for zone maps over inverted lists."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.index.zonemap import ZoneMap, build_zone_map
+
+
+def check_locate(text_ids: np.ndarray, zone: ZoneMap, text_id: int) -> None:
+    """The returned range must contain every posting of text_id."""
+    lo, hi = zone.locate(text_id)
+    assert 0 <= lo <= hi <= text_ids.size
+    positions = np.flatnonzero(text_ids == text_id)
+    for pos in positions:
+        assert lo <= pos < hi, (text_id, lo, hi, positions)
+
+
+class TestBuildZoneMap:
+    def test_samples_every_step(self):
+        text_ids = np.arange(100, dtype=np.uint32)
+        zone = build_zone_map(text_ids, step=10)
+        assert zone.sample_texts.tolist() == list(range(0, 100, 10))
+        assert zone.length == 100
+
+    def test_step_validated(self):
+        with pytest.raises(InvalidParameterError):
+            build_zone_map(np.array([1]), step=0)
+
+    def test_empty_list(self):
+        zone = build_zone_map(np.array([], dtype=np.uint32), step=4)
+        assert zone.locate(5) == (0, 0)
+
+
+class TestLocate:
+    def test_all_texts_found(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 300))
+            text_ids = np.sort(rng.integers(0, 40, size=n).astype(np.uint32))
+            step = int(rng.integers(1, 16))
+            zone = build_zone_map(text_ids, step)
+            for text_id in range(42):
+                check_locate(text_ids, zone, text_id)
+
+    def test_absent_text_narrow_range(self):
+        text_ids = np.array([0, 0, 5, 5, 9, 9], dtype=np.uint32)
+        zone = build_zone_map(text_ids, step=2)
+        lo, hi = zone.locate(7)
+        assert hi - lo <= 2 * 2  # at most two zones scanned
+
+    def test_text_spanning_many_zones(self):
+        """One text owning most of the list must be fully covered."""
+        text_ids = np.array([1] + [5] * 20 + [9], dtype=np.uint32)
+        zone = build_zone_map(text_ids, step=4)
+        check_locate(text_ids, zone, 5)
+        lo, hi = zone.locate(5)
+        assert lo <= 1 and hi >= 21
+
+    def test_before_first_text(self):
+        text_ids = np.array([10, 11, 12], dtype=np.uint32)
+        zone = build_zone_map(text_ids, step=2)
+        lo, hi = zone.locate(3)
+        assert hi - lo == 0
+
+    def test_after_last_text(self):
+        text_ids = np.array([1, 2, 3], dtype=np.uint32)
+        zone = build_zone_map(text_ids, step=2)
+        check_locate(text_ids, zone, 99)
+
+    def test_range_shrinks_io(self):
+        """The point of the zone map: locate reads far less than the list."""
+        text_ids = np.repeat(np.arange(1000, dtype=np.uint32), 2)
+        zone = build_zone_map(text_ids, step=8)
+        lo, hi = zone.locate(500)
+        assert hi - lo <= 3 * 8
+        assert text_ids.size == 2000
