@@ -1,0 +1,174 @@
+"""Throughput benchmark: batch query executor vs. the sequential loop.
+
+ISSUE 1 acceptance benchmark.  Reproduces the paper's Section 5
+workload shape — a large batch of model-generated query windows
+searched against one training corpus — and measures, per batch size:
+
+* queries/sec of the sequential reference loop (``workers=0``);
+* queries/sec of the batch executor (``--workers``, default 4);
+* total inverted-list I/O bytes of both paths (the list-dedup +
+  batch-pinned-cache savings).
+
+Generated text is highly repetitive — many prompts yield byte-identical
+continuations — so the query stream samples windows *with replacement*
+from a pool of distinct generated windows (pool size = batch/4,
+mirroring the ~4x duplication of a memorization sweep's query stream).
+The sketch-dedup and shared-list savings measured here are exactly the
+ones that repetition exposes.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_batch_query.py [--tiny]``
+Writes ``BENCH_batch_query.json`` next to the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.corpus.synthetic import synthweb
+from repro.index.builder import build_memory_index
+from repro.index.storage import DiskInvertedIndex, write_index
+from repro.lm.generation import GenerationConfig, generate
+from repro.lm.models import train_model
+from repro.query.executor import BatchQueryExecutor
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_batch_query.json"
+
+FULL_BATCH_SIZES = (1, 32, 256, 2048)
+TINY_BATCH_SIZES = (1, 8, 32)
+
+
+def build_workload(tiny: bool):
+    """Corpus + disk index + generated window pool (paper Section 5 shape)."""
+    num_texts = 120 if tiny else 1500
+    data = synthweb(
+        num_texts=num_texts,
+        mean_length=200 if tiny else 300,
+        vocab_size=4096,
+        duplicate_rate=0.15,
+        span_length=64,
+        mutation_rate=0.05,
+        seed=11,
+    )
+    family = HashFamily(k=16 if tiny else 32, seed=5)
+    index = build_memory_index(data.corpus, family, t=25, vocab_size=4096)
+    directory = Path(tempfile.mkdtemp(prefix="bench_batch_query_"))
+    write_index(index, directory)
+
+    tier = train_model("large", data.corpus, vocab_size=4096)
+    config = GenerationConfig(strategy="top_k", top_k=50)
+    windows = []
+    for seed in range(4 if tiny else 16):
+        text = generate(tier.model, 256, config=config, seed=seed)
+        for start in range(0, text.size - 64 + 1, 64):
+            windows.append(text[start : start + 64])
+    return DiskInvertedIndex(directory), windows
+
+
+def make_queries(windows, batch_size: int, rng) -> list[np.ndarray]:
+    """Sample the query batch with replacement from a bounded pool."""
+    pool_size = max(1, min(len(windows), batch_size // 4 or 1))
+    pool = [windows[i] for i in rng.choice(len(windows), pool_size, replace=False)]
+    return [pool[i] for i in rng.integers(0, pool_size, size=batch_size)]
+
+
+def run_one(searcher, queries, theta, workers) -> dict:
+    executor = BatchQueryExecutor(searcher, workers=workers)
+    begin = time.perf_counter()
+    batch = executor.execute(queries, theta)
+    wall = time.perf_counter() - begin
+    return {
+        "workers": workers,
+        "mode": batch.stats.mode,
+        "seconds": wall,
+        "qps": len(queries) / wall if wall > 0 else 0.0,
+        "io_bytes": batch.stats.io_bytes,
+        "io_calls": batch.stats.io_calls,
+        "unique_queries": batch.stats.unique_queries,
+        "matched": batch.num_matched,
+        "cache_hits": batch.stats.cache_hits,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true", help="CI smoke scale (seconds, not minutes)"
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--theta", type=float, default=0.8)
+    parser.add_argument("--output", default=str(OUTPUT))
+    args = parser.parse_args(argv)
+
+    index, windows = build_workload(args.tiny)
+    searcher = NearDuplicateSearcher(index)
+    rng = np.random.default_rng(0)
+    batch_sizes = TINY_BATCH_SIZES if args.tiny else FULL_BATCH_SIZES
+
+    rows = []
+    print(
+        f"{'batch':>6} {'seq_qps':>9} {'batch_qps':>10} {'speedup':>8} "
+        f"{'seq_io':>10} {'batch_io':>10} {'io_red':>7} {'mode':>8}"
+    )
+    for batch_size in batch_sizes:
+        queries = make_queries(windows, batch_size, rng)
+        # Warm the page cache evenly, then measure both paths cold-start
+        # from the executor's perspective (fresh caches each run).
+        sequential = run_one(searcher, queries, args.theta, workers=0)
+        batched = run_one(searcher, queries, args.theta, workers=args.workers)
+        speedup = batched["qps"] / sequential["qps"] if sequential["qps"] else 0.0
+        io_reduction = (
+            sequential["io_bytes"] / batched["io_bytes"]
+            if batched["io_bytes"]
+            else float("inf")
+        )
+        rows.append(
+            {
+                "batch_size": batch_size,
+                "theta": args.theta,
+                "sequential": sequential,
+                "batch": batched,
+                "speedup_qps": speedup,
+                "io_bytes_reduction": io_reduction,
+            }
+        )
+        print(
+            f"{batch_size:>6} {sequential['qps']:>9.1f} {batched['qps']:>10.1f} "
+            f"{speedup:>8.2f} {sequential['io_bytes']:>10} "
+            f"{batched['io_bytes']:>10} {io_reduction:>7.2f} {batched['mode']:>8}"
+        )
+
+    payload = {
+        "benchmark": "bench_batch_query",
+        "tiny": args.tiny,
+        "workers": args.workers,
+        "rows": rows,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2))
+    print(f"wrote {args.output}")
+
+    # Acceptance gates (full scale only): >= 3x qps and >= 2x io
+    # reduction at batch size 256 with 4 workers.
+    if not args.tiny:
+        gate = next(row for row in rows if row["batch_size"] == 256)
+        ok = gate["speedup_qps"] >= 3.0 and gate["io_bytes_reduction"] >= 2.0
+        print(
+            f"acceptance @256: speedup {gate['speedup_qps']:.2f}x "
+            f"(>= 3 required), io reduction {gate['io_bytes_reduction']:.2f}x "
+            f"(>= 2 required) -> {'PASS' if ok else 'FAIL'}"
+        )
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

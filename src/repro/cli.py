@@ -111,26 +111,36 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_batch_query(args: argparse.Namespace) -> int:
     """Run many queries from a file (one whitespace-separated token-id
-    sequence per line) and print one summary row per query."""
+    sequence per line) through the batch executor and print one summary
+    row per query plus the aggregated batch statistics."""
     index = DiskInvertedIndex(args.index)
     from repro.index.cache import CachedIndexReader
+    from repro.query.executor import BatchQueryExecutor
 
     reader = CachedIndexReader(index) if args.cache else index
     searcher = NearDuplicateSearcher(reader)
     with open(args.queries) as handle:
         lines = [line.strip() for line in handle if line.strip()]
-    print(f"{'query':>6} {'tokens':>7} {'matches':>8} {'latency_ms':>11}")
+    queries = []
     for number, line in enumerate(lines):
         try:
-            tokens = np.asarray([int(part) for part in line.split()], dtype=np.uint32)
+            queries.append(
+                np.asarray([int(part) for part in line.split()], dtype=np.uint32)
+            )
         except ValueError:
             print(f"error: line {number + 1} is not a token-id sequence", file=sys.stderr)
             return 2
-        result = searcher.search(tokens, args.theta)
+    executor = BatchQueryExecutor(
+        searcher, workers=args.workers, batch_size=args.batch_size
+    )
+    batch = executor.execute(queries, args.theta)
+    print(f"{'query':>6} {'tokens':>7} {'matches':>8} {'latency_ms':>11}")
+    for number, (tokens, result) in enumerate(zip(queries, batch.results)):
         print(
             f"{number:>6} {tokens.size:>7} {result.num_texts:>8} "
             f"{1e3 * result.stats.total_seconds:>11.2f}"
         )
+    print(batch.stats.format())
     if args.cache:
         print(f"cache hit rate: {reader.hit_rate:.0%}")
     return 0
@@ -179,6 +189,7 @@ def _cmd_dedup(args: argparse.Namespace) -> int:
         theta=args.theta,
         window=args.window,
         max_probes=args.max_probes,
+        workers=args.workers,
     )
     print(
         f"probed {report.probes} windows at theta={args.theta}: "
@@ -212,6 +223,8 @@ def _cmd_memorize(args: argparse.Namespace) -> int:
         window_width=args.window,
         model_name=trained.name,
         seed=args.seed,
+        workers=args.workers,
+        batch_size=args.batch_size,
     )
     print(format_series_table(figure4_series([report])))
     return 0
@@ -264,6 +277,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("queries", help="file with one token-id sequence per line")
     p_batch.add_argument("--theta", type=float, default=0.8)
     p_batch.add_argument("--cache", action="store_true", help="LRU list cache")
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="0 = sequential loop; 1 = planned batch; >= 2 = parallel shards",
+    )
+    p_batch.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="queries planned/executed per chunk (default: whole file)",
+    )
     p_batch.set_defaults(func=_cmd_batch_query)
 
     p_val = sub.add_parser("validate", help="check an index's structural invariants")
@@ -286,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dedup.add_argument("--window", type=int, default=64)
     p_dedup.add_argument("--max-probes", type=int, default=None)
     p_dedup.add_argument("--limit", type=int, default=10, help="clusters to print")
+    p_dedup.add_argument("--workers", type=int, default=0, help="batch executor workers")
     p_dedup.set_defaults(func=_cmd_dedup)
 
     p_mem = sub.add_parser("memorize", help="Section 5 memorization evaluation")
@@ -297,6 +323,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_mem.add_argument("--length", type=int, default=512)
     p_mem.add_argument("--window", type=int, default=32)
     p_mem.add_argument("--seed", type=int, default=0)
+    p_mem.add_argument("--workers", type=int, default=0, help="batch executor workers")
+    p_mem.add_argument(
+        "--batch-size", type=int, default=None, help="queries per executor chunk"
+    )
     p_mem.set_defaults(func=_cmd_memorize)
     return parser
 

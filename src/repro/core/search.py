@@ -121,6 +121,43 @@ class SearchResult:
         return bool(self.matches)
 
 
+def derive_theta_result(base: SearchResult, theta: float) -> SearchResult:
+    """Restrict a loose-threshold result to a stricter ``theta``.
+
+    The collision-count rectangles carry *exact* counts, so a result
+    computed at a loose threshold contains every stricter answer: keep
+    the rectangles with ``count >= ceil(k * theta)``.  Used by
+    :meth:`NearDuplicateSearcher.search_thetas` and the batch executor's
+    multi-theta path; the derived result reuses the base query's stats
+    (the index was touched once).
+    """
+    beta = collision_threshold(base.k, theta)
+    matches = []
+    for match in base.matches:
+        kept = tuple(rect for rect in match.rectangles if rect.count >= beta)
+        if kept:
+            matches.append(TextMatch(match.text_id, kept))
+    stats = QueryStats(
+        total_seconds=base.stats.total_seconds,
+        io_seconds=base.stats.io_seconds,
+        io_bytes=base.stats.io_bytes,
+        io_calls=base.stats.io_calls,
+        lists_loaded=base.stats.lists_loaded,
+        long_lists=base.stats.long_lists,
+        groups_scanned=base.stats.groups_scanned,
+        candidates=base.stats.candidates,
+        texts_matched=len(matches),
+    )
+    return SearchResult(
+        matches=matches,
+        stats=stats,
+        k=base.k,
+        theta=theta,
+        beta=beta,
+        t=base.t,
+    )
+
+
 class NearDuplicateSearcher:
     """Query processor over an inverted index of compact windows.
 
@@ -156,6 +193,14 @@ class NearDuplicateSearcher:
         if long_list_cutoff is not None and long_list_cutoff < 0:
             raise InvalidParameterError("long_list_cutoff must be >= 0 or None")
         self.long_list_cutoff = long_list_cutoff
+        # A configured cutoff does not depend on the query; hoist it so
+        # batch workloads don't re-derive it per query (the ``None``
+        # heuristic stays per-query: it uses the query's own lengths).
+        self._static_cutoff = (
+            int(long_list_cutoff)
+            if long_list_cutoff is not None and long_list_cutoff > 0
+            else None
+        )
         self.corpus = corpus
 
     # ------------------------------------------------------------------
@@ -305,40 +350,8 @@ class NearDuplicateSearcher:
         """
         if not thetas:
             raise InvalidParameterError("at least one theta is required")
-        k = self.family.k
-        betas = {theta: collision_threshold(k, theta) for theta in thetas}
-        loosest = min(thetas)
-        base = self.search(query, loosest)
-        results: dict[float, SearchResult] = {}
-        for theta in thetas:
-            beta = betas[theta]
-            matches = []
-            for match in base.matches:
-                kept = tuple(
-                    rect for rect in match.rectangles if rect.count >= beta
-                )
-                if kept:
-                    matches.append(TextMatch(match.text_id, kept))
-            stats = QueryStats(
-                total_seconds=base.stats.total_seconds,
-                io_seconds=base.stats.io_seconds,
-                io_bytes=base.stats.io_bytes,
-                io_calls=base.stats.io_calls,
-                lists_loaded=base.stats.lists_loaded,
-                long_lists=base.stats.long_lists,
-                groups_scanned=base.stats.groups_scanned,
-                candidates=base.stats.candidates,
-                texts_matched=len(matches),
-            )
-            results[theta] = SearchResult(
-                matches=matches,
-                stats=stats,
-                k=k,
-                theta=theta,
-                beta=beta,
-                t=self.t,
-            )
-        return results
+        base = self.search(query, min(thetas))
+        return {theta: derive_theta_result(base, theta) for theta in thetas}
 
     # ------------------------------------------------------------------
     def _verify_rectangles(
@@ -390,20 +403,46 @@ class NearDuplicateSearcher:
         theta: float,
         *,
         first_match_only: bool = False,
+        verify: bool = False,
+        workers: int = 0,
+        batch_size: int | None = None,
     ) -> list[SearchResult]:
-        """Answer a batch of queries.
+        """Answer a batch of queries through the batch executor.
 
-        Semantically identical to calling :meth:`search` per query; the
-        batch entry point exists so callers (the memorization sweep,
-        the dedup self-join) have one place to hang batching
-        optimizations — pair it with
-        :class:`~repro.index.cache.CachedIndexReader` to amortize list
-        I/O across a batch that re-probes the Zipf head.
+        Matches and parameters are identical to calling :meth:`search`
+        per query — batching is a pure execution strategy.  With
+        ``workers=0`` this *is* the sequential per-query loop; with
+        ``workers >= 1`` the batch is planned (duplicate sketches
+        deduplicated, distinct inverted lists pinned once) and, for
+        ``workers >= 2``, sharded across threads (in-memory index) or
+        processes (on-disk index).  Callers that want the aggregated
+        :class:`~repro.query.results.BatchStats` should use
+        :class:`~repro.query.executor.BatchQueryExecutor` directly.
         """
-        return [
-            self.search(query, theta, first_match_only=first_match_only)
-            for query in queries
-        ]
+        from repro.query.executor import BatchQueryExecutor
+
+        executor = BatchQueryExecutor(
+            self, workers=workers, batch_size=batch_size
+        )
+        return executor.execute(
+            queries, theta, first_match_only=first_match_only, verify=verify
+        ).results
+
+    def _effective_cutoff(self, lengths: np.ndarray) -> int | None:
+        """The long-list cutoff for one query, or ``None`` when disabled.
+
+        For a configured cutoff this is the hoisted constant; only the
+        default heuristic (8x the median of the query's own non-empty
+        list lengths) depends on the query.
+        """
+        if self.long_list_cutoff == 0:
+            return None
+        if self._static_cutoff is not None:
+            return self._static_cutoff
+        positive = lengths[lengths > 0]
+        if positive.size == 0:
+            return None
+        return max(64, 8 * int(np.median(positive)))
 
     def _select_long_lists(self, lengths: np.ndarray, beta: int) -> set[int]:
         """Pick which of the query's ``k`` lists to prefix-filter away.
@@ -414,18 +453,12 @@ class NearDuplicateSearcher:
         so at most ``beta - 1`` lists may be long.  The longest lists
         are preferred.
         """
-        if self.long_list_cutoff == 0:
+        cutoff = self._effective_cutoff(lengths)
+        if cutoff is None:
             return set()
-        if self.long_list_cutoff is None:
-            positive = lengths[lengths > 0]
-            if positive.size == 0:
-                return set()
-            cutoff = max(64, 8 * int(np.median(positive)))
-        else:
-            cutoff = self.long_list_cutoff
-        candidates = [f for f in range(lengths.size) if lengths[f] > cutoff]
+        candidates = np.flatnonzero(lengths > cutoff)
         max_long = max(0, beta - 1)
-        if len(candidates) > max_long:
-            candidates.sort(key=lambda f: int(lengths[f]), reverse=True)
-            candidates = candidates[:max_long]
-        return set(candidates)
+        if candidates.size > max_long:
+            order = np.argsort(-lengths[candidates], kind="stable")
+            candidates = candidates[order[:max_long]]
+        return {int(func) for func in candidates}

@@ -72,6 +72,8 @@ def find_duplicate_clusters(
     window: int = 64,
     stride: int | None = None,
     max_probes: int | None = None,
+    workers: int = 0,
+    batch_size: int | None = 512,
 ) -> DedupReport:
     """Discover near-duplicate clusters via a windowed self-join.
 
@@ -89,6 +91,13 @@ def find_duplicate_clusters(
         Probe stride; defaults to ``window`` (non-overlapping probes).
     max_probes:
         Optional cap for sampled deduplication of large corpora.
+    workers:
+        Forwarded to the batch executor: ``0`` is the sequential loop,
+        ``>= 1`` plans/parallelizes each probe batch.  The self-join is
+        a natural batch workload — neighbouring probes of one text share
+        most of their Zipf-head lists.
+    batch_size:
+        Probes searched per executor batch (bounds planning memory).
     """
     if window < searcher.t:
         raise InvalidParameterError(
@@ -101,6 +110,25 @@ def find_duplicate_clusters(
     begin = time.perf_counter()
     report = DedupReport(theta=theta, window=window, stride=stride)
 
+    probe_spans: list[Span] = []
+    probe_queries: list[np.ndarray] = []
+    done = False
+    for text_id in range(len(corpus)):
+        if done:
+            break
+        text = np.asarray(corpus[text_id])
+        for start in range(0, max(0, text.size - window + 1), stride):
+            if max_probes is not None and report.probes >= max_probes:
+                done = True
+                break
+            report.probes += 1
+            probe_spans.append(Span(text_id, start, start + window - 1))
+            probe_queries.append(text[start : start + window])
+
+    results = searcher.search_many(
+        probe_queries, theta, workers=workers, batch_size=batch_size
+    )
+
     spans: list[Span] = []
     span_ids: dict[tuple[int, int, int], int] = {}
     pairs: list[tuple[int, int]] = []
@@ -112,29 +140,17 @@ def find_duplicate_clusters(
             spans.append(span)
         return span_ids[key]
 
-    done = False
-    for text_id in range(len(corpus)):
-        if done:
-            break
-        text = np.asarray(corpus[text_id])
-        for start in range(0, max(0, text.size - window + 1), stride):
-            if max_probes is not None and report.probes >= max_probes:
-                done = True
-                break
-            report.probes += 1
-            probe_span = Span(text_id, start, start + window - 1)
-            query = text[start : start + window]
-            result = searcher.search(query, theta)
-            probe_id = None
-            for merged in result.merged_spans():
-                # Skip the probe's own (overlapping) occurrence.
-                if merged.text_id == text_id and not (
-                    merged.end < probe_span.start or merged.start > probe_span.end
-                ):
-                    continue
-                if probe_id is None:
-                    probe_id = intern(probe_span)
-                pairs.append((probe_id, intern(merged)))
+    for probe_span, result in zip(probe_spans, results):
+        probe_id = None
+        for merged in result.merged_spans():
+            # Skip the probe's own (overlapping) occurrence.
+            if merged.text_id == probe_span.text_id and not (
+                merged.end < probe_span.start or merged.start > probe_span.end
+            ):
+                continue
+            if probe_id is None:
+                probe_id = intern(probe_span)
+            pairs.append((probe_id, intern(merged)))
 
     report.clusters = build_clusters(spans, pairs)
     report.seconds = time.perf_counter() - begin

@@ -143,6 +143,56 @@ class NearDupEngine:
         """The full :class:`SearchResult` for callers that need rectangles."""
         return self.searcher.search(self._as_tokens(query), theta, **kwargs)
 
+    def search_batch(
+        self,
+        queries: Sequence[str | Sequence[int] | np.ndarray],
+        theta: float = 0.8,
+        *,
+        workers: int = 0,
+        batch_size: int | None = None,
+        verify: bool = False,
+        snippet_tokens: int = 40,
+    ) -> list[list[Hit]]:
+        """Answer many queries in one planned, I/O-shared pass.
+
+        Returns one hit list per query, in input order — identical to
+        calling :meth:`search` per query.  ``workers=0`` runs the
+        sequential reference loop; ``workers=1`` plans the batch
+        (sketch dedup + list pinning) on one thread; ``workers>=2``
+        shards it across threads (in-memory index) or processes
+        (on-disk index).
+        """
+        batch = self.search_batch_raw(
+            queries,
+            theta,
+            workers=workers,
+            batch_size=batch_size,
+            verify=verify,
+        )
+        return [
+            self._to_hits(result, snippet_tokens) for result in batch.results
+        ]
+
+    def search_batch_raw(
+        self,
+        queries: Sequence[str | Sequence[int] | np.ndarray],
+        theta: float = 0.8,
+        *,
+        workers: int = 0,
+        batch_size: int | None = None,
+        **kwargs,
+    ):
+        """Batch counterpart of :meth:`search_raw`: the full
+        :class:`~repro.query.results.BatchResult`, including the merged
+        :class:`~repro.query.results.BatchStats`."""
+        from repro.query.executor import BatchQueryExecutor
+
+        executor = BatchQueryExecutor(
+            self.searcher, workers=workers, batch_size=batch_size
+        )
+        tokenized = [self._as_tokens(query) for query in queries]
+        return executor.execute(tokenized, theta, **kwargs)
+
     def contains_near_duplicate(
         self, query: str | Sequence[int] | np.ndarray, theta: float = 0.8
     ) -> bool:

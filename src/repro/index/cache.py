@@ -7,16 +7,40 @@ touched over and over.  This wrapper adds a bounded LRU cache in front
 of any :class:`~repro.index.inverted.InvertedIndexReader`, eliminating
 repeat I/O for the hot lists while preserving the reader interface
 (including I/O accounting: cache hits cost zero bytes).
+
+Batch executors (:mod:`repro.query`) additionally *pin* the lists a
+whole query batch is known to touch: a pinned list is loaded once and
+exempt from LRU eviction until :meth:`CachedIndexReader.unpin_all`, so
+a list loaded for the batch's third query is guaranteed still warm for
+its eighty-seventh.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.index.inverted import IOStats, POSTING_BYTES
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of one cache's counters (feeds ``BatchStats``)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    cached_bytes: int
+    capacity_bytes: int
+    pinned_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class CachedIndexReader:
@@ -45,8 +69,10 @@ class CachedIndexReader:
         self._capacity = int(capacity_bytes)
         self._used = 0
         self._lists: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        self._pinned: set[tuple[int, int]] = set()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # -- reader protocol ------------------------------------------------
     def list_length(self, func: int, minhash: int) -> int:
@@ -79,14 +105,52 @@ class CachedIndexReader:
             return cached[lo:hi]
         return self.inner.load_text_windows(func, minhash, text_id)
 
+    # -- batch pinning ------------------------------------------------
+    def pin(self, func: int, minhash: int) -> bool:
+        """Load a list (if needed) and exempt it from eviction.
+
+        Returns ``True`` iff the list now resides pinned in the cache;
+        a list that would not fit in the budget is left unpinned (the
+        query path still works, it just pays the re-read).
+        """
+        key = (func, minhash)
+        if key in self._pinned:
+            return True
+        if key not in self._lists:
+            self.misses += 1
+            postings = self.inner.load_list(func, minhash)
+            self._admit(key, postings)
+            if key not in self._lists:
+                return False
+        self._pinned.add(key)
+        return True
+
+    def unpin_all(self) -> None:
+        """Release every pin; pinned entries become ordinary LRU entries."""
+        self._pinned.clear()
+
+    @property
+    def pinned_bytes(self) -> int:
+        return sum(
+            int(self._lists[key].size) * POSTING_BYTES
+            for key in self._pinned
+            if key in self._lists
+        )
+
     # -- cache management ------------------------------------------------
     def _admit(self, key: tuple[int, int], postings: np.ndarray) -> None:
         nbytes = int(postings.size) * POSTING_BYTES
         if nbytes > self._capacity:
             return
         while self._used + nbytes > self._capacity and self._lists:
-            _, evicted = self._lists.popitem(last=False)
+            victim = next(
+                (k for k in self._lists if k not in self._pinned), None
+            )
+            if victim is None:
+                return  # everything resident is pinned; skip admission
+            evicted = self._lists.pop(victim)
             self._used -= int(evicted.size) * POSTING_BYTES
+            self.evictions += 1
         self._lists[key] = postings
         self._used += nbytes
 
@@ -99,9 +163,21 @@ class CachedIndexReader:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats(self) -> CacheStats:
+        """Current counters as an immutable snapshot."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            cached_bytes=self._used,
+            capacity_bytes=self._capacity,
+            pinned_bytes=self.pinned_bytes,
+        )
+
     def clear(self) -> None:
-        """Drop every cached list."""
+        """Drop every cached list (pins included)."""
         self._lists.clear()
+        self._pinned.clear()
         self._used = 0
 
     # -- passthrough introspection ----------------------------------------

@@ -273,6 +273,11 @@ class DiskInvertedIndex:
 
     # -- introspection ------------------------------------------------
     @property
+    def directory(self) -> Path:
+        """The index directory (lets batch workers re-open the index)."""
+        return self._directory
+
+    @property
     def num_postings(self) -> int:
         return self._num_postings
 

@@ -89,29 +89,51 @@ def evaluate_generated_texts(
     *,
     model_name: str = "model",
     keep_examples: bool = True,
+    workers: int = 0,
+    batch_size: int | None = None,
 ) -> MemorizationReport:
-    """Run the sliding-window protocol over pre-generated texts."""
+    """Run the sliding-window protocol over pre-generated texts.
+
+    All windows of all texts form one query batch fed through
+    :meth:`~repro.core.search.NearDuplicateSearcher.search_many`, so the
+    Zipf-head inverted lists are read once per batch instead of once per
+    query; ``workers >= 2`` additionally parallelizes the batch.
+    ``workers=0`` keeps the exact sequential semantics.
+    """
     report = MemorizationReport(
         model_name=model_name, theta=theta, window_width=window_width
     )
+    positions: list[tuple[int, int]] = []
+    queries: list[np.ndarray] = []
     for text_index, text in enumerate(texts):
         for window_index, query in enumerate(sliding_queries(text, window_width)):
-            result = searcher.search(query, theta, first_match_only=not keep_examples)
-            example = None
-            if keep_examples and result.matches:
-                merged = result.merged_spans()
-                if merged:
-                    example = merged[0]
-            report.outcomes.append(
-                QueryOutcome(
-                    generated_text=text_index,
-                    window_index=window_index,
-                    query=np.asarray(query),
-                    matched=bool(result.matches),
-                    num_texts=result.num_texts,
-                    example=example,
-                )
+            positions.append((text_index, window_index))
+            queries.append(query)
+    results = searcher.search_many(
+        queries,
+        theta,
+        first_match_only=not keep_examples,
+        workers=workers,
+        batch_size=batch_size,
+    )
+    for (text_index, window_index), query, result in zip(
+        positions, queries, results
+    ):
+        example = None
+        if keep_examples and result.matches:
+            merged = result.merged_spans()
+            if merged:
+                example = merged[0]
+        report.outcomes.append(
+            QueryOutcome(
+                generated_text=text_index,
+                window_index=window_index,
+                query=np.asarray(query),
+                matched=bool(result.matches),
+                num_texts=result.num_texts,
+                example=example,
             )
+        )
     return report
 
 
@@ -126,6 +148,8 @@ def evaluate_model(
     generation: GenerationConfig | None = None,
     model_name: str = "model",
     seed: int = 0,
+    workers: int = 0,
+    batch_size: int | None = None,
 ) -> MemorizationReport:
     """End-to-end Section 5 evaluation: generate, slice, search, report.
 
@@ -144,4 +168,6 @@ def evaluate_model(
         theta,
         window_width,
         model_name=model_name,
+        workers=workers,
+        batch_size=batch_size,
     )

@@ -93,13 +93,27 @@ def run_figure4_sweep(
     *,
     vocab_size: int | None = None,
     generation: GenerationConfig | None = None,
+    workers: int = 0,
+    batch_size: int | None = None,
 ) -> SweepResult:
-    """Train the zoo, generate once per model, evaluate the whole grid."""
+    """Train the zoo, generate once per model, evaluate the whole grid.
+
+    All windows of one (model, width) cell form one query batch run
+    through the batch executor; one batched pass at the loosest theta
+    answers every theta at once (rectangles carry exact collision
+    counts).  ``workers`` and ``batch_size`` are forwarded to
+    :class:`~repro.query.executor.BatchQueryExecutor`.
+    """
+    from repro.query.executor import BatchQueryExecutor
+
     if config is None:
         config = SweepConfig()
     if generation is None:
         generation = GenerationConfig(strategy="top_k", top_k=50)
     zoo = train_zoo(corpus, list(config.model_names), vocab_size=vocab_size)
+    executor = BatchQueryExecutor(
+        searcher, workers=workers, batch_size=batch_size
+    )
 
     result = SweepResult()
     thetas = list(config.thetas)
@@ -114,28 +128,33 @@ def run_figure4_sweep(
             for offset in range(config.num_texts)
         ]
         for width in config.window_widths:
-            # One index pass per query answers every theta at once
-            # (rectangles carry exact collision counts).
             reports = {
                 theta: MemorizationReport(
                     model_name=tier.name, theta=theta, window_width=width
                 )
                 for theta in thetas
             }
+            positions: list[tuple[int, int]] = []
+            queries: list[np.ndarray] = []
             for text_index, text in enumerate(texts):
                 for window_index, query in enumerate(sliding_queries(text, width)):
-                    per_theta = searcher.search_thetas(query, thetas)
-                    for theta in thetas:
-                        outcome = per_theta[theta]
-                        reports[theta].outcomes.append(
-                            QueryOutcome(
-                                generated_text=text_index,
-                                window_index=window_index,
-                                query=np.asarray(query),
-                                matched=bool(outcome.matches),
-                                num_texts=outcome.num_texts,
-                                example=None,
-                            )
+                    positions.append((text_index, window_index))
+                    queries.append(query)
+            per_query, _ = executor.execute_thetas(queries, thetas)
+            for (text_index, window_index), query, per_theta in zip(
+                positions, queries, per_query
+            ):
+                for theta in thetas:
+                    outcome = per_theta[theta]
+                    reports[theta].outcomes.append(
+                        QueryOutcome(
+                            generated_text=text_index,
+                            window_index=window_index,
+                            query=np.asarray(query),
+                            matched=bool(outcome.matches),
+                            num_texts=outcome.num_texts,
+                            example=None,
                         )
+                    )
             result.reports.extend(reports[theta] for theta in thetas)
     return result

@@ -1,0 +1,33 @@
+"""Batch query execution: planned, deduplicated, parallel search.
+
+The paper's headline workload (Section 5) is hundreds of thousands of
+generated sequences searched against one training corpus.  This package
+turns that from "N independent cold searches" into one planned pass:
+
+* :mod:`repro.query.planner` — sketch every query up front, deduplicate
+  byte-identical sketches, and enumerate the distinct inverted lists the
+  batch will touch;
+* :mod:`repro.query.executor` — run the plan sequentially, across
+  threads (in-memory index), or across processes (on-disk index), with
+  the batch's shared lists pinned in a
+  :class:`~repro.index.cache.CachedIndexReader`;
+* :mod:`repro.query.results` — per-batch aggregation of
+  :class:`~repro.core.search.QueryStats` into a printable
+  :class:`~repro.query.results.BatchStats`.
+
+Batching is a pure execution strategy: matches are identical to calling
+:meth:`~repro.core.search.NearDuplicateSearcher.search` per query.
+"""
+
+from repro.query.executor import BatchQueryExecutor
+from repro.query.planner import BatchPlan, PlannedQuery, plan_batch
+from repro.query.results import BatchResult, BatchStats
+
+__all__ = [
+    "BatchPlan",
+    "BatchQueryExecutor",
+    "BatchResult",
+    "BatchStats",
+    "PlannedQuery",
+    "plan_batch",
+]

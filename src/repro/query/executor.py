@@ -1,0 +1,492 @@
+"""Parallel, I/O-shared execution of planned query batches.
+
+Execution strategies (``BatchStats.mode``):
+
+``sequential``
+    ``workers=0``: exactly today's per-query loop — no planning, no
+    dedup, no pinning.  The reference semantics every other mode must
+    reproduce byte-for-byte.
+``planned``
+    ``workers=1`` (or an unsupported index/verify combination): one
+    thread, but the batch is sketch-deduplicated and the shared lists
+    are batch-pinned in a :class:`~repro.index.cache.CachedIndexReader`,
+    so each distinct list is read once per batch.
+``thread``
+    ``workers>=2`` over a :class:`~repro.index.inverted.MemoryInvertedIndex`:
+    unique queries are sharded by their dominant (longest) list and run
+    on a thread pool; each thread searches through a private
+    :meth:`~repro.index.inverted.MemoryInvertedIndex.view` (shared
+    arrays, private I/O accounting) behind its own pinned cache.  The
+    numpy kernels release the GIL for the heavy scans.
+``process``
+    ``workers>=2`` over a :class:`~repro.index.storage.DiskInvertedIndex`:
+    mirrors :mod:`repro.index.parallel` — workers re-open the index from
+    its directory (mmap-friendly; postings are never pickled), own a
+    private cache, and the parent ships each worker the shard of queries
+    whose dominant lists it should keep hot.
+
+All modes return matches identical to the sequential loop; batching is
+a pure execution strategy.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.search import (
+    NearDuplicateSearcher,
+    SearchResult,
+    derive_theta_result,
+)
+from repro.exceptions import InvalidParameterError
+from repro.index.cache import CachedIndexReader
+from repro.index.inverted import MemoryInvertedIndex
+from repro.index.storage import DiskInvertedIndex
+from repro.query.planner import BatchPlan, PlannedQuery, plan_batch
+from repro.query.results import BatchResult, BatchStats
+
+#: Default per-worker list-cache budget.
+DEFAULT_CACHE_BYTES = 32 * 1024 * 1024
+
+#: Fraction of the cache budget the batch pinner may occupy; the rest
+#: stays available to the ordinary LRU so long-tail lists still cache.
+DEFAULT_PIN_FRACTION = 0.5
+
+_MODES = ("auto", "sequential", "planned", "thread", "process")
+
+# Per-process state of the process-pool path (mirrors index/parallel.py).
+_WORKER_SEARCHER: NearDuplicateSearcher | None = None
+
+
+def _init_query_worker(
+    directory: str, long_list_cutoff: int | None, cache_bytes: int
+) -> None:
+    """Open the on-disk index once per worker process."""
+    global _WORKER_SEARCHER
+    index = DiskInvertedIndex(directory)
+    reader = CachedIndexReader(index, capacity_bytes=cache_bytes)
+    _WORKER_SEARCHER = NearDuplicateSearcher(
+        reader, long_list_cutoff=long_list_cutoff
+    )
+
+
+def _run_shard(
+    searcher: NearDuplicateSearcher,
+    shard: list[tuple[int, np.ndarray]],
+    theta: float,
+    first_match_only: bool,
+    verify: bool,
+    pin_keys: list[tuple[int, int]],
+) -> dict:
+    """Execute one shard of unique queries on one searcher.
+
+    Shared by every non-sequential mode: pin the shard's shared lists,
+    answer the queries, release the pins, and report the shard's
+    I/O/cache accounting alongside the results.
+    """
+    reader = searcher.index
+    begin = time.perf_counter()
+    io = getattr(reader, "io_stats", None)
+    io_before = (io.bytes_read, io.read_calls, io.seconds) if io else (0, 0, 0.0)
+    cache_before = reader.stats() if isinstance(reader, CachedIndexReader) else None
+    pinned = 0
+    if isinstance(reader, CachedIndexReader):
+        for func, minhash in pin_keys:
+            pinned += bool(reader.pin(func, minhash))
+    pin_io = (
+        (
+            io.bytes_read - io_before[0],
+            io.read_calls - io_before[1],
+            io.seconds - io_before[2],
+        )
+        if io
+        else (0, 0, 0.0)
+    )
+    results: list[tuple[int, SearchResult]] = []
+    try:
+        for position, query in shard:
+            results.append(
+                (
+                    position,
+                    searcher.search(
+                        query,
+                        theta,
+                        first_match_only=first_match_only,
+                        verify=verify,
+                    ),
+                )
+            )
+    finally:
+        if isinstance(reader, CachedIndexReader):
+            reader.unpin_all()
+    cache_delta = (0, 0, 0)
+    if cache_before is not None:
+        cache_after = reader.stats()
+        cache_delta = (
+            cache_after.hits - cache_before.hits,
+            cache_after.misses - cache_before.misses,
+            cache_after.evictions - cache_before.evictions,
+        )
+    return {
+        "results": results,
+        "busy_seconds": time.perf_counter() - begin,
+        "pinned": pinned,
+        "pin_io": pin_io,
+        "cache": cache_delta,
+    }
+
+
+def _run_process_shard(payload: dict) -> dict:
+    """Process-pool entry point: run one shard on the per-process searcher."""
+    assert _WORKER_SEARCHER is not None
+    return _run_shard(
+        _WORKER_SEARCHER,
+        payload["shard"],
+        payload["theta"],
+        payload["first_match_only"],
+        False,
+        payload["pin_keys"],
+    )
+
+
+class BatchQueryExecutor:
+    """Plan and run query batches against one searcher's index.
+
+    Parameters
+    ----------
+    searcher:
+        The configured :class:`~repro.core.search.NearDuplicateSearcher`
+        (its ``long_list_cutoff`` and ``corpus`` carry over to workers).
+    workers:
+        ``0`` = the sequential reference loop; ``1`` = planned
+        single-threaded execution; ``>= 2`` = sharded thread or process
+        pool (chosen from the index type unless ``mode`` forces one).
+    batch_size:
+        Optional chunking: queries are planned and executed
+        ``batch_size`` at a time (bounds sketch/pin memory for very
+        large sweeps; dedup then only applies within a chunk).
+    mode:
+        ``auto`` (default) or an explicit strategy; incompatible
+        requests (e.g. ``process`` over an in-memory index) degrade to
+        ``planned``.
+    cache_bytes / pin_fraction:
+        Per-worker list-cache budget and the fraction of it the batch
+        pinner may fill.
+    """
+
+    def __init__(
+        self,
+        searcher: NearDuplicateSearcher,
+        *,
+        workers: int = 0,
+        batch_size: int | None = None,
+        mode: str = "auto",
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        pin_fraction: float = DEFAULT_PIN_FRACTION,
+    ) -> None:
+        if workers < 0:
+            raise InvalidParameterError(f"workers must be >= 0, got {workers}")
+        if batch_size is not None and batch_size < 1:
+            raise InvalidParameterError(
+                f"batch_size must be >= 1 or None, got {batch_size}"
+            )
+        if mode not in _MODES:
+            raise InvalidParameterError(
+                f"mode must be one of {_MODES}, got {mode!r}"
+            )
+        if cache_bytes <= 0:
+            raise InvalidParameterError("cache_bytes must be positive")
+        if not 0.0 <= pin_fraction <= 1.0:
+            raise InvalidParameterError("pin_fraction must be in [0, 1]")
+        self.searcher = searcher
+        self.workers = int(workers)
+        self.batch_size = batch_size
+        self.mode = mode
+        self.cache_bytes = int(cache_bytes)
+        self.pin_fraction = float(pin_fraction)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        queries: list[np.ndarray],
+        theta: float,
+        *,
+        first_match_only: bool = False,
+        verify: bool = False,
+    ) -> BatchResult:
+        """Answer every query; results come back in input order."""
+        if self.batch_size is not None and len(queries) > self.batch_size:
+            combined = BatchResult()
+            for start in range(0, len(queries), self.batch_size):
+                chunk = self._execute_batch(
+                    queries[start : start + self.batch_size],
+                    theta,
+                    first_match_only=first_match_only,
+                    verify=verify,
+                )
+                combined.results.extend(chunk.results)
+                combined.stats.merge(chunk.stats)
+            return combined
+        return self._execute_batch(
+            queries, theta, first_match_only=first_match_only, verify=verify
+        )
+
+    def execute_thetas(
+        self,
+        queries: list[np.ndarray],
+        thetas: list[float],
+    ) -> tuple[list[dict[float, SearchResult]], BatchStats]:
+        """Batch variant of :meth:`NearDuplicateSearcher.search_thetas`.
+
+        One batched pass at the loosest threshold answers every stricter
+        one (rectangles carry exact collision counts); returns one
+        ``{theta: SearchResult}`` dict per query, in input order.
+        """
+        if not thetas:
+            raise InvalidParameterError("at least one theta is required")
+        batch = self.execute(queries, min(thetas))
+        per_query = [
+            {theta: derive_theta_result(base, theta) for theta in thetas}
+            for base in batch.results
+        ]
+        return per_query, batch.stats
+
+    # ------------------------------------------------------------------
+    def _execute_batch(
+        self,
+        queries: list[np.ndarray],
+        theta: float,
+        *,
+        first_match_only: bool,
+        verify: bool,
+    ) -> BatchResult:
+        begin = time.perf_counter()
+        mode = self._resolve_mode(verify)
+        if mode == "sequential":
+            batch = self._execute_sequential(
+                queries, theta, first_match_only, verify
+            )
+        else:
+            plan = plan_batch(self.searcher, queries, theta, verify=verify)
+            shard_count = (
+                min(self.workers, len(plan.entries))
+                if mode in ("thread", "process")
+                else 1
+            )
+            shards = plan.shards(max(shard_count, 1))
+            shard_jobs = [
+                (
+                    [(entry.position, entry.query) for entry in shard],
+                    self._pin_keys_for(shard, plan),
+                )
+                for shard in shards
+            ]
+            if mode == "thread" and len(shards) >= 2:
+                outcomes = self._run_threads(
+                    shard_jobs, theta, first_match_only, verify
+                )
+            elif mode == "process" and len(shards) >= 2:
+                outcomes = self._run_processes(shard_jobs, theta, first_match_only)
+            else:
+                mode = "planned" if mode != "sequential" else mode
+                outcomes = self._run_planned(
+                    shard_jobs, theta, first_match_only, verify
+                )
+            batch = self._collect(plan, outcomes, mode)
+        batch.stats.workers = self.workers
+        batch.stats.total_seconds = time.perf_counter() - begin
+        return batch
+
+    def _resolve_mode(self, verify: bool) -> str:
+        if self.workers == 0 or self.mode == "sequential":
+            return "sequential"
+        requested = self.mode
+        base = self._base_index()
+        if requested == "auto":
+            if self.workers < 2:
+                return "planned"
+            if isinstance(base, MemoryInvertedIndex):
+                return "thread"
+            if isinstance(base, DiskInvertedIndex) and not verify:
+                return "process"
+            return "planned"
+        if requested == "thread" and not isinstance(base, MemoryInvertedIndex):
+            return "planned"
+        if requested == "process" and (
+            not isinstance(base, DiskInvertedIndex) or verify
+        ):
+            # Process workers re-open the index by path and have no
+            # corpus for exact verification.
+            return "planned"
+        return requested
+
+    def _base_index(self):
+        index = self.searcher.index
+        if isinstance(index, CachedIndexReader):
+            return index.inner
+        return index
+
+    def _pin_keys_for(
+        self, shard: list[PlannedQuery], plan: BatchPlan
+    ) -> list[tuple[int, int]]:
+        """Shared lists this shard should pin, within the pin budget."""
+        budget = int(self.cache_bytes * self.pin_fraction)
+        wanted = {key for entry in shard for key in entry.short_keys}
+        keys: list[tuple[int, int]] = []
+        used = 0
+        for key in plan.shared_keys():
+            if key not in wanted:
+                continue
+            nbytes = plan.list_bytes.get(key, 0)
+            if used + nbytes > budget:
+                continue
+            keys.append(key)
+            used += nbytes
+        return keys
+
+    # -- strategy bodies ----------------------------------------------
+    def _execute_sequential(
+        self,
+        queries: list[np.ndarray],
+        theta: float,
+        first_match_only: bool,
+        verify: bool,
+    ) -> BatchResult:
+        stats = BatchStats(
+            queries=len(queries),
+            unique_queries=len(queries),
+            mode="sequential",
+        )
+        results = []
+        begin = time.perf_counter()
+        for query in queries:
+            result = self.searcher.search(
+                query, theta, first_match_only=first_match_only, verify=verify
+            )
+            stats.add_query(result.stats)
+            results.append(result)
+        stats.execute_seconds = time.perf_counter() - begin
+        stats.worker_busy_seconds = stats.execute_seconds
+        return BatchResult(results=results, stats=stats)
+
+    def _run_planned(
+        self,
+        shard_jobs: list[tuple[list[tuple[int, np.ndarray]], list[tuple[int, int]]]],
+        theta: float,
+        first_match_only: bool,
+        verify: bool,
+    ) -> list[dict]:
+        searcher = self._planned_searcher()
+        outcomes = []
+        for shard, pin_keys in shard_jobs:
+            outcomes.append(
+                _run_shard(
+                    searcher, shard, theta, first_match_only, verify, pin_keys
+                )
+            )
+        return outcomes
+
+    def _planned_searcher(self) -> NearDuplicateSearcher:
+        """A searcher whose reader supports pinning, reusing an existing
+        cache when the caller already searches through one."""
+        if isinstance(self.searcher.index, CachedIndexReader):
+            return self.searcher
+        reader = CachedIndexReader(
+            self.searcher.index, capacity_bytes=self.cache_bytes
+        )
+        return NearDuplicateSearcher(
+            reader,
+            long_list_cutoff=self.searcher.long_list_cutoff,
+            corpus=self.searcher.corpus,
+        )
+
+    def _run_threads(
+        self,
+        shard_jobs: list[tuple[list[tuple[int, np.ndarray]], list[tuple[int, int]]]],
+        theta: float,
+        first_match_only: bool,
+        verify: bool,
+    ) -> list[dict]:
+        base = self._base_index()
+
+        def run(job):
+            shard, pin_keys = job
+            reader = CachedIndexReader(
+                base.view(), capacity_bytes=self.cache_bytes
+            )
+            local = NearDuplicateSearcher(
+                reader,
+                long_list_cutoff=self.searcher.long_list_cutoff,
+                corpus=self.searcher.corpus,
+            )
+            return _run_shard(
+                local, shard, theta, first_match_only, verify, pin_keys
+            )
+
+        with ThreadPoolExecutor(max_workers=len(shard_jobs)) as pool:
+            return list(pool.map(run, shard_jobs))
+
+    def _run_processes(
+        self,
+        shard_jobs: list[tuple[list[tuple[int, np.ndarray]], list[tuple[int, int]]]],
+        theta: float,
+        first_match_only: bool,
+    ) -> list[dict]:
+        base = self._base_index()
+        payloads = [
+            {
+                "shard": shard,
+                "theta": theta,
+                "first_match_only": first_match_only,
+                "pin_keys": pin_keys,
+            }
+            for shard, pin_keys in shard_jobs
+        ]
+        with ProcessPoolExecutor(
+            max_workers=len(shard_jobs),
+            initializer=_init_query_worker,
+            initargs=(
+                str(base.directory),
+                self.searcher.long_list_cutoff,
+                self.cache_bytes,
+            ),
+        ) as pool:
+            return list(pool.map(_run_process_shard, payloads))
+
+    # -- assembly ------------------------------------------------------
+    def _collect(
+        self, plan: BatchPlan, outcomes: list[dict], mode: str
+    ) -> BatchResult:
+        stats = BatchStats(
+            queries=plan.num_queries,
+            unique_queries=plan.num_unique,
+            mode=mode,
+            lists_referenced=plan.lists_referenced,
+            distinct_lists=len(plan.demand),
+            plan_seconds=plan.plan_seconds,
+        )
+        unique_results: list[SearchResult | None] = [None] * plan.num_unique
+        execute_wall = 0.0
+        for outcome in outcomes:
+            for position, result in outcome["results"]:
+                unique_results[position] = result
+                stats.add_query(result.stats)
+            pin_bytes, pin_calls, pin_seconds = outcome["pin_io"]
+            stats.io_bytes += pin_bytes
+            stats.io_calls += pin_calls
+            stats.io_seconds += pin_seconds
+            stats.lists_pinned += outcome["pinned"]
+            hits, misses, evictions = outcome["cache"]
+            stats.cache_hits += hits
+            stats.cache_misses += misses
+            stats.cache_evictions += evictions
+            stats.worker_busy_seconds += outcome["busy_seconds"]
+            execute_wall = max(execute_wall, outcome["busy_seconds"])
+        stats.execute_seconds = execute_wall
+        results = [unique_results[index] for index in plan.assignment]
+        if any(result is None for result in results):  # pragma: no cover
+            raise RuntimeError("batch execution lost a query result")
+        return BatchResult(results=results, stats=stats)

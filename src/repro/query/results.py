@@ -1,0 +1,160 @@
+"""Aggregated observability for batch query execution.
+
+One :class:`BatchStats` merges the per-query
+:class:`~repro.core.search.QueryStats` of a whole batch and adds the
+batch-only dimensions: sketch-dedup savings, distinct-list I/O sharing,
+cache counters, and worker utilization.  The CLI prints it verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.search import QueryStats, SearchResult
+
+
+@dataclass
+class BatchStats:
+    """Merged accounting of one executed query batch."""
+
+    queries: int = 0
+    unique_queries: int = 0
+    mode: str = "sequential"
+    workers: int = 0
+    #: Total (func, hash) list references across all queries (non-empty
+    #: lists only) vs. the number of distinct lists actually needed.
+    lists_referenced: int = 0
+    distinct_lists: int = 0
+    lists_pinned: int = 0
+    # Stage wall times.
+    plan_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    total_seconds: float = 0.0
+    #: Sum of busy wall time across workers (= execute_seconds when
+    #: sequential); utilization = busy / (workers * execute wall).
+    worker_busy_seconds: float = 0.0
+    # Merged QueryStats (duplicates in the batch are counted once —
+    # their search ran once).
+    io_bytes: int = 0
+    io_calls: int = 0
+    io_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    lists_loaded: int = 0
+    candidates: int = 0
+    texts_matched: int = 0
+    # Cache counters summed over every reader the batch used.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def duplicate_queries(self) -> int:
+        """Queries answered for free because their sketch already ran."""
+        return self.queries - self.unique_queries
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.queries / self.total_seconds
+
+    @property
+    def list_dedup_ratio(self) -> float:
+        """References per distinct list (>= 1; higher = more sharing)."""
+        if self.distinct_lists == 0:
+            return 1.0
+        return self.lists_referenced / self.distinct_lists
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of worker capacity kept busy during execution."""
+        capacity = max(self.workers, 1) * self.execute_seconds
+        if capacity <= 0.0:
+            return 0.0
+        return min(1.0, self.worker_busy_seconds / capacity)
+
+    # ------------------------------------------------------------------
+    def add_query(self, stats: QueryStats) -> None:
+        """Fold one executed query's stats into the batch totals."""
+        self.io_bytes += stats.io_bytes
+        self.io_calls += stats.io_calls
+        self.io_seconds += stats.io_seconds
+        self.cpu_seconds += stats.cpu_seconds
+        self.lists_loaded += stats.lists_loaded
+        self.candidates += stats.candidates
+        self.texts_matched += stats.texts_matched
+
+    def merge(self, other: "BatchStats") -> None:
+        """Fold another chunk's stats in (chunked ``batch_size`` runs)."""
+        self.queries += other.queries
+        self.unique_queries += other.unique_queries
+        self.lists_referenced += other.lists_referenced
+        self.distinct_lists += other.distinct_lists
+        self.lists_pinned += other.lists_pinned
+        self.plan_seconds += other.plan_seconds
+        self.execute_seconds += other.execute_seconds
+        self.total_seconds += other.total_seconds
+        self.worker_busy_seconds += other.worker_busy_seconds
+        self.io_bytes += other.io_bytes
+        self.io_calls += other.io_calls
+        self.io_seconds += other.io_seconds
+        self.cpu_seconds += other.cpu_seconds
+        self.lists_loaded += other.lists_loaded
+        self.candidates += other.candidates
+        self.texts_matched += other.texts_matched
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
+        self.workers = max(self.workers, other.workers)
+        if self.mode != other.mode:
+            self.mode = other.mode if self.mode == "sequential" else self.mode
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Human-readable multi-line summary (what the CLI prints)."""
+        lines = [
+            f"batch: {self.queries} queries "
+            f"({self.unique_queries} unique, {self.duplicate_queries} deduped) "
+            f"mode={self.mode} workers={self.workers}",
+            f"lists: {self.lists_referenced} referenced, "
+            f"{self.distinct_lists} distinct "
+            f"({self.list_dedup_ratio:.2f}x shared), {self.lists_pinned} pinned, "
+            f"{self.lists_loaded} loaded",
+            f"io: {self.io_bytes} bytes in {self.io_calls} calls "
+            f"({1e3 * self.io_seconds:.1f} ms)",
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses / "
+            f"{self.cache_evictions} evictions",
+            f"time: plan {1e3 * self.plan_seconds:.1f} ms, "
+            f"execute {1e3 * self.execute_seconds:.1f} ms, "
+            f"total {1e3 * self.total_seconds:.1f} ms "
+            f"({self.queries_per_second:.0f} q/s, "
+            f"utilization {self.worker_utilization:.0%})",
+            f"matches: {self.texts_matched} texts over {self.candidates} candidates",
+        ]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+@dataclass
+class BatchResult:
+    """Output of one batch execution: per-query results, input order."""
+
+    results: list[SearchResult] = field(default_factory=list)
+    stats: BatchStats = field(default_factory=BatchStats)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, position: int) -> SearchResult:
+        return self.results[position]
+
+    @property
+    def num_matched(self) -> int:
+        """Queries with at least one near-duplicate (the Section 5 numerator)."""
+        return sum(1 for result in self.results if result.matches)

@@ -1,0 +1,392 @@
+"""Tests for the batch query executor (`repro.query`).
+
+The contract under test: batching is a *pure execution strategy* — for
+every worker count and mode, matches are identical to the sequential
+per-query loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.corpus.corpus import InMemoryCorpus
+from repro.corpus.synthetic import synthweb
+from repro.exceptions import InvalidParameterError, QueryError
+from repro.index.builder import build_memory_index
+from repro.index.cache import CachedIndexReader
+from repro.index.storage import DiskInvertedIndex, write_index
+from repro.query.executor import BatchQueryExecutor
+from repro.query.planner import plan_batch
+from repro.query.results import BatchStats
+
+
+def match_set(result):
+    return {
+        (m.text_id, r.i_lo, r.i_hi, r.j_lo, r.j_hi, r.count)
+        for m in result.matches
+        for r in m.rectangles
+    }
+
+
+def assert_same_results(expected, actual):
+    assert len(expected) == len(actual)
+    for a, b in zip(expected, actual):
+        assert match_set(a) == match_set(b)
+        assert a.beta == b.beta and a.theta == b.theta
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = synthweb(
+        num_texts=150,
+        mean_length=150,
+        vocab_size=1024,
+        duplicate_rate=0.2,
+        span_length=48,
+        mutation_rate=0.04,
+        seed=7,
+    )
+    family = HashFamily(k=16, seed=3)
+    index = build_memory_index(data.corpus, family, t=25, vocab_size=1024)
+    return data.corpus, index, NearDuplicateSearcher(index)
+
+
+@pytest.fixture(scope="module")
+def batch_queries(setup):
+    corpus, _, _ = setup
+    rng = np.random.default_rng(0)
+    queries = [np.asarray(corpus[i])[:40] for i in range(12)]
+    # Exact duplicates (the sketch-dedup path) ...
+    queries += queries[:6]
+    # ... and garbage queries with (almost surely) no match.
+    queries += [
+        rng.integers(0, 1024, size=40).astype(np.uint32) for _ in range(4)
+    ]
+    return queries
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_sequential(self, setup, batch_queries, workers):
+        _, _, searcher = setup
+        sequential = BatchQueryExecutor(searcher, workers=0).execute(
+            batch_queries, 0.8
+        )
+        batch = BatchQueryExecutor(searcher, workers=workers).execute(
+            batch_queries, 0.8
+        )
+        assert_same_results(sequential.results, batch.results)
+
+    def test_first_match_only(self, setup, batch_queries):
+        _, _, searcher = setup
+        sequential = BatchQueryExecutor(searcher, workers=0).execute(
+            batch_queries, 0.8, first_match_only=True
+        )
+        batch = BatchQueryExecutor(searcher, workers=2).execute(
+            batch_queries, 0.8, first_match_only=True
+        )
+        for a, b in zip(sequential.results, batch.results):
+            assert bool(a.matches) == bool(b.matches)
+
+    def test_verify_equivalence(self, setup, batch_queries):
+        corpus, index, _ = setup
+        searcher = NearDuplicateSearcher(index, corpus=corpus)
+        sequential = BatchQueryExecutor(searcher, workers=0).execute(
+            batch_queries, 0.8, verify=True
+        )
+        batch = BatchQueryExecutor(searcher, workers=2).execute(
+            batch_queries, 0.8, verify=True
+        )
+        assert_same_results(sequential.results, batch.results)
+
+    def test_batch_size_chunking(self, setup, batch_queries):
+        _, _, searcher = setup
+        whole = BatchQueryExecutor(searcher, workers=2).execute(
+            batch_queries, 0.8
+        )
+        chunked = BatchQueryExecutor(
+            searcher, workers=2, batch_size=5
+        ).execute(batch_queries, 0.8)
+        assert_same_results(whole.results, chunked.results)
+        assert chunked.stats.queries == len(batch_queries)
+
+    def test_search_many_delegates(self, setup, batch_queries):
+        _, _, searcher = setup
+        direct = [searcher.search(q, 0.8) for q in batch_queries]
+        for workers in (0, 2):
+            via_many = searcher.search_many(batch_queries, 0.8, workers=workers)
+            assert_same_results(direct, via_many)
+
+    def test_empty_batch(self, setup):
+        _, _, searcher = setup
+        for workers in (0, 2):
+            batch = BatchQueryExecutor(searcher, workers=workers).execute([], 0.8)
+            assert batch.results == []
+
+    def test_empty_query_raises(self, setup):
+        _, _, searcher = setup
+        empty = np.empty(0, dtype=np.uint32)
+        for workers in (0, 1):
+            with pytest.raises(QueryError):
+                BatchQueryExecutor(searcher, workers=workers).execute(
+                    [empty], 0.8
+                )
+
+
+class TestProcessMode:
+    def test_disk_index_uses_processes(self, setup, batch_queries, tmp_path):
+        corpus, index, _ = setup
+        write_index(index, tmp_path / "index")
+        disk = DiskInvertedIndex(tmp_path / "index")
+        searcher = NearDuplicateSearcher(disk)
+        sequential = BatchQueryExecutor(searcher, workers=0).execute(
+            batch_queries, 0.8
+        )
+        batch = BatchQueryExecutor(searcher, workers=2).execute(
+            batch_queries, 0.8
+        )
+        assert batch.stats.mode == "process"
+        assert_same_results(sequential.results, batch.results)
+
+    def test_verify_falls_back_to_planned(self, setup, batch_queries, tmp_path):
+        corpus, index, _ = setup
+        write_index(index, tmp_path / "index")
+        disk = DiskInvertedIndex(tmp_path / "index")
+        searcher = NearDuplicateSearcher(disk, corpus=corpus)
+        batch = BatchQueryExecutor(searcher, workers=2).execute(
+            batch_queries, 0.8, verify=True
+        )
+        assert batch.stats.mode == "planned"
+
+
+class TestPlanner:
+    def test_dedup_counts(self, setup, batch_queries):
+        _, _, searcher = setup
+        plan = plan_batch(searcher, batch_queries, 0.8)
+        assert plan.num_queries == len(batch_queries)
+        # 6 queries are byte-identical repeats of the first 6.
+        assert plan.num_unique == len(batch_queries) - 6
+        assert plan.lists_referenced >= len(plan.demand)
+
+    def test_dedup_disabled(self, setup, batch_queries):
+        _, _, searcher = setup
+        plan = plan_batch(searcher, batch_queries, 0.8, dedup=False)
+        assert plan.num_unique == len(batch_queries)
+
+    def test_verify_dedup_keys_include_tokens(self, setup):
+        _, _, searcher = setup
+        # Same distinct-token set => same sketch, different token order.
+        a = np.array([5, 6, 7, 8] * 10, dtype=np.uint32)
+        b = np.array([8, 7, 6, 5] * 10, dtype=np.uint32)
+        loose = plan_batch(searcher, [a, b], 0.8, verify=False)
+        strict = plan_batch(searcher, [a, b], 0.8, verify=True)
+        assert loose.num_unique == 1
+        assert strict.num_unique == 2
+
+    def test_shards_preserve_all_entries(self, setup, batch_queries):
+        _, _, searcher = setup
+        plan = plan_batch(searcher, batch_queries, 0.8)
+        for num_shards in (1, 2, 4, 100):
+            shards = plan.shards(num_shards)
+            positions = sorted(
+                entry.position for shard in shards for entry in shard
+            )
+            assert positions == list(range(plan.num_unique))
+
+
+class TestBatchStats:
+    def test_dedup_and_pinning_save_io(self, setup, batch_queries):
+        _, _, searcher = setup
+        sequential = BatchQueryExecutor(searcher, workers=0).execute(
+            batch_queries, 0.8
+        )
+        planned = BatchQueryExecutor(searcher, workers=1).execute(
+            batch_queries, 0.8
+        )
+        assert planned.stats.io_bytes < sequential.stats.io_bytes
+        assert planned.stats.duplicate_queries == 6
+        assert planned.stats.cache_hits > 0
+
+    def test_format_is_printable(self, setup, batch_queries):
+        _, _, searcher = setup
+        batch = BatchQueryExecutor(searcher, workers=2).execute(
+            batch_queries, 0.8
+        )
+        text = batch.stats.format()
+        assert "queries" in text and "mode=thread" in text
+        assert str(batch.stats) == text
+
+    def test_merge(self):
+        a = BatchStats(queries=4, unique_queries=3, io_bytes=100, mode="planned")
+        b = BatchStats(queries=2, unique_queries=2, io_bytes=50, mode="planned")
+        a.merge(b)
+        assert a.queries == 6 and a.unique_queries == 5 and a.io_bytes == 150
+
+    def test_num_matched(self, setup, batch_queries):
+        _, _, searcher = setup
+        batch = BatchQueryExecutor(searcher, workers=1).execute(
+            batch_queries, 0.8
+        )
+        expected = sum(
+            bool(searcher.search(q, 0.8).matches) for q in batch_queries
+        )
+        assert batch.num_matched == expected
+
+
+class TestExecuteThetas:
+    def test_matches_search_thetas(self, setup, batch_queries):
+        _, _, searcher = setup
+        thetas = [1.0, 0.9, 0.8]
+        per_query, stats = BatchQueryExecutor(
+            searcher, workers=2
+        ).execute_thetas(batch_queries, thetas)
+        assert len(per_query) == len(batch_queries)
+        for query, derived in zip(batch_queries, per_query):
+            reference = searcher.search_thetas(query, thetas)
+            for theta in thetas:
+                assert match_set(reference[theta]) == match_set(derived[theta])
+
+    def test_empty_thetas_rejected(self, setup):
+        _, _, searcher = setup
+        with pytest.raises(InvalidParameterError):
+            BatchQueryExecutor(searcher).execute_thetas([], [])
+
+
+class TestModeResolution:
+    def test_cached_reader_is_unwrapped(self, setup, batch_queries):
+        _, index, _ = setup
+        searcher = NearDuplicateSearcher(CachedIndexReader(index))
+        batch = BatchQueryExecutor(searcher, workers=2).execute(
+            batch_queries, 0.8
+        )
+        assert batch.stats.mode == "thread"
+
+    def test_explicit_sequential(self, setup, batch_queries):
+        _, _, searcher = setup
+        batch = BatchQueryExecutor(
+            searcher, workers=4, mode="sequential"
+        ).execute(batch_queries, 0.8)
+        assert batch.stats.mode == "sequential"
+
+    def test_incompatible_process_degrades(self, setup, batch_queries):
+        _, _, searcher = setup  # memory index: no directory to re-open
+        batch = BatchQueryExecutor(searcher, workers=2, mode="process").execute(
+            batch_queries, 0.8
+        )
+        assert batch.stats.mode == "planned"
+
+    def test_parameter_validation(self, setup):
+        _, _, searcher = setup
+        with pytest.raises(InvalidParameterError):
+            BatchQueryExecutor(searcher, workers=-1)
+        with pytest.raises(InvalidParameterError):
+            BatchQueryExecutor(searcher, batch_size=0)
+        with pytest.raises(InvalidParameterError):
+            BatchQueryExecutor(searcher, mode="gpu")
+        with pytest.raises(InvalidParameterError):
+            BatchQueryExecutor(searcher, cache_bytes=0)
+        with pytest.raises(InvalidParameterError):
+            BatchQueryExecutor(searcher, pin_fraction=1.5)
+
+
+class TestEngineFacade:
+    def test_search_batch_matches_search(self):
+        from repro.engine import NearDupEngine
+
+        texts = [
+            "the quick brown fox jumps over the lazy dog again and again",
+            "the quick brown fox jumps over the lazy dog again and again",
+            "a completely different document about near duplicate search",
+            "near duplicate sequence search at scale for memorization",
+        ] * 5
+        engine = NearDupEngine.from_texts(texts, k=8, t=5, vocab_size=300)
+        queries = [texts[0], texts[2], texts[0]]
+        singles = [engine.search(q, 0.8) for q in queries]
+        for workers in (0, 2):
+            batched = engine.search_batch(queries, 0.8, workers=workers)
+            assert batched == singles
+
+    def test_search_batch_raw_exposes_stats(self):
+        from repro.engine import NearDupEngine
+
+        texts = ["some repeated text body here okay"] * 8
+        engine = NearDupEngine.from_texts(texts, k=8, t=3, vocab_size=300)
+        batch = engine.search_batch_raw([texts[0]] * 4, 0.8, workers=1)
+        assert batch.stats.queries == 4
+        assert batch.stats.unique_queries == 1
+
+
+class TestSelectLongListsBatch:
+    """The hoisted-cutoff refactor and the ``beta - 1`` correctness cap."""
+
+    def test_static_cutoff_hoisted(self, setup):
+        _, index, _ = setup
+        searcher = NearDuplicateSearcher(index, long_list_cutoff=100)
+        assert searcher._static_cutoff == 100
+        lengths = np.array([50, 150, 99, 101] + [10] * (index.family.k - 4))
+        assert searcher._effective_cutoff(lengths) == 100
+
+    def test_heuristic_cutoff_stays_per_query(self, setup):
+        _, index, _ = setup
+        searcher = NearDuplicateSearcher(index)
+        assert searcher._static_cutoff is None
+        k = index.family.k
+        small = np.array([10] * k)
+        large = np.array([1000] * k)
+        assert searcher._effective_cutoff(small) != searcher._effective_cutoff(
+            large
+        )
+
+    def test_max_long_is_beta_minus_one(self, setup):
+        _, index, _ = setup
+        searcher = NearDuplicateSearcher(index, long_list_cutoff=1)
+        k = index.family.k
+        lengths = np.arange(10, 10 + k) * 100
+        for beta in range(1, k + 1):
+            chosen = searcher._select_long_lists(lengths, beta)
+            assert len(chosen) == min(beta - 1, k)
+            # The longest lists are preferred.
+            expected = set(range(k - len(chosen), k))
+            assert chosen == expected
+
+    def test_beta_one_keeps_every_list_short(self, setup):
+        _, index, _ = setup
+        searcher = NearDuplicateSearcher(index, long_list_cutoff=1)
+        lengths = np.array([1000] * index.family.k)
+        assert searcher._select_long_lists(lengths, beta=1) == set()
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_texts=st.integers(min_value=10, max_value=40),
+    vocab=st.integers(min_value=40, max_value=200),
+)
+def test_property_batch_equals_sequential(seed, num_texts, vocab):
+    """ISSUE 1 acceptance: identical results for workers in {0, 2, 4}
+    across random corpora, including duplicate and empty-result queries."""
+    rng = np.random.default_rng(seed)
+    texts = [
+        rng.integers(0, vocab, size=int(rng.integers(20, 80))).astype(np.uint32)
+        for _ in range(num_texts)
+    ]
+    corpus = InMemoryCorpus(texts)
+    family = HashFamily(k=8, seed=seed % 5)
+    index = build_memory_index(corpus, family, t=10, vocab_size=vocab)
+    searcher = NearDuplicateSearcher(index)
+
+    queries = [np.asarray(corpus[i])[:20] for i in range(min(5, num_texts))]
+    queries += queries[:2]  # duplicates in the batch
+    queries.append(rng.integers(0, vocab, size=20).astype(np.uint32))
+    queries.append((np.arange(20) % vocab).astype(np.uint32))
+
+    reference = BatchQueryExecutor(searcher, workers=0).execute(queries, 0.8)
+    for workers in (2, 4):
+        batch = BatchQueryExecutor(searcher, workers=workers).execute(
+            queries, 0.8
+        )
+        assert_same_results(reference.results, batch.results)

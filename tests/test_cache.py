@@ -5,10 +5,33 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.hashing import HashFamily
 from repro.core.search import NearDuplicateSearcher
 from repro.exceptions import InvalidParameterError
-from repro.index.cache import CachedIndexReader
-from repro.index.inverted import POSTING_BYTES
+from repro.index.cache import CachedIndexReader, CacheStats
+from repro.index.inverted import IOStats, POSTING_BYTES, POSTING_DTYPE
+
+
+class FakeReader:
+    """Deterministic reader: list (func, h) has ``h`` postings."""
+
+    def __init__(self, k: int = 4):
+        self.family = HashFamily(k=k, seed=0)
+        self.t = 10
+        self.io_stats = IOStats()
+
+    def list_length(self, func: int, minhash: int) -> int:
+        return int(minhash)
+
+    def load_list(self, func: int, minhash: int) -> np.ndarray:
+        postings = np.zeros(int(minhash), dtype=POSTING_DTYPE)
+        postings["text"] = np.arange(int(minhash))
+        self.io_stats.add(int(minhash) * POSTING_BYTES)
+        return postings
+
+    def load_text_windows(self, func: int, minhash: int, text_id: int) -> np.ndarray:
+        postings = self.load_list(func, minhash)
+        return postings[postings["text"] == text_id]
 
 
 @pytest.fixture
@@ -108,6 +131,102 @@ class TestCaching:
         cached.load_list(func, minhash)
         cached.load_list(func, minhash)
         assert cached.hit_rate == pytest.approx(0.5)
+
+
+class TestCountersAndStats:
+    """ISSUE 1 satellite: hits/misses/evictions counters + stats()."""
+
+    def test_eviction_order_is_lru(self):
+        # Capacity for exactly two 4-posting lists.
+        cache = CachedIndexReader(FakeReader(), capacity_bytes=8 * POSTING_BYTES)
+        cache.load_list(0, 4)  # A
+        cache.load_list(1, 4)  # B
+        cache.load_list(0, 4)  # touch A -> B is now least recently used
+        cache.load_list(2, 4)  # C evicts B, not A
+        assert cache.evictions == 1
+        before = cache.io_stats.bytes_read
+        cache.load_list(0, 4)  # A still cached
+        assert cache.io_stats.bytes_read == before
+        cache.load_list(1, 4)  # B was evicted -> re-read
+        assert cache.io_stats.bytes_read > before
+
+    def test_eviction_counter_counts_every_victim(self):
+        cache = CachedIndexReader(FakeReader(), capacity_bytes=8 * POSTING_BYTES)
+        cache.load_list(0, 4)
+        cache.load_list(1, 4)
+        cache.load_list(2, 8)  # needs the whole budget: evicts both
+        assert cache.evictions == 2
+
+    def test_cache_hit_reports_zero_io_bytes(self):
+        cache = CachedIndexReader(FakeReader(), capacity_bytes=1 << 20)
+        cache.load_list(0, 16)
+        before = cache.io_stats.bytes_read
+        cache.load_list(0, 16)
+        cache.load_text_windows(0, 16, 3)
+        assert cache.io_stats.bytes_read == before
+
+    def test_stats_snapshot(self):
+        cache = CachedIndexReader(FakeReader(), capacity_bytes=1 << 20)
+        cache.load_list(0, 4)
+        cache.load_list(0, 4)
+        snap = cache.stats()
+        assert isinstance(snap, CacheStats)
+        assert snap.hits == 1 and snap.misses == 1 and snap.evictions == 0
+        assert snap.cached_bytes == 4 * POSTING_BYTES
+        assert snap.capacity_bytes == 1 << 20
+        assert snap.hit_rate == pytest.approx(0.5)
+        # Snapshots are immutable and decoupled from later activity.
+        cache.load_list(1, 4)
+        assert snap.misses == 1
+
+
+class TestPinning:
+    """ISSUE 1 tentpole support: batch-pinned lists never evict."""
+
+    def test_pinned_list_survives_pressure(self):
+        cache = CachedIndexReader(FakeReader(), capacity_bytes=8 * POSTING_BYTES)
+        assert cache.pin(0, 4)
+        cache.load_list(1, 4)
+        cache.load_list(2, 4)  # pressure: must evict (1, 4), not the pin
+        before = cache.io_stats.bytes_read
+        cache.load_list(0, 4)
+        assert cache.io_stats.bytes_read == before
+        assert cache.pinned_bytes == 4 * POSTING_BYTES
+
+    def test_unpin_all_restores_lru(self):
+        cache = CachedIndexReader(FakeReader(), capacity_bytes=8 * POSTING_BYTES)
+        cache.pin(0, 4)
+        cache.unpin_all()
+        assert cache.pinned_bytes == 0
+        cache.load_list(1, 4)
+        cache.load_list(2, 8)  # now the old pin may evict
+        assert cache.evictions == 2
+
+    def test_oversized_pin_refused(self):
+        cache = CachedIndexReader(FakeReader(), capacity_bytes=POSTING_BYTES)
+        assert not cache.pin(0, 100)
+        assert cache.pinned_bytes == 0
+
+    def test_pin_is_idempotent(self):
+        cache = CachedIndexReader(FakeReader(), capacity_bytes=1 << 20)
+        assert cache.pin(0, 4)
+        misses = cache.misses
+        assert cache.pin(0, 4)
+        assert cache.misses == misses
+
+    def test_all_pinned_blocks_admission_not_reads(self):
+        cache = CachedIndexReader(FakeReader(), capacity_bytes=8 * POSTING_BYTES)
+        cache.pin(0, 4)
+        cache.pin(1, 4)
+        postings = cache.load_list(2, 4)  # nothing evictable: uncached read
+        assert postings.size == 4
+        assert cache.cached_bytes == 8 * POSTING_BYTES
+
+    def test_clear_drops_pins(self):
+        cache = CachedIndexReader(FakeReader(), capacity_bytes=1 << 20)
+        cache.pin(0, 4)
+        cache.clear()
+        assert cache.pinned_bytes == 0 and cache.cached_bytes == 0
 
 
 class TestSearchThroughCache:
