@@ -1,0 +1,232 @@
+"""Throughput benchmark: vectorized, pipelined index construction.
+
+ISSUE 2 acceptance benchmark.  Measures the three layers of the build
+pipeline on a synthetic corpus (paper Figure 2(i)-(l) workload shape):
+
+* **Window generation** — tokens/sec of the k-wide vectorized generator
+  (one ``(k, n)`` hash matrix, all ``k`` rows simultaneously) vs. the
+  per-function monotone-stack loop, at ``k = 64``;
+* **Build drivers** — end-to-end texts/sec of the streaming in-memory
+  build and the bounded-in-flight process-pool build across a worker
+  sweep;
+* **External build** — wall seconds of the out-of-core build with and
+  without the pipelined spill writer and pass-2 worker pool.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_build_throughput.py [--tiny]``
+Writes ``BENCH_build_throughput.json`` next to the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.compact_windows import (
+    generate_compact_windows_kwide,
+    generate_compact_windows_stack,
+)
+from repro.core.hashing import HashFamily
+from repro.corpus.synthetic import synthweb
+from repro.index.builder import BuildStats, build_memory_index
+from repro.index.external import ExternalBuildConfig, build_external_index
+from repro.index.parallel import build_memory_index_parallel
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_build_throughput.json"
+
+GENERATION_K = 64
+FULL_WORKER_SWEEP = (1, 2, 4)
+TINY_WORKER_SWEEP = (1, 2)
+
+
+def make_corpus(tiny: bool):
+    data = synthweb(
+        num_texts=120 if tiny else 1200,
+        mean_length=150 if tiny else 400,
+        vocab_size=4096,
+        duplicate_rate=0.15,
+        span_length=64,
+        mutation_rate=0.05,
+        seed=21,
+    )
+    return data.corpus
+
+
+def bench_generation(corpus, t: int, tiny: bool) -> dict:
+    """Per-function stack loop vs. k-wide vectorized, same hash matrices."""
+    family = HashFamily(k=GENERATION_K, seed=3)
+    vocab_hashes = family.hash_vocabulary(4096)
+    texts = [np.asarray(corpus[i]) for i in range(min(len(corpus), 400))]
+    matrices = [vocab_hashes[:, tokens.astype(np.int64)] for tokens in texts]
+    total_tokens = sum(tokens.size for tokens in texts)
+    repeats = 1 if tiny else 3
+
+    stack_seconds = float("inf")
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        stack_windows = 0
+        for matrix in matrices:
+            for func in range(GENERATION_K):
+                stack_windows += generate_compact_windows_stack(matrix[func], t).size
+        stack_seconds = min(stack_seconds, time.perf_counter() - begin)
+
+    kwide_seconds = float("inf")
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        kwide_windows = 0
+        for matrix in matrices:
+            kwide_windows += sum(
+                w.size for w in generate_compact_windows_kwide(matrix, t)
+            )
+        kwide_seconds = min(kwide_seconds, time.perf_counter() - begin)
+
+    assert stack_windows == kwide_windows, "generators disagree on window count"
+    return {
+        "k": GENERATION_K,
+        "texts": len(texts),
+        "tokens": total_tokens,
+        "windows": int(kwide_windows),
+        "stack_seconds": stack_seconds,
+        "kwide_seconds": kwide_seconds,
+        "stack_tokens_per_sec": total_tokens / stack_seconds,
+        "kwide_tokens_per_sec": total_tokens / kwide_seconds,
+        "speedup": stack_seconds / kwide_seconds,
+    }
+
+
+def bench_workers(corpus, t: int, tiny: bool) -> list[dict]:
+    """End-to-end build throughput across the worker sweep."""
+    family = HashFamily(k=16 if tiny else 32, seed=9)
+    rows = []
+    baseline_seconds = None
+    for workers in TINY_WORKER_SWEEP if tiny else FULL_WORKER_SWEEP:
+        stats = BuildStats()
+        begin = time.perf_counter()
+        if workers == 1:
+            index = build_memory_index(
+                corpus, family, t, vocab_size=4096, stats=stats
+            )
+        else:
+            index = build_memory_index_parallel(
+                corpus, family, t, vocab_size=4096, workers=workers, stats=stats
+            )
+        wall = time.perf_counter() - begin
+        if baseline_seconds is None:
+            baseline_seconds = wall
+        rows.append(
+            {
+                "workers": workers,
+                "seconds": wall,
+                "texts_per_sec": len(corpus) / wall,
+                "generation_seconds": stats.generation_seconds,
+                "merge_seconds": stats.merge_seconds,
+                "postings": int(index.num_postings),
+                "scaling_vs_1_worker": baseline_seconds / wall,
+            }
+        )
+    return rows
+
+
+def bench_external(corpus, t: int, tiny: bool) -> list[dict]:
+    """Out-of-core build: plain vs. pipelined spill vs. pass-2 workers."""
+    family = HashFamily(k=8 if tiny else 16, seed=13)
+    variants = [
+        ("sequential", ExternalBuildConfig(pipeline_spill=False)),
+        ("pipelined_spill", ExternalBuildConfig(pipeline_spill=True)),
+        (
+            "pipelined+2_workers",
+            ExternalBuildConfig(pipeline_spill=True, workers=2),
+        ),
+    ]
+    rows = []
+    for name, config in variants:
+        with tempfile.TemporaryDirectory(prefix="bench_build_ext_") as tmp:
+            begin = time.perf_counter()
+            stats = build_external_index(
+                corpus, family, t, Path(tmp) / "idx", vocab_size=4096, config=config
+            )
+            wall = time.perf_counter() - begin
+        rows.append(
+            {
+                "variant": name,
+                "workers": config.workers,
+                "pipeline_spill": config.pipeline_spill,
+                "seconds": wall,
+                "generation_seconds": stats.generation_seconds,
+                "aggregation_seconds": stats.aggregation_seconds,
+                "io_seconds": stats.io_seconds,
+                "bytes_written": stats.bytes_written,
+                "windows": stats.windows_generated,
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true", help="CI smoke scale (seconds, not minutes)"
+    )
+    parser.add_argument("-t", type=int, default=25, help="length threshold")
+    parser.add_argument("--output", default=str(OUTPUT))
+    args = parser.parse_args(argv)
+
+    corpus = make_corpus(args.tiny)
+    print(f"corpus: {len(corpus)} texts, {corpus.total_tokens} tokens")
+
+    generation = bench_generation(corpus, args.t, args.tiny)
+    print(
+        f"generation k={generation['k']}: stack {generation['stack_seconds']:.2f}s, "
+        f"kwide {generation['kwide_seconds']:.2f}s, "
+        f"speedup {generation['speedup']:.2f}x"
+    )
+
+    workers = bench_workers(corpus, args.t, args.tiny)
+    print(f"{'workers':>8} {'seconds':>8} {'texts/s':>9} {'scaling':>8}")
+    for row in workers:
+        print(
+            f"{row['workers']:>8} {row['seconds']:>8.2f} "
+            f"{row['texts_per_sec']:>9.1f} {row['scaling_vs_1_worker']:>8.2f}"
+        )
+
+    external = bench_external(corpus, args.t, args.tiny)
+    print(f"{'variant':>20} {'seconds':>8} {'gen_s':>7} {'agg_s':>7} {'io_s':>7}")
+    for row in external:
+        print(
+            f"{row['variant']:>20} {row['seconds']:>8.2f} "
+            f"{row['generation_seconds']:>7.2f} {row['aggregation_seconds']:>7.2f} "
+            f"{row['io_seconds']:>7.2f}"
+        )
+
+    payload = {
+        "benchmark": "bench_build_throughput",
+        "tiny": args.tiny,
+        "t": args.t,
+        "corpus": {"texts": len(corpus), "tokens": int(corpus.total_tokens)},
+        "generation": generation,
+        "workers": workers,
+        "external": external,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2))
+    print(f"wrote {args.output}")
+
+    # Acceptance gate (full scale only): >= 3x window-generation
+    # throughput from the k-wide generator at k = 64.
+    if not args.tiny:
+        ok = generation["speedup"] >= 3.0
+        print(
+            f"acceptance: k-wide generation speedup {generation['speedup']:.2f}x "
+            f"(>= 3 required) -> {'PASS' if ok else 'FAIL'}"
+        )
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

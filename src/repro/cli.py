@@ -55,14 +55,23 @@ def _cmd_build(args: argparse.Namespace) -> int:
         config = ExternalBuildConfig(
             batch_texts=args.batch_texts,
             memory_budget_bytes=args.memory_budget << 20,
+            workers=max(1, args.build_workers),
         )
         stats = build_external_index(corpus, family, args.t, args.out, config=config)
     else:
-        stats = build_and_write_index(corpus, family, args.t, args.out)
+        stats = build_and_write_index(
+            corpus,
+            family,
+            args.t,
+            args.out,
+            workers=max(1, args.build_workers),
+            batch_texts=args.batch_texts,
+        )
     print(
         f"built index: {stats.windows_generated} compact windows, "
-        f"generation {stats.generation_seconds:.2f}s, io {stats.io_seconds:.2f}s "
-        f"-> {args.out}"
+        f"generation {stats.generation_seconds:.2f}s, "
+        f"merge {stats.merge_seconds + stats.aggregation_seconds:.2f}s, "
+        f"io {stats.io_seconds:.2f}s -> {args.out}"
     )
     return 0
 
@@ -255,6 +264,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--external", action="store_true", help="out-of-core build")
     p_build.add_argument("--batch-texts", type=int, default=256)
     p_build.add_argument("--memory-budget", type=int, default=64, help="MiB per partition")
+    p_build.add_argument(
+        "--build-workers",
+        type=int,
+        default=1,
+        help="worker processes for window generation / partition aggregation "
+        "(1 = single process)",
+    )
     p_build.set_defaults(func=_cmd_build)
 
     p_query = sub.add_parser("query", help="run one near-duplicate search")

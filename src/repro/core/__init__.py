@@ -11,6 +11,7 @@ from repro.core.compact_windows import (
     CompactWindow,
     WINDOW_DTYPE,
     generate_compact_windows,
+    generate_compact_windows_kwide,
     generate_compact_windows_recursive,
     generate_compact_windows_stack,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "expand_multiset",
     "expected_window_count",
     "generate_compact_windows",
+    "generate_compact_windows_kwide",
     "generate_compact_windows_recursive",
     "generate_compact_windows_stack",
     "index_size_ratio_bound",

@@ -9,7 +9,7 @@ and the window is maximal.  For a length threshold ``t``, a window is
 expectation and that every sequence of length ``>= t`` lies in exactly
 one valid window.
 
-Three generators are provided, all producing the identical window set
+Four generators are provided, all producing the identical window set
 (the property tests assert this):
 
 * :func:`generate_compact_windows` — explicit-stack divide and conquer
@@ -22,7 +22,13 @@ Three generators are provided, all producing the identical window set
   formulation.  The valid windows are exactly the nodes of the hash
   array's Cartesian tree whose subtree span is wide enough, so the two
   "previous smaller / next smaller" sweeps recover them without any RMQ
-  structure.  This is the production fast path.
+  structure.  This is the single-function reference path and the
+  equivalence oracle for the vectorized generator.
+* :func:`generate_compact_windows_kwide` — the production fast path for
+  index construction: takes the ``(k, n)`` matrix of all ``k`` hash
+  rows of one text and computes every row's windows simultaneously with
+  vectorized pointer-jumping, so the interpreter cost no longer scales
+  with ``k``.
 
 Indices are 0-based throughout the library; the paper's ``T[l..r]``
 with 1-based inclusive bounds maps to our ``(l-1, r-1)`` inclusive.
@@ -178,6 +184,125 @@ def generate_compact_windows_stack(token_hashes: np.ndarray, t: int) -> np.ndarr
     out["center"] = np.flatnonzero(keep)
     out["right"] = right[keep]
     return out
+
+
+def _kwide_spans(hash_matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Window spans of every ``(row, position)`` cell of a ``(k, n)`` matrix.
+
+    Computes, for all ``k`` rows simultaneously, the previous position
+    with hash ``<=`` the cell's hash and the next position with hash
+    strictly ``<`` it — the same quantities the monotone stack of
+    :func:`generate_compact_windows_stack` derives one row at a time.
+    Instead of a stack, each cell chases *candidate pointers*: the
+    candidate of ``i`` starts at ``i - 1``, and while the candidate's
+    hash disqualifies it, the cell jumps to the candidate's own
+    (possibly still converging) pointer.  Every jump lands strictly
+    further left and skips the candidate's whole subtree, so chains
+    collapse like path-halving: the loop runs a handful of passes over
+    a shrinking active set, each pass a few ``O(k * n)`` numpy
+    operations, regardless of ``k``.
+
+    Returns ``(left, right)`` inclusive window bounds, both ``(k, n)``
+    ``int64`` arrays.
+    """
+    k, n = hash_matrix.shape
+    flat = np.ascontiguousarray(hash_matrix).ravel()
+    size = k * n
+    # Pointers are flat cell indices; by induction every chase stays
+    # inside its own row (initial pointers do, and jumps copy same-row
+    # values), so a single out-of-row sentinel per direction suffices.
+    ptr_dtype = np.int32 if size < np.iinfo(np.int32).max else np.int64
+
+    # Previous position with hash <= own (leftmost-tie-break ancestor).
+    # Sentinel -1 marks "no previous smaller"; row starts begin there.
+    prev = np.arange(-1, size - 1, dtype=ptr_dtype)
+    prev[0::n] = -1
+    # First hop specialized: the candidate is the contiguous left
+    # neighbour, so the comparison is a shifted array op, no gathers.
+    pop = np.empty(size, dtype=bool)
+    pop[0] = False
+    np.greater(flat[:-1], flat[1:], out=pop[1:])
+    pop[0::n] = False
+    active = np.flatnonzero(pop).astype(ptr_dtype)
+    values = flat[active]
+    prev[active] = prev[active - 1]
+    alive = prev[active] >= 0
+    active, values = active[alive], values[alive]
+    while active.size:
+        cand = prev[active]
+        jump = flat[cand] > values
+        if not jump.any():
+            break
+        active, values = active[jump], values[jump]
+        prev[active] = prev[cand[jump]]
+        alive = prev[active] >= 0
+        if not alive.all():
+            active, values = active[alive], values[alive]
+
+    # Next position with hash strictly < own (strict, so the leftmost of
+    # equal minima becomes the ancestor).  Sentinel: one past the end.
+    nxt = np.arange(1, size + 1, dtype=np.int64 if size + 1 > np.iinfo(np.int32).max else ptr_dtype)
+    nxt[n - 1 :: n] = size
+    pop[size - 1] = False
+    np.greater_equal(flat[1:], flat[:-1], out=pop[:-1])
+    pop[n - 1 :: n] = False
+    active = np.flatnonzero(pop).astype(ptr_dtype)
+    values = flat[active]
+    nxt[active] = nxt[active + 1]
+    alive = nxt[active] < size
+    active, values = active[alive], values[alive]
+    while active.size:
+        cand = nxt[active]
+        jump = flat[cand] >= values
+        if not jump.any():
+            break
+        active, values = active[jump], values[jump]
+        nxt[active] = nxt[cand[jump]]
+        alive = nxt[active] < size
+        if not alive.all():
+            active, values = active[alive], values[alive]
+
+    # Convert flat pointers back to per-row column bounds.
+    row_base = (np.arange(k, dtype=np.int64) * n)[:, None]
+    prev2d = prev.reshape(k, n).astype(np.int64)
+    nxt2d = nxt.reshape(k, n).astype(np.int64)
+    left = np.where(prev2d >= 0, prev2d - row_base + 1, 0)
+    right = np.where(nxt2d < size, nxt2d - row_base - 1, n - 1)
+    return left, right
+
+
+def generate_compact_windows_kwide(
+    hash_matrix: np.ndarray, t: int
+) -> list[np.ndarray]:
+    """Vectorized window generation for all ``k`` hash rows of one text.
+
+    ``hash_matrix`` is the ``(k, n)`` matrix whose row ``f`` holds
+    ``f_f(T[p])`` for every position ``p`` (one
+    ``vocab_hashes[:, token_idx]`` gather, or
+    :meth:`~repro.core.hashing.HashFamily.hash_tokens_all`).  Returns a
+    list of ``k`` structured arrays; entry ``f`` is element-wise
+    identical to ``generate_compact_windows_stack(hash_matrix[f], t)``.
+    """
+    _check_threshold(t)
+    matrix = np.asarray(hash_matrix)
+    if matrix.ndim != 2:
+        raise InvalidParameterError(
+            f"hash matrix must be 2-D (k, n), got shape {matrix.shape}"
+        )
+    k, n = matrix.shape
+    if n < t:
+        return [np.empty(0, dtype=WINDOW_DTYPE) for _ in range(k)]
+    left, right = _kwide_spans(matrix)
+    keep = (right - left + 1) >= t
+    # One row-major extraction for all k rows, then split per row: the
+    # boolean gathers and nonzero() walk the matrix once each instead of
+    # k times.
+    out = np.empty(int(np.count_nonzero(keep)), dtype=WINDOW_DTYPE)
+    out["left"] = left[keep]
+    out["center"] = np.nonzero(keep)[1]
+    out["right"] = right[keep]
+    bounds = np.cumsum(np.count_nonzero(keep, axis=1))[:-1]
+    return np.split(out, bounds)
 
 
 def windows_to_array(windows: list[CompactWindow]) -> np.ndarray:

@@ -91,6 +91,20 @@ class HashFamily:
             mixed = x * self._a[func] + self._b[func]
         return (_finalize(mixed) >> np.uint64(64 - HASH_BITS)).astype(np.uint32)
 
+    def hash_tokens_all(self, tokens: np.ndarray) -> np.ndarray:
+        """Hash an array of token ids under all ``k`` functions at once.
+
+        Returns a ``(k, len(tokens))`` ``uint32`` matrix; row ``f``
+        equals ``hash_tokens(tokens, f)``.  This is the direct-hash
+        counterpart of indexing a :meth:`hash_vocabulary` table with
+        ``table[:, tokens]``, used when the token-id space is too large
+        to precompute.
+        """
+        x = np.asarray(tokens, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = x[None, :] * self._a[:, None] + self._b[:, None]
+        return (_finalize(mixed) >> np.uint64(64 - HASH_BITS)).astype(np.uint32)
+
     def hash_token(self, token: int, func: int) -> int:
         """Hash a single token id with hash function ``func``."""
         self._check_func(func)

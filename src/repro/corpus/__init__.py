@@ -5,6 +5,8 @@ from repro.corpus.corpus import (
     InMemoryCorpus,
     TOKEN_DTYPE,
     corpus_nbytes,
+    infer_vocab_size,
+    iter_corpus_batches,
 )
 from repro.corpus.stats import (
     LengthProfile,
@@ -48,7 +50,9 @@ __all__ = [
     "SyntheticCorpus",
     "TOKEN_DTYPE",
     "corpus_nbytes",
+    "infer_vocab_size",
     "inject_duplicates",
+    "iter_corpus_batches",
     "minipile",
     "synthweb",
     "write_corpus",

@@ -105,3 +105,41 @@ class InMemoryCorpus:
 def corpus_nbytes(corpus: Corpus) -> int:
     """Size of the corpus in bytes under the 4-byte-token convention."""
     return corpus.total_tokens * TOKEN_DTYPE.itemsize
+
+
+def infer_vocab_size(corpus: Corpus) -> int:
+    """Token-id space of a corpus: one past the largest id, at least 1.
+
+    Every index builder needs this number to size the precomputed hash
+    table; corpora that already track it (``vocabulary_size()``) answer
+    without a scan, anything else is swept once.
+    """
+    probe = getattr(corpus, "vocabulary_size", None)
+    if callable(probe):
+        return max(1, int(probe()))
+    return max((int(text.max()) + 1 for text in corpus if text.size), default=1)
+
+
+def iter_corpus_batches(
+    corpus: Corpus, batch_size: int
+) -> Iterator[list[tuple[int, np.ndarray]]]:
+    """Stream ``(text_id, tokens)`` batches from any corpus.
+
+    Uses the corpus's own ``iter_batches`` (sequential I/O on
+    :class:`~repro.corpus.store.DiskCorpus`) when present, falling back
+    to indexed access so builders accept any :class:`Corpus`.
+    """
+    if batch_size <= 0:
+        raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
+    native = getattr(corpus, "iter_batches", None)
+    if callable(native):
+        yield from native(batch_size)
+        return
+    batch: list[tuple[int, np.ndarray]] = []
+    for text_id in range(len(corpus)):
+        batch.append((text_id, np.asarray(corpus[text_id])))
+        if len(batch) == batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

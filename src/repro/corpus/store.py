@@ -87,6 +87,7 @@ class DiskCorpus:
             self._tokens = np.memmap(tokens_path, dtype=TOKEN_DTYPE, mode="r")
         else:
             self._tokens = np.empty(0, dtype=TOKEN_DTYPE)
+        self._vocab_size: int | None = None
 
     @property
     def directory(self) -> Path:
@@ -125,6 +126,16 @@ class DiskCorpus:
                 batch = []
         if batch:
             yield batch
+
+    def vocabulary_size(self) -> int:
+        """One past the largest token id present (0 for an empty corpus).
+
+        Computed with one sequential sweep of the memory map and cached,
+        so repeated builds over the same corpus scan it only once.
+        """
+        if self._vocab_size is None:
+            self._vocab_size = int(self._tokens.max()) + 1 if self._total else 0
+        return self._vocab_size
 
     def to_memory(self) -> InMemoryCorpus:
         """Load the whole corpus into an :class:`InMemoryCorpus`."""

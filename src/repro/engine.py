@@ -27,9 +27,34 @@ from repro.core.search import NearDuplicateSearcher, SearchResult
 from repro.corpus.corpus import Corpus, InMemoryCorpus
 from repro.corpus.store import DiskCorpus, write_corpus
 from repro.exceptions import InvalidParameterError
-from repro.index.builder import build_memory_index
+from repro.index.builder import DEFAULT_BATCH_TEXTS, build_memory_index
 from repro.index.storage import DiskInvertedIndex, write_index
 from repro.tokenizer.bpe import BPETokenizer
+
+
+def _build_index(
+    corpus: Corpus,
+    family: HashFamily,
+    t: int,
+    *,
+    vocab_size: int | None,
+    build_workers: int,
+    batch_texts: int,
+):
+    if build_workers > 1:
+        from repro.index.parallel import build_memory_index_parallel
+
+        return build_memory_index_parallel(
+            corpus,
+            family,
+            t,
+            vocab_size=vocab_size,
+            workers=build_workers,
+            batch_texts=batch_texts,
+        )
+    return build_memory_index(
+        corpus, family, t, vocab_size=vocab_size, batch_texts=batch_texts
+    )
 
 _META_FILE = "engine.meta.json"
 _FORMAT_VERSION = 1
@@ -82,16 +107,27 @@ class NearDupEngine:
         t: int = 25,
         vocab_size: int = 4096,
         seed: int = 0,
+        build_workers: int = 1,
+        batch_texts: int = DEFAULT_BATCH_TEXTS,
     ) -> "NearDupEngine":
-        """Train a BPE tokenizer on ``texts``, tokenize, and index."""
+        """Train a BPE tokenizer on ``texts``, tokenize, and index.
+
+        ``build_workers > 1`` generates the index on a process pool;
+        the result is identical to the single-process build.
+        """
         materialized = list(texts)
         if not materialized:
             raise InvalidParameterError("at least one text is required")
         tokenizer = BPETokenizer.train(materialized, vocab_size=vocab_size)
         corpus = InMemoryCorpus([tokenizer.encode(text) for text in materialized])
         family = HashFamily(k=k, seed=seed)
-        index = build_memory_index(
-            corpus, family, t, vocab_size=tokenizer.vocab_size
+        index = _build_index(
+            corpus,
+            family,
+            t,
+            vocab_size=tokenizer.vocab_size,
+            build_workers=build_workers,
+            batch_texts=batch_texts,
         )
         return cls(corpus, index, tokenizer=tokenizer)
 
@@ -105,11 +141,21 @@ class NearDupEngine:
         vocab_size: int | None = None,
         seed: int = 0,
         tokenizer: BPETokenizer | None = None,
+        build_workers: int = 1,
+        batch_texts: int = DEFAULT_BATCH_TEXTS,
     ) -> "NearDupEngine":
         """Index a pre-tokenized corpus (token-id queries only, unless a
-        tokenizer is supplied)."""
+        tokenizer is supplied).  ``build_workers > 1`` generates the
+        index on a process pool; the result is identical."""
         family = HashFamily(k=k, seed=seed)
-        index = build_memory_index(corpus, family, t, vocab_size=vocab_size)
+        index = _build_index(
+            corpus,
+            family,
+            t,
+            vocab_size=vocab_size,
+            build_workers=build_workers,
+            batch_texts=batch_texts,
+        )
         return cls(corpus, index, tokenizer=tokenizer)
 
     # ------------------------------------------------------------------

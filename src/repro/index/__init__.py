@@ -1,6 +1,12 @@
 """Inverted indexes over compact windows: structures, builders, storage."""
 
-from repro.index.builder import BuildStats, build_and_write_index, build_memory_index
+from repro.index.builder import (
+    BuildStats,
+    DEFAULT_BATCH_TEXTS,
+    build_and_write_index,
+    build_memory_index,
+    merge_per_func_chunks,
+)
 from repro.index.cache import CachedIndexReader
 from repro.index.costmodel import (
     CostEstimate,
@@ -38,6 +44,7 @@ from repro.index.zonemap import ZoneMap, build_zone_map
 __all__ = [
     "BuildStats",
     "CachedIndexReader",
+    "DEFAULT_BATCH_TEXTS",
     "CostEstimate",
     "CostModelSearcher",
     "DiskInvertedIndex",
@@ -66,6 +73,7 @@ __all__ = [
     "cutoff_for_top_fraction",
     "estimate_cost",
     "merge_disk_indexes",
+    "merge_per_func_chunks",
     "plan_prefix",
     "write_index",
     "zipf_tail_report",

@@ -5,6 +5,14 @@ corpus, generates the valid compact windows of every text under each of
 the ``k`` hash functions, groups them into inverted lists and (
 optionally) writes each index to disk.  The out-of-core variant for
 large corpora lives in :mod:`repro.index.external`.
+
+Window generation is vectorized across hash functions: each text is
+hashed into a ``(k, n)`` matrix with a single table gather and the
+compact windows of all ``k`` rows are computed simultaneously
+(:func:`~repro.core.compact_windows.generate_compact_windows_kwide`),
+so the interpreter cost of a build no longer scales with ``k``.  The
+corpus is streamed in bounded batches — peak memory holds one batch of
+texts plus the growing postings, never a second copy of the corpus.
 """
 
 from __future__ import annotations
@@ -16,14 +24,17 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.compact_windows import generate_compact_windows_stack
+from repro.core.compact_windows import generate_compact_windows_kwide
 from repro.core.hashing import HashFamily
-from repro.corpus.corpus import Corpus
+from repro.corpus.corpus import Corpus, infer_vocab_size, iter_corpus_batches
 from repro.exceptions import InvalidParameterError
 from repro.index.inverted import MemoryInvertedIndex, POSTING_BYTES, POSTING_DTYPE
 from repro.index.storage import write_index
 
 logger = logging.getLogger(__name__)
+
+#: Texts per streamed batch when the caller does not choose.
+DEFAULT_BATCH_TEXTS = 256
 
 
 @dataclass
@@ -31,18 +42,35 @@ class BuildStats:
     """Timing and size accounting of one index build.
 
     The paper's Figure 2(i)–(l) splits index time into compact-window
-    generation and disk I/O; builders populate both parts.
+    generation and disk I/O; builders populate both parts, plus the
+    in-memory phases around them:
+
+    * ``generation_seconds`` — hashing + compact-window generation
+      (includes pool round-trips in parallel builds);
+    * ``merge_seconds`` — sorting/grouping postings into inverted lists;
+    * ``aggregation_seconds`` — the out-of-core build's pass-2 partition
+      aggregation (sort + group + rewrite);
+    * ``io_seconds`` — spill and index file reads/writes.
     """
 
     windows_generated: int = 0
     generation_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    aggregation_seconds: float = 0.0
     io_seconds: float = 0.0
     bytes_written: int = 0
+    texts_indexed: int = 0
+    batches: int = 0
     windows_per_func: list[int] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
-        return self.generation_seconds + self.io_seconds
+        return (
+            self.generation_seconds
+            + self.merge_seconds
+            + self.aggregation_seconds
+            + self.io_seconds
+        )
 
     @property
     def index_bytes(self) -> int:
@@ -64,21 +92,22 @@ def generate_corpus_postings(
     """Generate per-function ``(minhash, posting)`` arrays for a batch of texts.
 
     ``vocab_hashes`` is the ``(k, vocab)`` table from
-    :meth:`HashFamily.hash_vocabulary`; window generation indexes into
-    it instead of re-hashing tokens, which is the fast path.  Pass
-    ``None`` (huge token-id spaces) to hash each text's tokens directly.
+    :meth:`HashFamily.hash_vocabulary`; each text indexes it once with
+    ``vocab_hashes[:, tokens]``, producing the full ``(k, n)`` hash
+    matrix in one gather.  Pass ``None`` (huge token-id spaces) to hash
+    each text's tokens directly.  Windows for all ``k`` functions are
+    generated simultaneously from the matrix.
     """
     per_func: list[tuple[list[np.ndarray], list[np.ndarray]]] = [
         ([], []) for _ in range(family.k)
     ]
     for text_id, tokens in texts:
-        token_idx = tokens.astype(np.int64)
-        for func in range(family.k):
-            if vocab_hashes is not None:
-                hashes = vocab_hashes[func][token_idx]
-            else:
-                hashes = family.hash_tokens(tokens, func)
-            windows = generate_compact_windows_stack(hashes, t)
+        if vocab_hashes is not None:
+            hash_matrix = vocab_hashes[:, tokens.astype(np.int64)]
+        else:
+            hash_matrix = family.hash_tokens_all(tokens)
+        windows_per_func = generate_compact_windows_kwide(hash_matrix, t)
+        for func, windows in enumerate(windows_per_func):
             if windows.size == 0:
                 continue
             postings = np.empty(windows.size, dtype=POSTING_DTYPE)
@@ -86,20 +115,29 @@ def generate_corpus_postings(
             postings["left"] = windows["left"]
             postings["center"] = windows["center"]
             postings["right"] = windows["right"]
-            minhashes = hashes[windows["center"].astype(np.int64)]
+            minhashes = hash_matrix[func][windows["center"].astype(np.int64)]
             per_func[func][0].append(minhashes)
             per_func[func][1].append(postings)
-    result = []
-    for minhash_chunks, posting_chunks in per_func:
+    return merge_per_func_chunks(per_func)
+
+
+def merge_per_func_chunks(
+    per_func_chunks: list[tuple[list[np.ndarray], list[np.ndarray]]],
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Concatenate per-batch ``(minhash, posting)`` chunk lists into the
+    flat per-function arrays :meth:`MemoryInvertedIndex.from_postings`
+    consumes."""
+    per_func = []
+    for minhash_chunks, posting_chunks in per_func_chunks:
         if minhash_chunks:
-            result.append(
+            per_func.append(
                 (np.concatenate(minhash_chunks), np.concatenate(posting_chunks))
             )
         else:
-            result.append(
+            per_func.append(
                 (np.empty(0, dtype=np.uint32), np.empty(0, dtype=POSTING_DTYPE))
             )
-    return result
+    return per_func
 
 
 def build_memory_index(
@@ -109,13 +147,16 @@ def build_memory_index(
     *,
     vocab_size: int | None = None,
     stats: BuildStats | None = None,
+    batch_texts: int = DEFAULT_BATCH_TEXTS,
 ) -> MemoryInvertedIndex:
     """Algorithm 1: build all ``k`` inverted indexes in memory.
 
     Parameters
     ----------
     corpus:
-        Any :class:`~repro.corpus.corpus.Corpus`; it is iterated once.
+        Any :class:`~repro.corpus.corpus.Corpus`; it is streamed once in
+        batches of ``batch_texts`` texts, so peak memory never holds a
+        second copy of the corpus.
     family:
         The ``k`` hash functions of the index.
     t:
@@ -124,32 +165,53 @@ def build_memory_index(
         Token-id space size.  Inferred from the corpus when omitted.
     stats:
         Optional accumulator for timing/size accounting.
+    batch_texts:
+        Texts per streamed batch.
     """
     if t < 1:
         raise InvalidParameterError(f"t must be >= 1, got {t}")
     if vocab_size is None:
-        vocab_size = max(
-            (int(text.max()) + 1 for text in corpus if text.size), default=1
-        )
+        vocab_size = infer_vocab_size(corpus)
     vocab_hashes = (
         family.hash_vocabulary(vocab_size) if vocab_size <= MAX_VOCAB_TABLE else None
     )
+    per_func_chunks: list[tuple[list[np.ndarray], list[np.ndarray]]] = [
+        ([], []) for _ in range(family.k)
+    ]
+    texts_indexed = 0
+    batches = 0
     begin = time.perf_counter()
-    batch = [(text_id, np.asarray(corpus[text_id])) for text_id in range(len(corpus))]
-    per_func = generate_corpus_postings(batch, family, t, vocab_hashes)
-    index = MemoryInvertedIndex.from_postings(family, t, per_func)
-    elapsed = time.perf_counter() - begin
+    for batch in iter_corpus_batches(corpus, batch_texts):
+        per_func = generate_corpus_postings(batch, family, t, vocab_hashes)
+        for func, (minhashes, postings) in enumerate(per_func):
+            if postings.size:
+                per_func_chunks[func][0].append(minhashes)
+                per_func_chunks[func][1].append(postings)
+        texts_indexed += len(batch)
+        batches += 1
+    generation_seconds = time.perf_counter() - begin
+
+    begin = time.perf_counter()
+    index = MemoryInvertedIndex.from_postings(
+        family, t, merge_per_func_chunks(per_func_chunks)
+    )
+    merge_seconds = time.perf_counter() - begin
     logger.info(
-        "built in-memory index: %d texts, %d postings, k=%d, t=%d (%.2fs)",
-        len(batch),
+        "built in-memory index: %d texts, %d postings, k=%d, t=%d "
+        "(generation %.2fs, merge %.2fs)",
+        texts_indexed,
         index.num_postings,
         family.k,
         t,
-        elapsed,
+        generation_seconds,
+        merge_seconds,
     )
     if stats is not None:
         stats.windows_generated += index.num_postings
-        stats.generation_seconds += elapsed
+        stats.generation_seconds += generation_seconds
+        stats.merge_seconds += merge_seconds
+        stats.texts_indexed += texts_indexed
+        stats.batches += batches
         stats.windows_per_func = [
             int(index.list_lengths(func).sum()) for func in range(family.k)
         ]
@@ -163,16 +225,39 @@ def build_and_write_index(
     directory: str | Path,
     *,
     vocab_size: int | None = None,
+    workers: int = 1,
+    batch_texts: int = DEFAULT_BATCH_TEXTS,
 ) -> BuildStats:
     """Build in memory, then persist to ``directory`` (the Algorithm 1 flow).
 
-    Returns the build statistics with both the generation and the
-    write-back phases timed — the quantities of Figure 2(i)–(l).
+    ``workers > 1`` generates windows on a process pool
+    (:func:`~repro.index.parallel.build_memory_index_parallel`); the
+    resulting index is identical.  Returns the build statistics with
+    both the generation and the write-back phases timed — the
+    quantities of Figure 2(i)–(l).
     """
     stats = BuildStats()
-    index = build_memory_index(
-        corpus, family, t, vocab_size=vocab_size, stats=stats
-    )
+    if workers > 1:
+        from repro.index.parallel import build_memory_index_parallel
+
+        index = build_memory_index_parallel(
+            corpus,
+            family,
+            t,
+            vocab_size=vocab_size,
+            workers=workers,
+            batch_texts=batch_texts,
+            stats=stats,
+        )
+    else:
+        index = build_memory_index(
+            corpus,
+            family,
+            t,
+            vocab_size=vocab_size,
+            stats=stats,
+            batch_texts=batch_texts,
+        )
     begin = time.perf_counter()
     write_index(index, directory)
     stats.io_seconds += time.perf_counter() - begin

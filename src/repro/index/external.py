@@ -14,6 +14,14 @@ build proceeds in two passes over index-sized data:
    with a different hash, exactly as the paper's references [52]
    prescribe.
 
+The build is pipelined: spill I/O of pass 1 runs on a background writer
+thread so window generation of batch ``i + 1`` overlaps the disk writes
+of batch ``i`` (``pipeline_spill``), and pass-2 partitions can be
+sorted/grouped on a process pool (``workers``).  Both knobs leave the
+output byte-identical to the plain sequential build: partitions are
+appended to the index file in partition order regardless of which
+worker finished first.
+
 The result is byte-compatible with :func:`repro.index.storage.write_index`
 output (list order within the payload differs; the directory carries
 explicit offsets, so readers cannot tell the difference).
@@ -21,18 +29,23 @@ explicit offsets, so readers cannot tell the difference).
 
 from __future__ import annotations
 
+import dataclasses
 import logging
+import queue
 import shutil
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
 from repro.core.hashing import HashFamily
+from repro.corpus.corpus import infer_vocab_size, iter_corpus_batches
 from repro.exceptions import InvalidParameterError
 from repro.index.builder import BuildStats, generate_corpus_postings
-from repro.index.inverted import POSTING_BYTES, POSTING_DTYPE
+from repro.index.inverted import POSTING_DTYPE
 from repro.index.storage import _IndexWriter
 
 logger = logging.getLogger(__name__)
@@ -52,12 +65,19 @@ SPILL_DTYPE = np.dtype(
 
 @dataclass
 class ExternalBuildConfig:
-    """Tuning knobs of the out-of-core build."""
+    """Tuning knobs of the out-of-core build.
+
+    ``workers > 1`` aggregates pass-2 partitions on a process pool;
+    ``pipeline_spill`` moves pass-1 spill writes to a background thread
+    so generation and I/O overlap.  Neither changes the output bytes.
+    """
 
     batch_texts: int = 256
     num_partitions: int = 16
     memory_budget_bytes: int = 64 * 1024 * 1024
     max_recursion: int = 4
+    workers: int = 1
+    pipeline_spill: bool = True
 
     def __post_init__(self) -> None:
         if self.batch_texts <= 0:
@@ -66,6 +86,8 @@ class ExternalBuildConfig:
             raise InvalidParameterError("num_partitions must be > 1")
         if self.memory_budget_bytes < SPILL_DTYPE.itemsize:
             raise InvalidParameterError("memory budget smaller than one record")
+        if self.workers <= 0:
+            raise InvalidParameterError("workers must be positive")
 
 
 def _partition_of(records: np.ndarray, num_partitions: int, salt: int) -> np.ndarray:
@@ -102,17 +124,76 @@ def _spill_batch(
     return written
 
 
+class _SpillWriter:
+    """Background thread appending spill batches to the partition files.
+
+    Decouples pass-1 window generation from spill I/O: the producer
+    enqueues record batches (bounded queue, so memory stays at a few
+    batches) while this thread partitions and appends them.  The first
+    write error is re-raised on the producer thread at the next
+    ``submit`` or at ``close``; batches queued after a failure are
+    drained without writing.
+    """
+
+    _SENTINEL = None
+
+    def __init__(self, handles: list, num_partitions: int, *, queue_depth: int = 4) -> None:
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._handles = handles
+        self._num_partitions = num_partitions
+        self.bytes_written = 0
+        self.io_seconds = 0.0
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, name="spill-writer", daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            records = self._queue.get()
+            try:
+                if records is self._SENTINEL:
+                    return
+                if self._error is not None:
+                    continue  # drain without writing after a failure
+                begin = time.perf_counter()
+                self.bytes_written += _spill_batch(
+                    records, self._handles, self._num_partitions, salt=0
+                )
+                self.io_seconds += time.perf_counter() - begin
+            except BaseException as exc:  # propagate to the producer
+                self._error = exc
+            finally:
+                self._queue.task_done()
+
+    def submit(self, records: np.ndarray) -> None:
+        if self._error is not None:
+            raise self._error
+        self._queue.put(records)
+
+    def close(self) -> None:
+        """Flush the queue, stop the thread, re-raise any write error."""
+        self._queue.put(self._SENTINEL)
+        self._thread.join()
+        if self._error is not None:
+            raise self._error
+
+
 def _flush_partition(
     records: np.ndarray,
-    writer: _IndexWriter,
+    emit: Callable[[int, int, np.ndarray], None],
     config: ExternalBuildConfig,
     workdir: Path,
     depth: int,
 ) -> None:
-    """Sort a partition, group it into lists, and write them out.
+    """Sort a partition, group it into lists, and emit them in key order.
 
-    Recursively re-partitions when the data exceeds the memory budget
-    and the recursion limit allows.
+    ``emit(func, minhash, postings)`` receives each grouped inverted
+    list; the sequential build passes the index writer's ``write_list``
+    directly, the parallel build collects into a buffer.  Recursively
+    re-partitions when the data exceeds the memory budget and the
+    recursion limit allows; sub-partition spill files are only created
+    for non-empty sub-partitions, and the scratch directory is removed
+    even when aggregation fails partway.
     """
     if records.nbytes > config.memory_budget_bytes and depth < config.max_recursion:
         logger.debug(
@@ -123,19 +204,23 @@ def _flush_partition(
         )
         sub_dir = workdir / f"depth{depth}"
         sub_dir.mkdir(exist_ok=True)
-        paths = [sub_dir / f"part{pid}.spill" for pid in range(config.num_partitions)]
-        handles = [open(path, "wb") for path in paths]
         try:
-            _spill_batch(records, handles, config.num_partitions, salt=depth + 1)
+            parts = _partition_of(records, config.num_partitions, salt=depth + 1)
+            paths = []
+            for pid in range(config.num_partitions):
+                chunk = records[parts == pid]
+                if not chunk.size:
+                    continue  # skip empty sub-partitions entirely
+                path = sub_dir / f"part{pid}.spill"
+                chunk.tofile(path)
+                paths.append(path)
+            del records, parts
+            for path in paths:
+                sub_records = np.fromfile(path, dtype=SPILL_DTYPE)
+                path.unlink()
+                _flush_partition(sub_records, emit, config, sub_dir, depth + 1)
         finally:
-            for handle in handles:
-                handle.close()
-        del records
-        for path in paths:
-            sub_records = np.fromfile(path, dtype=SPILL_DTYPE)
-            path.unlink()
-            if sub_records.size:
-                _flush_partition(sub_records, writer, config, sub_dir, depth + 1)
+            shutil.rmtree(sub_dir, ignore_errors=True)
         return
 
     order = np.lexsort((records["text"], records["minhash"], records["func"]))
@@ -150,7 +235,52 @@ def _flush_partition(
         postings = np.empty(group.size, dtype=POSTING_DTYPE)
         for name in ("text", "left", "center", "right"):
             postings[name] = group[name]
-        writer.write_list(int(group["func"][0]), int(group["minhash"][0]), postings)
+        emit(int(group["func"][0]), int(group["minhash"][0]), postings)
+
+
+def _aggregate_partition(
+    path_str: str,
+    config_payload: dict,
+    workdir_str: str,
+) -> tuple[str, np.ndarray, np.ndarray, np.ndarray]:
+    """Pass-2 worker: sort/group one partition into a sorted postings file.
+
+    Returns ``(sorted_path, funcs, minhashes, counts)``; the parent
+    slices the sorted file by ``counts`` and appends the lists to the
+    index in partition order, so the output stays byte-identical to the
+    sequential aggregation.
+    """
+    config = ExternalBuildConfig(**config_payload)
+    path = Path(path_str)
+    records = np.fromfile(path, dtype=SPILL_DTYPE)
+    path.unlink()
+    funcs: list[int] = []
+    minhashes: list[int] = []
+    chunks: list[np.ndarray] = []
+
+    def emit(func: int, minhash: int, postings: np.ndarray) -> None:
+        funcs.append(func)
+        minhashes.append(minhash)
+        chunks.append(postings)
+
+    if records.size:
+        workdir = Path(workdir_str)
+        workdir.mkdir(exist_ok=True)
+        try:
+            _flush_partition(records, emit, config, workdir, depth=0)
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+    sorted_path = path.with_suffix(".sorted")
+    merged = (
+        np.concatenate(chunks) if chunks else np.empty(0, dtype=POSTING_DTYPE)
+    )
+    merged.tofile(sorted_path)
+    return (
+        str(sorted_path),
+        np.asarray(funcs, dtype=np.uint32),
+        np.asarray(minhashes, dtype=np.uint32),
+        np.asarray([chunk.size for chunk in chunks], dtype=np.int64),
+    )
 
 
 def build_external_index(
@@ -161,13 +291,15 @@ def build_external_index(
     *,
     vocab_size: int | None = None,
     config: ExternalBuildConfig | None = None,
+    stats: BuildStats | None = None,
 ) -> BuildStats:
     """Build an on-disk index without holding the postings in memory.
 
-    ``corpus`` must provide ``iter_batches(batch_size)`` (both
-    :class:`~repro.corpus.corpus.InMemoryCorpus` and
-    :class:`~repro.corpus.store.DiskCorpus` do).  Returns build stats
-    with generation time, I/O time and bytes written (spill + final).
+    ``corpus`` is streamed through
+    :func:`~repro.corpus.corpus.iter_corpus_batches` (sequential I/O on
+    :class:`~repro.corpus.store.DiskCorpus`).  Returns build stats with
+    per-phase timings (generation, aggregation, I/O) and bytes written
+    (spill + final).
     """
     if config is None:
         config = ExternalBuildConfig()
@@ -178,66 +310,125 @@ def build_external_index(
     spill_dir = directory / "spill"
     spill_dir.mkdir(exist_ok=True)
     if vocab_size is None:
-        vocab_size = max(
-            (int(text.max()) + 1 for text in corpus if text.size), default=1
-        )
+        vocab_size = infer_vocab_size(corpus)
     from repro.index.builder import MAX_VOCAB_TABLE
 
     vocab_hashes = (
         family.hash_vocabulary(vocab_size) if vocab_size <= MAX_VOCAB_TABLE else None
     )
-    stats = BuildStats()
+    if stats is None:
+        stats = BuildStats()
 
-    # Pass 1: generate postings batch by batch and spill by partition.
-    spill_paths = [spill_dir / f"part{pid}.spill" for pid in range(config.num_partitions)]
-    handles = [open(path, "wb") for path in spill_paths]
     try:
-        for batch in corpus.iter_batches(config.batch_texts):
-            begin = time.perf_counter()
-            per_func = generate_corpus_postings(batch, family, t, vocab_hashes)
-            chunks = []
-            for func, (minhashes, postings) in enumerate(per_func):
-                if not postings.size:
+        # Pass 1: generate postings batch by batch and spill by partition.
+        spill_paths = [
+            spill_dir / f"part{pid}.spill" for pid in range(config.num_partitions)
+        ]
+        handles = [open(path, "wb") for path in spill_paths]
+        spill_writer = (
+            _SpillWriter(handles, config.num_partitions) if config.pipeline_spill else None
+        )
+        try:
+            for batch in iter_corpus_batches(corpus, config.batch_texts):
+                begin = time.perf_counter()
+                per_func = generate_corpus_postings(batch, family, t, vocab_hashes)
+                chunks = []
+                for func, (minhashes, postings) in enumerate(per_func):
+                    if not postings.size:
+                        continue
+                    records = np.empty(postings.size, dtype=SPILL_DTYPE)
+                    records["func"] = func
+                    records["minhash"] = minhashes
+                    for name in ("text", "left", "center", "right"):
+                        records[name] = postings[name]
+                    chunks.append(records)
+                stats.generation_seconds += time.perf_counter() - begin
+                stats.texts_indexed += len(batch)
+                stats.batches += 1
+                if not chunks:
                     continue
-                records = np.empty(postings.size, dtype=SPILL_DTYPE)
-                records["func"] = func
-                records["minhash"] = minhashes
-                for name in ("text", "left", "center", "right"):
-                    records[name] = postings[name]
-                chunks.append(records)
-            stats.generation_seconds += time.perf_counter() - begin
-            if not chunks:
-                continue
-            begin = time.perf_counter()
-            batch_records = np.concatenate(chunks)
-            stats.windows_generated += int(batch_records.size)
-            stats.bytes_written += _spill_batch(
-                batch_records, handles, config.num_partitions, salt=0
-            )
-            stats.io_seconds += time.perf_counter() - begin
-    finally:
-        for handle in handles:
-            handle.close()
+                batch_records = np.concatenate(chunks)
+                stats.windows_generated += int(batch_records.size)
+                if spill_writer is not None:
+                    spill_writer.submit(batch_records)
+                else:
+                    begin = time.perf_counter()
+                    stats.bytes_written += _spill_batch(
+                        batch_records, handles, config.num_partitions, salt=0
+                    )
+                    stats.io_seconds += time.perf_counter() - begin
+        finally:
+            try:
+                if spill_writer is not None:
+                    spill_writer.close()
+            finally:
+                if spill_writer is not None:
+                    stats.bytes_written += spill_writer.bytes_written
+                    stats.io_seconds += spill_writer.io_seconds
+                for handle in handles:
+                    handle.close()
 
-    # Pass 2: aggregate each partition into final inverted lists.
-    writer = _IndexWriter(directory, family, t)
-    for path in spill_paths:
         begin = time.perf_counter()
-        records = np.fromfile(path, dtype=SPILL_DTYPE)
-        path.unlink()
+        nonempty = []
+        for path in spill_paths:
+            if path.stat().st_size:
+                nonempty.append(path)
+            else:
+                path.unlink()
         stats.io_seconds += time.perf_counter() - begin
-        if records.size:
-            _flush_partition(records, writer, config, spill_dir, depth=0)
-    writer.close()
-    stats.io_seconds += writer.io_seconds
-    stats.bytes_written += writer.bytes_written
-    shutil.rmtree(spill_dir, ignore_errors=True)
+
+        # Pass 2: aggregate each partition into final inverted lists.
+        writer = _IndexWriter(directory, family, t)
+        if config.workers > 1 and nonempty:
+            from concurrent.futures import ProcessPoolExecutor
+
+            payload = dataclasses.asdict(config)
+            begin = time.perf_counter()
+            with ProcessPoolExecutor(max_workers=config.workers) as pool:
+                futures = [
+                    pool.submit(
+                        _aggregate_partition,
+                        str(path),
+                        payload,
+                        str(spill_dir / f"agg{pid}"),
+                    )
+                    for pid, path in enumerate(nonempty)
+                ]
+                # Collect in partition order so the index file layout is
+                # identical to the sequential aggregation.
+                for future in futures:
+                    sorted_path, funcs, minhashes, counts = future.result()
+                    merged = np.fromfile(sorted_path, dtype=POSTING_DTYPE)
+                    Path(sorted_path).unlink()
+                    offsets = np.concatenate(([0], np.cumsum(counts)))
+                    for i in range(len(counts)):
+                        writer.write_list(
+                            int(funcs[i]),
+                            int(minhashes[i]),
+                            merged[offsets[i] : offsets[i + 1]],
+                        )
+            stats.aggregation_seconds += time.perf_counter() - begin
+        else:
+            for path in nonempty:
+                begin = time.perf_counter()
+                records = np.fromfile(path, dtype=SPILL_DTYPE)
+                path.unlink()
+                stats.io_seconds += time.perf_counter() - begin
+                begin = time.perf_counter()
+                _flush_partition(records, writer.write_list, config, spill_dir, depth=0)
+                stats.aggregation_seconds += time.perf_counter() - begin
+        writer.close()
+        stats.io_seconds += writer.io_seconds
+        stats.bytes_written += writer.bytes_written
+    finally:
+        shutil.rmtree(spill_dir, ignore_errors=True)
     logger.info(
         "external build complete: %d postings, %d bytes written, "
-        "generation %.2fs, io %.2fs",
+        "generation %.2fs, aggregation %.2fs, io %.2fs",
         stats.windows_generated,
         stats.bytes_written,
         stats.generation_seconds,
+        stats.aggregation_seconds,
         stats.io_seconds,
     )
     return stats

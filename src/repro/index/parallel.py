@@ -7,19 +7,29 @@ the CPU-bound window generation, so the reproduction uses worker
 *processes*: each worker owns a private buffer of postings for its
 batches (the private memory space), ships it back to the parent, and
 the parent merges all buffers into the final index.
+
+The driver streams: batches are drawn from ``corpus.iter_batches`` and
+submitted with a bounded in-flight window, so neither the corpus nor
+the pending batch queue is ever materialized in full — peak memory is
+``O(max_inflight * batch_texts)`` texts plus the growing postings.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 
 import numpy as np
 
 from repro.core.hashing import HashFamily
-from repro.corpus.corpus import Corpus
+from repro.corpus.corpus import Corpus, infer_vocab_size, iter_corpus_batches
 from repro.exceptions import InvalidParameterError
-from repro.index.builder import generate_corpus_postings
-from repro.index.inverted import MemoryInvertedIndex, POSTING_DTYPE
+from repro.index.builder import (
+    BuildStats,
+    generate_corpus_postings,
+    merge_per_func_chunks,
+)
+from repro.index.inverted import MemoryInvertedIndex
 
 _WORKER_FAMILY: HashFamily | None = None
 _WORKER_VOCAB_HASHES: np.ndarray | None = None
@@ -55,53 +65,78 @@ def build_memory_index_parallel(
     vocab_size: int | None = None,
     workers: int = 2,
     batch_texts: int = 128,
+    max_inflight: int | None = None,
+    stats: BuildStats | None = None,
 ) -> MemoryInvertedIndex:
     """Multi-process variant of :func:`repro.index.builder.build_memory_index`.
 
     Produces an index identical to the sequential build (the merge is
     order-insensitive because lists are re-sorted by ``(minhash,
-    text)``).
+    text)`` with a stable sort, and every text's windows live in exactly
+    one batch).  At most ``max_inflight`` batches (default
+    ``2 * workers``) are submitted but uncollected at any time, bounding
+    both the parent's pending-batch memory and the pool's input queue.
     """
+    if t < 1:
+        raise InvalidParameterError(f"t must be >= 1, got {t}")
     if workers <= 0:
         raise InvalidParameterError(f"workers must be positive, got {workers}")
     if batch_texts <= 0:
         raise InvalidParameterError(f"batch_texts must be positive, got {batch_texts}")
-    if vocab_size is None:
-        vocab_size = max(
-            (int(text.max()) + 1 for text in corpus if text.size), default=1
+    if max_inflight is None:
+        max_inflight = 2 * workers
+    if max_inflight < 1:
+        raise InvalidParameterError(
+            f"max_inflight must be positive, got {max_inflight}"
         )
-    batches: list[list[tuple[int, np.ndarray]]] = []
-    current: list[tuple[int, np.ndarray]] = []
-    for text_id in range(len(corpus)):
-        current.append((text_id, np.asarray(corpus[text_id])))
-        if len(current) == batch_texts:
-            batches.append(current)
-            current = []
-    if current:
-        batches.append(current)
+    if vocab_size is None:
+        vocab_size = infer_vocab_size(corpus)
 
     per_func_chunks: list[tuple[list[np.ndarray], list[np.ndarray]]] = [
         ([], []) for _ in range(family.k)
     ]
+
+    def collect(future: Future) -> None:
+        for func, (minhashes, postings) in enumerate(future.result()):
+            if postings.size:
+                per_func_chunks[func][0].append(minhashes)
+                per_func_chunks[func][1].append(postings)
+
+    texts_indexed = 0
+    batches = 0
+    begin = time.perf_counter()
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
         initargs=(family.to_dict(), t, vocab_size),
     ) as pool:
-        for result in pool.map(_process_batch, batches):
-            for func, (minhashes, postings) in enumerate(result):
-                if postings.size:
-                    per_func_chunks[func][0].append(minhashes)
-                    per_func_chunks[func][1].append(postings)
+        pending: set[Future] = set()
+        for batch in iter_corpus_batches(corpus, batch_texts):
+            while len(pending) >= max_inflight:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    collect(future)
+            pending.add(pool.submit(_process_batch, batch))
+            texts_indexed += len(batch)
+            batches += 1
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                collect(future)
+    generation_seconds = time.perf_counter() - begin
 
-    per_func = []
-    for minhash_chunks, posting_chunks in per_func_chunks:
-        if minhash_chunks:
-            per_func.append(
-                (np.concatenate(minhash_chunks), np.concatenate(posting_chunks))
-            )
-        else:
-            per_func.append(
-                (np.empty(0, dtype=np.uint32), np.empty(0, dtype=POSTING_DTYPE))
-            )
-    return MemoryInvertedIndex.from_postings(family, t, per_func)
+    begin = time.perf_counter()
+    index = MemoryInvertedIndex.from_postings(
+        family, t, merge_per_func_chunks(per_func_chunks)
+    )
+    merge_seconds = time.perf_counter() - begin
+    if stats is not None:
+        stats.windows_generated += index.num_postings
+        stats.generation_seconds += generation_seconds
+        stats.merge_seconds += merge_seconds
+        stats.texts_indexed += texts_indexed
+        stats.batches += batches
+        stats.windows_per_func = [
+            int(index.list_lengths(func).sum()) for func in range(family.k)
+        ]
+    return index

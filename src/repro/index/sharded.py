@@ -21,9 +21,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.hashing import HashFamily
-from repro.corpus.corpus import Corpus, InMemoryCorpus
+from repro.corpus.corpus import Corpus, InMemoryCorpus, infer_vocab_size
 from repro.exceptions import InvalidParameterError
-from repro.index.builder import build_memory_index
+from repro.index.builder import DEFAULT_BATCH_TEXTS, build_memory_index
 
 # NOTE: repro.core.search imports repro.index.inverted, whose package
 # __init__ imports this module — so the searcher types are imported
@@ -70,15 +70,37 @@ class ShardedIndex:
         *,
         num_shards: int = 4,
         vocab_size: int | None = None,
+        workers: int = 1,
+        batch_texts: int = DEFAULT_BATCH_TEXTS,
     ) -> "ShardedIndex":
-        """Partition ``corpus`` into ``num_shards`` ranges and index each."""
+        """Partition ``corpus`` into ``num_shards`` ranges and index each.
+
+        ``workers > 1`` builds each shard on a process pool
+        (:func:`~repro.index.parallel.build_memory_index_parallel`); the
+        per-shard indexes are identical either way.
+        """
         if num_shards <= 0:
             raise InvalidParameterError(f"num_shards must be positive, got {num_shards}")
         total = len(corpus)
         if vocab_size is None:
-            vocab_size = max(
-                (int(text.max()) + 1 for text in corpus if text.size), default=1
+            vocab_size = infer_vocab_size(corpus)
+
+        def build_shard(local: Corpus):
+            if workers > 1:
+                from repro.index.parallel import build_memory_index_parallel
+
+                return build_memory_index_parallel(
+                    local,
+                    family,
+                    t,
+                    vocab_size=vocab_size,
+                    workers=workers,
+                    batch_texts=batch_texts,
+                )
+            return build_memory_index(
+                local, family, t, vocab_size=vocab_size, batch_texts=batch_texts
             )
+
         per_shard = max(1, (total + num_shards - 1) // num_shards)
         shards = []
         start = 0
@@ -87,12 +109,14 @@ class ShardedIndex:
             local = InMemoryCorpus(
                 [np.asarray(corpus[start + offset]) for offset in range(count)]
             )
-            index = build_memory_index(local, family, t, vocab_size=vocab_size)
-            shards.append(Shard(first_text=start, count=count, index=index))
+            shards.append(
+                Shard(first_text=start, count=count, index=build_shard(local))
+            )
             start += count
         if not shards:  # empty corpus: one empty shard keeps the API total
-            index = build_memory_index(InMemoryCorpus([]), family, t, vocab_size=vocab_size)
-            shards.append(Shard(first_text=0, count=0, index=index))
+            shards.append(
+                Shard(first_text=0, count=0, index=build_shard(InMemoryCorpus([])))
+            )
         return cls(shards, family, t)
 
     @property

@@ -1,0 +1,325 @@
+"""Tests for the vectorized, pipelined build pipeline (ISSUE 2).
+
+Covers the k-wide window generator against the per-function oracles,
+equivalence of every build driver with the sequential reference, the
+bounded-memory streaming property, and the out-of-core aggregation
+fixes (empty sub-partitions, scratch cleanup on failure).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compact_windows import (
+    generate_compact_windows_kwide,
+    generate_compact_windows_recursive,
+    generate_compact_windows_stack,
+)
+from repro.core.hashing import HashFamily
+from repro.corpus.corpus import (
+    InMemoryCorpus,
+    corpus_nbytes,
+    infer_vocab_size,
+    iter_corpus_batches,
+)
+from repro.corpus.store import DiskCorpus, write_corpus
+from repro.exceptions import InvalidParameterError
+from repro.index.builder import BuildStats, build_memory_index
+from repro.index.external import (
+    SPILL_DTYPE,
+    ExternalBuildConfig,
+    _flush_partition,
+    build_external_index,
+)
+from repro.index.parallel import build_memory_index_parallel
+from repro.index.sharded import ShardedIndex
+from repro.index.storage import _PAYLOAD_FILE, DiskInvertedIndex
+
+hash_matrices = st.integers(1, 6).flatmap(
+    lambda k: st.lists(
+        st.lists(st.integers(0, 9), min_size=1, max_size=40),
+        min_size=k,
+        max_size=k,
+    ).filter(lambda rows: len({len(r) for r in rows}) == 1)
+).map(lambda rows: np.asarray(rows, dtype=np.uint32))
+
+
+def indexes_equal(a, b) -> bool:
+    if a.family != b.family or a.t != b.t or a.num_postings != b.num_postings:
+        return False
+    for func in range(a.family.k):
+        lists_a = dict(a.iter_lists(func))
+        lists_b = dict(b.iter_lists(func))
+        if lists_a.keys() != lists_b.keys():
+            return False
+        for key in lists_a:
+            if not np.array_equal(lists_a[key], lists_b[key]):
+                return False
+    return True
+
+
+class TestKWideGenerator:
+    @given(matrix=hash_matrices, t=st.integers(1, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_agrees_with_stack_and_recursive_oracles(self, matrix, t):
+        """The k-wide generator must reproduce, row for row, both the
+        monotone-stack generator and the recursive Algorithm-2 oracle —
+        including on heavy ties (hash values drawn from [0, 9])."""
+        kwide = generate_compact_windows_kwide(matrix, t)
+        assert len(kwide) == matrix.shape[0]
+        for func in range(matrix.shape[0]):
+            stack = generate_compact_windows_stack(matrix[func], t)
+            assert np.array_equal(kwide[func], stack)
+            oracle = {
+                (w.left, w.center, w.right)
+                for w in generate_compact_windows_recursive(matrix[func], t)
+            }
+            got = {
+                (int(r["left"]), int(r["center"]), int(r["right"]))
+                for r in kwide[func]
+            }
+            assert got == oracle
+
+    def test_short_rows_yield_empty(self):
+        matrix = np.asarray([[1, 2], [3, 4]], dtype=np.uint32)
+        out = generate_compact_windows_kwide(matrix, t=5)
+        assert len(out) == 2 and all(w.size == 0 for w in out)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(InvalidParameterError):
+            generate_compact_windows_kwide(np.arange(5, dtype=np.uint32), t=2)
+
+    def test_rows_independent(self, rng):
+        """A row's windows must not be affected by its neighbours."""
+        matrix = rng.integers(0, 50, size=(8, 120)).astype(np.uint32)
+        kwide = generate_compact_windows_kwide(matrix, t=4)
+        for func in range(8):
+            alone = generate_compact_windows_kwide(matrix[func : func + 1], t=4)
+            assert np.array_equal(kwide[func], alone[0])
+
+
+class TestBuildEquivalence:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        rng = np.random.default_rng(41)
+        texts = [
+            rng.integers(0, 300, size=rng.integers(5, 200)).astype(np.uint32)
+            for _ in range(60)
+        ]
+        texts.append(np.empty(0, dtype=np.uint32))  # empty text edge case
+        return InMemoryCorpus(texts)
+
+    @pytest.fixture(scope="class")
+    def reference(self, corpus):
+        return build_memory_index(corpus, HashFamily(k=4, seed=11), 10)
+
+    def test_batch_size_invariant(self, corpus, reference):
+        """Streaming in any batch size yields the identical index."""
+        family = HashFamily(k=4, seed=11)
+        for batch_texts in (1, 7, 1000):
+            index = build_memory_index(corpus, family, 10, batch_texts=batch_texts)
+            assert indexes_equal(reference, index)
+
+    def test_parallel_any_geometry(self, corpus, reference):
+        family = HashFamily(k=4, seed=11)
+        for workers, batch_texts, max_inflight in ((2, 5, 2), (3, 17, None)):
+            index = build_memory_index_parallel(
+                corpus,
+                family,
+                10,
+                workers=workers,
+                batch_texts=batch_texts,
+                max_inflight=max_inflight,
+            )
+            assert indexes_equal(reference, index)
+
+    def test_sharded_with_workers(self, corpus, reference):
+        family = HashFamily(k=4, seed=11)
+        plain = ShardedIndex.build(corpus, family, 10, num_shards=3)
+        pooled = ShardedIndex.build(
+            corpus, family, 10, num_shards=3, workers=2, batch_texts=9
+        )
+        assert plain.num_postings == pooled.num_postings == reference.num_postings
+        for a, b in zip(plain.shards, pooled.shards):
+            assert indexes_equal(a.index, b.index)
+
+    def test_external_variants_byte_identical(self, corpus, reference, tmp_path):
+        """Pipelined spill and pass-2 workers must not change a single
+        payload byte relative to the plain sequential aggregation."""
+        family = HashFamily(k=4, seed=11)
+        payloads = []
+        for name, config in (
+            ("plain", ExternalBuildConfig(batch_texts=9, pipeline_spill=False)),
+            ("piped", ExternalBuildConfig(batch_texts=9, pipeline_spill=True)),
+            (
+                "pooled",
+                ExternalBuildConfig(batch_texts=9, pipeline_spill=True, workers=2),
+            ),
+        ):
+            directory = tmp_path / name
+            build_external_index(corpus, family, 10, directory, config=config)
+            assert indexes_equal(
+                reference, DiskInvertedIndex(directory).to_memory()
+            )
+            payloads.append((directory / _PAYLOAD_FILE).read_bytes())
+        assert payloads[0] == payloads[1] == payloads[2]
+
+    def test_stats_phases_populated(self, corpus, tmp_path):
+        family = HashFamily(k=4, seed=11)
+        mem_stats = BuildStats()
+        build_memory_index_parallel(
+            corpus, family, 10, workers=2, batch_texts=16, stats=mem_stats
+        )
+        assert mem_stats.texts_indexed == len(corpus)
+        assert mem_stats.batches == 4
+        assert mem_stats.generation_seconds > 0
+        assert mem_stats.merge_seconds > 0
+        ext_stats = build_external_index(
+            corpus,
+            family,
+            10,
+            tmp_path / "stats",
+            config=ExternalBuildConfig(batch_texts=16),
+        )
+        assert ext_stats.texts_indexed == len(corpus)
+        assert ext_stats.batches == 4
+        assert ext_stats.aggregation_seconds > 0
+        assert ext_stats.io_seconds > 0
+
+
+class TestBoundedMemory:
+    def test_streaming_peak_below_corpus_size(self, tmp_path):
+        """The streamed build must never materialize the corpus: peak
+        allocations during the build stay below one corpus copy (the
+        index itself is small at this t, so a non-streaming build that
+        holds the tokens of every batch at once would blow through the
+        bound)."""
+        rng = np.random.default_rng(7)
+        directory = write_corpus(
+            (rng.integers(0, 200, size=2000).astype(np.uint32) for _ in range(256)),
+            tmp_path / "corpus",
+        )
+        corpus = DiskCorpus(directory)
+        total_bytes = corpus_nbytes(corpus)  # 2 MiB of tokens
+        family = HashFamily(k=2, seed=1)
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        build_memory_index(corpus, family, 200, batch_texts=8)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak < total_bytes, (
+            f"peak {peak} bytes vs corpus {total_bytes} bytes: "
+            "build is not streaming"
+        )
+
+
+class TestCorpusHelpers:
+    def test_infer_vocab_size_uses_corpus_stat(self):
+        class Tracked(InMemoryCorpus):
+            calls = 0
+
+            def vocabulary_size(self) -> int:
+                Tracked.calls += 1
+                return super().vocabulary_size()
+
+        corpus = Tracked([np.asarray([3, 9, 1], dtype=np.uint32)])
+        assert infer_vocab_size(corpus) == 10
+        assert Tracked.calls == 1
+
+    def test_infer_vocab_size_scan_fallback(self):
+        class Bare:
+            def __init__(self, texts):
+                self._texts = texts
+
+            def __len__(self):
+                return len(self._texts)
+
+            def __getitem__(self, i):
+                return self._texts[i]
+
+            def __iter__(self):
+                return iter(self._texts)
+
+            @property
+            def total_tokens(self):
+                return sum(t.size for t in self._texts)
+
+        corpus = Bare([np.asarray([5, 2], dtype=np.uint32)])
+        assert infer_vocab_size(corpus) == 6
+        assert infer_vocab_size(Bare([])) == 1
+
+    def test_iter_corpus_batches_fallback(self):
+        class Bare:
+            def __len__(self):
+                return 5
+
+            def __getitem__(self, i):
+                return np.asarray([i], dtype=np.uint32)
+
+            def __iter__(self):
+                return (self[i] for i in range(5))
+
+            @property
+            def total_tokens(self):
+                return 5
+
+        batches = list(iter_corpus_batches(Bare(), 2))
+        assert [len(b) for b in batches] == [2, 2, 1]
+        assert batches[2][0][0] == 4
+        with pytest.raises(InvalidParameterError):
+            list(iter_corpus_batches(Bare(), 0))
+
+    def test_disk_corpus_vocab_cached(self, tmp_path):
+        directory = write_corpus(
+            [np.asarray([7, 3], dtype=np.uint32)], tmp_path / "c"
+        )
+        corpus = DiskCorpus(directory)
+        assert corpus.vocabulary_size() == 8
+        assert corpus._vocab_size == 8  # second call hits the cache
+        assert infer_vocab_size(corpus) == 8
+
+
+class TestFlushPartitionFixes:
+    def _records(self, n: int, num_keys: int) -> np.ndarray:
+        rng = np.random.default_rng(3)
+        records = np.zeros(n, dtype=SPILL_DTYPE)
+        records["func"] = 0
+        records["minhash"] = rng.integers(0, num_keys, size=n)
+        records["text"] = rng.integers(0, 50, size=n)
+        return records
+
+    def test_recursion_with_skewed_keys(self, tmp_path):
+        """One dominant key leaves most sub-partitions empty; the flush
+        must still emit every group exactly once."""
+        records = self._records(400, num_keys=2)
+        config = ExternalBuildConfig(
+            num_partitions=8, memory_budget_bytes=256, max_recursion=3
+        )
+        emitted = []
+        _flush_partition(
+            records,
+            lambda func, minhash, postings: emitted.append((minhash, postings.size)),
+            config,
+            tmp_path,
+            depth=0,
+        )
+        assert sum(size for _, size in emitted) == 400
+        assert not list(tmp_path.glob("depth*"))
+
+    def test_scratch_cleaned_on_emit_failure(self, tmp_path):
+        records = self._records(400, num_keys=64)
+        config = ExternalBuildConfig(
+            num_partitions=4, memory_budget_bytes=256, max_recursion=3
+        )
+
+        def failing_emit(func, minhash, postings):
+            raise RuntimeError("disk full")
+
+        with pytest.raises(RuntimeError, match="disk full"):
+            _flush_partition(records, failing_emit, config, tmp_path, depth=0)
+        assert not list(tmp_path.glob("depth*"))
