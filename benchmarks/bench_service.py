@@ -1,0 +1,252 @@
+"""Service throughput benchmark: micro-batching on vs. off.
+
+ISSUE 3 acceptance benchmark.  Runs a real :class:`SearchService` (an
+in-process :class:`ServiceRunner`, real HTTP over loopback) and drives
+it with blocking :class:`ServiceClient` threads — the closed-loop shape
+of a memorization-audit fleet hammering one shared index:
+
+* ``sequential``    — 1 client issuing every request back to back;
+* ``concurrent_off``— 32 clients, micro-batching disabled
+  (``max_batch=1``, zero linger): every request plans alone;
+* ``concurrent_on`` — 32 clients, micro-batching enabled
+  (``max_batch=32``, 8 ms linger): concurrent requests coalesce into
+  planned executor batches, so sketch dedup and list pinning apply
+  *across clients*.
+
+The query stream is *bursty*, not uniformly duplicated: an audit
+fleet's replicas work through the same generation windows at the same
+time, so duplicate queries arrive concurrently.  Each fleet-wide round
+of requests draws from a small per-round hot set (``clients/8``
+distinct windows), which is exactly the cross-client redundancy
+micro-batching exists to exploit — and the redundancy a per-request
+path cannot see, cache-hot or not.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_service.py [--smoke]``
+Writes ``BENCH_service.json`` next to the repository root.
+Acceptance (full scale): concurrent_on >= 1.5x concurrent_off qps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hashing import HashFamily
+from repro.corpus.synthetic import synthweb
+from repro.engine import NearDupEngine
+from repro.index.builder import build_memory_index
+from repro.index.storage import DiskInvertedIndex, write_index
+from repro.service import ServiceClient, ServiceConfig, ServiceRunner
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_service.json"
+
+WINDOW = 64
+CONCURRENT_CLIENTS = 32
+
+
+def build_engine(smoke: bool) -> tuple[NearDupEngine, list[np.ndarray]]:
+    """Disk-backed engine + duplicate-free window pool source."""
+    num_texts = 120 if smoke else 1500
+    data = synthweb(
+        num_texts=num_texts,
+        mean_length=200 if smoke else 300,
+        vocab_size=4096,
+        duplicate_rate=0.15,
+        span_length=WINDOW,
+        mutation_rate=0.05,
+        seed=11,
+    )
+    family = HashFamily(k=16 if smoke else 32, seed=5)
+    index = build_memory_index(data.corpus, family, t=25, vocab_size=4096)
+    directory = Path(tempfile.mkdtemp(prefix="bench_service_"))
+    write_index(index, directory)
+    engine = NearDupEngine(data.corpus, DiskInvertedIndex(directory))
+
+    windows: list[np.ndarray] = []
+    for text_id in range(len(data.corpus)):
+        text = np.asarray(data.corpus[text_id])
+        for start in range(0, text.size - WINDOW + 1, WINDOW):
+            windows.append(text[start : start + WINDOW])
+    return engine, windows
+
+
+def make_queries(windows, total: int, clients: int, rng) -> list[np.ndarray]:
+    """A bursty duplicate-heavy request stream.
+
+    The stream is built in fleet-wide rounds of ``clients`` requests;
+    each round samples with replacement from a fresh hot set of
+    ``clients/8`` distinct windows.  Sharded round-robin across the
+    client threads, one round's requests are issued concurrently — the
+    duplication lands inside the micro-batcher's coalescing window,
+    where real audit sweeps put it.
+    """
+    rounds = (total + clients - 1) // clients
+    hot_size = max(1, clients // 8)
+    stream: list[np.ndarray] = []
+    for _ in range(rounds):
+        hot = [
+            windows[i]
+            for i in rng.choice(len(windows), min(hot_size, len(windows)),
+                                replace=False)
+        ]
+        stream.extend(hot[i] for i in rng.integers(0, len(hot), size=clients))
+    return stream[:total]
+
+
+def run_scenario(
+    engine: NearDupEngine,
+    queries: list[np.ndarray],
+    *,
+    name: str,
+    clients: int,
+    max_batch: int,
+    linger_ms: float,
+    workers: int,
+    theta: float,
+) -> dict:
+    """One fresh service instance, closed-loop clients, wall-clock qps."""
+    config = ServiceConfig(
+        port=0,
+        workers=workers,
+        max_batch=max_batch,
+        linger_ms=linger_ms,
+        max_queue=max(256, 2 * clients),
+        warmup_lists=64,
+    )
+    shards = [queries[position::clients] for position in range(clients)]
+    latencies: list[float] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    with ServiceRunner(engine, config) as runner:
+
+        def drive(shard: list[np.ndarray]) -> None:
+            try:
+                with ServiceClient(runner.host, runner.port) as client:
+                    barrier.wait()
+                    for tokens in shard:
+                        begin = time.perf_counter()
+                        client.search(tokens, theta)
+                        elapsed = time.perf_counter() - begin
+                        with lock:
+                            latencies.append(elapsed)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=drive, args=(shard,)) for shard in shards]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        begin = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - begin
+        snapshot = runner.call(runner.service.stats.snapshot)
+        cache = runner.call(lambda: runner.service.searcher.index.stats().to_dict())
+
+    if errors:
+        raise errors[0]
+    observed = np.asarray(latencies)
+    return {
+        "scenario": name,
+        "clients": clients,
+        "max_batch": max_batch,
+        "linger_ms": linger_ms,
+        "requests": len(queries),
+        "seconds": wall,
+        "qps": len(queries) / wall if wall > 0 else 0.0,
+        "latency_ms": {
+            "p50": float(np.percentile(observed, 50)) * 1e3,
+            "p95": float(np.percentile(observed, 95)) * 1e3,
+            "mean": float(observed.mean()) * 1e3,
+        },
+        "mean_batch_size": snapshot["mean_batch_size"],
+        "batches": snapshot["batches"],
+        "cache_hit_rate": cache["hit_rate"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI scale (seconds, not minutes)"
+    )
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--theta", type=float, default=0.8)
+    parser.add_argument("--output", default=str(OUTPUT))
+    args = parser.parse_args(argv)
+
+    total = args.requests or (96 if args.smoke else 512)
+    engine, windows = build_engine(args.smoke)
+    queries = make_queries(
+        windows, total, CONCURRENT_CLIENTS, np.random.default_rng(0)
+    )
+
+    # The ON batch size is clients/workers, not clients: closed-loop
+    # clients re-request in lock-step, so a batch as large as the whole
+    # fleet leaves every other worker thread idle.  Halving it keeps
+    # one batch per worker in flight — coalescing *and* parallelism.
+    on_batch = max(2, CONCURRENT_CLIENTS // args.workers)
+    scenarios = [
+        dict(name="sequential", clients=1, max_batch=on_batch, linger_ms=8.0),
+        dict(name="concurrent_off", clients=CONCURRENT_CLIENTS, max_batch=1,
+             linger_ms=0.0),
+        dict(name="concurrent_on", clients=CONCURRENT_CLIENTS,
+             max_batch=on_batch, linger_ms=8.0),
+    ]
+    rows = []
+    print(
+        f"{'scenario':>15} {'clients':>8} {'qps':>8} {'p50_ms':>8} "
+        f"{'p95_ms':>8} {'batch':>6} {'cache':>6}"
+    )
+    for scenario in scenarios:
+        row = run_scenario(
+            engine, queries, workers=args.workers, theta=args.theta, **scenario
+        )
+        rows.append(row)
+        print(
+            f"{row['scenario']:>15} {row['clients']:>8} {row['qps']:>8.1f} "
+            f"{row['latency_ms']['p50']:>8.2f} {row['latency_ms']['p95']:>8.2f} "
+            f"{row['mean_batch_size']:>6.2f} {row['cache_hit_rate']:>6.2f}"
+        )
+
+    on = next(row for row in rows if row["scenario"] == "concurrent_on")
+    off = next(row for row in rows if row["scenario"] == "concurrent_off")
+    speedup = on["qps"] / off["qps"] if off["qps"] else 0.0
+    payload = {
+        "benchmark": "bench_service",
+        "smoke": args.smoke,
+        "requests": total,
+        "workers": args.workers,
+        "theta": args.theta,
+        "rows": rows,
+        "batching_speedup_qps": speedup,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2))
+    print(f"wrote {args.output}")
+
+    # Acceptance gate (full scale only): micro-batching ON must beat
+    # OFF by >= 1.5x at 32 concurrent clients.
+    if not args.smoke:
+        ok = speedup >= 1.5
+        print(
+            f"acceptance @{CONCURRENT_CLIENTS} clients: batching speedup "
+            f"{speedup:.2f}x (>= 1.5 required) -> {'PASS' if ok else 'FAIL'}"
+        )
+        return 0 if ok else 1
+    print(f"smoke: batching speedup {speedup:.2f}x (gate skipped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,12 +8,16 @@ Subcommands cover the full pipeline on synthetic data:
 * ``query``      — run one near-duplicate search and print the matches;
 * ``stats``      — summarize an index (size, list-length skew);
 * ``memorize``   — train an n-gram model tier and run the Section 5
-  memorization evaluation.
+  memorization evaluation;
+* ``serve``      — run the online search service over a saved engine
+  directory (asyncio HTTP, micro-batching, admission control);
+* ``remote-query`` — query a running service from the command line.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -121,7 +125,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_batch_query(args: argparse.Namespace) -> int:
     """Run many queries from a file (one whitespace-separated token-id
     sequence per line) through the batch executor and print one summary
-    row per query plus the aggregated batch statistics."""
+    row per query plus the aggregated batch statistics.
+
+    Individual query failures (unparseable lines, per-query search
+    errors) do not abort the run: each failed query is reported with an
+    ``error`` field (JSON mode) or on stderr (table mode), the
+    remaining queries still execute, and the exit code is 2 when any
+    query failed."""
+    import dataclasses
+
     index = DiskInvertedIndex(args.index)
     from repro.index.cache import CachedIndexReader
     from repro.query.executor import BatchQueryExecutor
@@ -130,29 +142,74 @@ def _cmd_batch_query(args: argparse.Namespace) -> int:
     searcher = NearDuplicateSearcher(reader)
     with open(args.queries) as handle:
         lines = [line.strip() for line in handle if line.strip()]
-    queries = []
+    records: list[dict] = []
+    valid: list[tuple[int, np.ndarray]] = []
     for number, line in enumerate(lines):
+        record = {
+            "query": number,
+            "tokens": None,
+            "matches": None,
+            "spans": None,
+            "latency_ms": None,
+            "error": None,
+        }
         try:
-            queries.append(
-                np.asarray([int(part) for part in line.split()], dtype=np.uint32)
-            )
-        except ValueError:
-            print(f"error: line {number + 1} is not a token-id sequence", file=sys.stderr)
-            return 2
+            tokens = np.asarray([int(part) for part in line.split()], dtype=np.uint32)
+            if tokens.size == 0:
+                raise ValueError("empty sequence")
+            record["tokens"] = int(tokens.size)
+            valid.append((number, tokens))
+        except (ValueError, OverflowError):
+            record["error"] = f"line {number + 1} is not a token-id sequence"
+        records.append(record)
     executor = BatchQueryExecutor(
         searcher, workers=args.workers, batch_size=args.batch_size
     )
-    batch = executor.execute(queries, args.theta)
+    batch = None
+    if valid:
+        try:
+            batch = executor.execute([tokens for _, tokens in valid], args.theta)
+        except Exception as exc:  # noqa: BLE001 - reported per query below
+            for number, _ in valid:
+                records[number]["error"] = f"search failed: {exc}"
+        else:
+            for (number, _), result in zip(valid, batch.results):
+                records[number]["matches"] = result.num_texts
+                records[number]["spans"] = [
+                    [span.text_id, span.start, span.end]
+                    for span in result.merged_spans()
+                ]
+                records[number]["latency_ms"] = 1e3 * result.stats.total_seconds
+    failed = sum(1 for record in records if record["error"] is not None)
+    if args.json:
+        payload = {
+            "theta": args.theta,
+            "queries": records,
+            "failed": failed,
+            "stats": dataclasses.asdict(batch.stats) if batch is not None else None,
+        }
+        if args.cache:
+            payload["cache"] = reader.stats().to_dict()
+        print(json.dumps(payload, indent=2))
+        for record in records:
+            if record["error"] is not None:
+                print(f"error: {record['error']}", file=sys.stderr)
+        return 2 if failed else 0
     print(f"{'query':>6} {'tokens':>7} {'matches':>8} {'latency_ms':>11}")
-    for number, (tokens, result) in enumerate(zip(queries, batch.results)):
+    for record in records:
+        if record["error"] is not None:
+            print(f"{record['query']:>6} {'-':>7} {'-':>8} {'-':>11}  ERROR")
+            print(f"error: {record['error']}", file=sys.stderr)
+            continue
         print(
-            f"{number:>6} {tokens.size:>7} {result.num_texts:>8} "
-            f"{1e3 * result.stats.total_seconds:>11.2f}"
+            f"{record['query']:>6} {record['tokens']:>7} {record['matches']:>8} "
+            f"{record['latency_ms']:>11.2f}"
         )
-    print(batch.stats.format())
+    if batch is not None:
+        print(batch.stats.format())
     if args.cache:
         print(f"cache hit rate: {reader.hit_rate:.0%}")
-    return 0
+    return 2 if failed else 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -215,6 +272,64 @@ def _cmd_dedup(args: argparse.Namespace) -> int:
                 f"text {s.text_id} [{s.start}..{s.end}]" for s in cluster.redundant()
             )
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        linger_ms=args.linger_ms,
+        max_queue=args.max_queue,
+        timeout_ms=args.timeout_ms,
+        cache_bytes=args.cache_mb << 20,
+        warmup_lists=args.warmup_lists,
+        theta=args.theta,
+    )
+    return serve(args.engine_dir, corpus_dir=args.corpus, config=config)
+
+
+def _cmd_remote_query(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import ServiceError
+
+    if (args.tokens is None) == (args.text is None):
+        print("error: provide exactly one of --tokens or --text", file=sys.stderr)
+        return 2
+    if args.tokens is not None:
+        try:
+            query = [int(part) for part in args.tokens.split()]
+        except ValueError:
+            print("error: --tokens is not a token-id sequence", file=sys.stderr)
+            return 2
+    else:
+        query = args.text
+    with ServiceClient(args.host, args.port) as client:
+        try:
+            response = client.search(
+                query,
+                args.theta,
+                verify=args.verify,
+                timeout_ms=args.timeout_ms,
+            )
+        except ServiceError as exc:
+            print(f"error: {exc} (HTTP {exc.status})", file=sys.stderr)
+            return 1
+    result = response["result"]
+    server = response["server"]
+    print(
+        f"theta={result['theta']} beta={result['beta']}: "
+        f"{result['num_texts']} matching texts, {len(result['spans'])} regions, "
+        f"latency {server['total_ms']:.1f} ms "
+        f"(queued {server['queue_ms']:.1f} ms, "
+        f"batched with {server['batched_with']})"
+    )
+    for text_id, start, end in result["spans"][: args.limit]:
+        print(f"  text {text_id} tokens {start}..{end}")
     return 0
 
 
@@ -305,6 +420,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="queries planned/executed per chunk (default: whole file)",
     )
+    p_batch.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document (per-query records with an 'error' "
+        "field, batch stats) instead of the table",
+    )
     p_batch.set_defaults(func=_cmd_batch_query)
 
     p_val = sub.add_parser("validate", help="check an index's structural invariants")
@@ -329,6 +450,78 @@ def build_parser() -> argparse.ArgumentParser:
     p_dedup.add_argument("--limit", type=int, default=10, help="clusters to print")
     p_dedup.add_argument("--workers", type=int, default=0, help="batch executor workers")
     p_dedup.set_defaults(func=_cmd_dedup)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the online search service over a saved engine"
+    )
+    p_serve.add_argument(
+        "engine_dir",
+        help="engine directory (NearDupEngine.save) or a bare index "
+        "directory (then pass --corpus)",
+    )
+    p_serve.add_argument(
+        "--corpus",
+        default=None,
+        help="corpus directory when serving a bare index directory",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080, help="0 = ephemeral")
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="threads executing batches"
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=16, help="requests coalesced per batch"
+    )
+    p_serve.add_argument(
+        "--linger-ms",
+        type=float,
+        default=8.0,
+        help="max wait for more requests after the first of a batch",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=128,
+        help="admission bound; beyond it requests are shed with HTTP 429",
+    )
+    p_serve.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=30000.0,
+        help="default per-request deadline",
+    )
+    p_serve.add_argument(
+        "--cache-mb", type=int, default=64, help="inverted-list cache budget"
+    )
+    p_serve.add_argument(
+        "--warmup-lists",
+        type=int,
+        default=64,
+        help="Zipf-head lists preloaded at startup (0 disables)",
+    )
+    p_serve.add_argument(
+        "--theta", type=float, default=0.8, help="default similarity threshold"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_remote = sub.add_parser(
+        "remote-query", help="query a running search service"
+    )
+    p_remote.add_argument("--host", default="127.0.0.1")
+    p_remote.add_argument("--port", type=int, default=8080)
+    p_remote.add_argument(
+        "--tokens", default=None, help="whitespace-separated token ids"
+    )
+    p_remote.add_argument(
+        "--text",
+        default=None,
+        help="raw string query (server-side tokenization)",
+    )
+    p_remote.add_argument("--theta", type=float, default=0.8)
+    p_remote.add_argument("--verify", action="store_true")
+    p_remote.add_argument("--timeout-ms", type=float, default=None)
+    p_remote.add_argument("--limit", type=int, default=10, help="regions to print")
+    p_remote.set_defaults(func=_cmd_remote_query)
 
     p_mem = sub.add_parser("memorize", help="Section 5 memorization evaluation")
     p_mem.add_argument("index", help="index directory")

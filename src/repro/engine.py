@@ -239,6 +239,81 @@ class NearDupEngine:
         tokenized = [self._as_tokens(query) for query in queries]
         return executor.execute(tokenized, theta, **kwargs)
 
+    # ------------------------------------------------------------------
+    # Serving hooks
+    # ------------------------------------------------------------------
+    def cached_searcher(
+        self, *, cache_bytes: int = 32 * 1024 * 1024
+    ) -> NearDuplicateSearcher:
+        """A searcher whose reader is a thread-safe LRU list cache.
+
+        The online service (and any other long-lived caller answering
+        many queries) searches through one of these instead of
+        ``engine.searcher`` so repeat reads of Zipf-head lists are
+        served from memory.  Each call builds a fresh cache.
+        """
+        from repro.index.cache import CachedIndexReader
+
+        reader = CachedIndexReader(self.index, capacity_bytes=cache_bytes)
+        return NearDuplicateSearcher(reader, corpus=self.corpus)
+
+    def warmup(
+        self,
+        searcher: NearDuplicateSearcher | None = None,
+        *,
+        max_lists: int = 64,
+        max_bytes: int | None = None,
+    ) -> int:
+        """Preload the longest (Zipf-head) inverted lists into a cache.
+
+        Ranks every list of every hash function by length and loads the
+        head through ``searcher``'s cached reader until ``max_lists``
+        lists or ``max_bytes`` (default: half the cache capacity) have
+        been admitted, so a freshly started service answers its first
+        queries against a warm cache.  Returns the number of lists
+        loaded.  ``searcher`` must come from :meth:`cached_searcher`.
+        """
+        from repro.index.cache import CachedIndexReader
+        from repro.index.inverted import POSTING_BYTES
+
+        if searcher is None:
+            searcher = self.cached_searcher()
+        reader = searcher.index
+        if not isinstance(reader, CachedIndexReader):
+            raise InvalidParameterError(
+                "warmup needs a cached searcher; use engine.cached_searcher()"
+            )
+        if max_lists <= 0:
+            return 0
+        budget = (
+            int(max_bytes)
+            if max_bytes is not None
+            else reader.stats().capacity_bytes // 2
+        )
+        ranked: list[tuple[int, int, int]] = []
+        for func in range(self.index.family.k):
+            lengths = np.asarray(self.index.list_lengths(func))
+            keys = np.asarray(self.index.list_keys(func))
+            if lengths.size == 0:
+                continue
+            head = np.argsort(-lengths, kind="stable")[:max_lists]
+            ranked.extend(
+                (int(lengths[slot]), func, int(keys[slot])) for slot in head
+            )
+        ranked.sort(key=lambda item: (-item[0], item[1], item[2]))
+        loaded = 0
+        used = 0
+        for length, func, minhash in ranked:
+            if loaded >= max_lists:
+                break
+            nbytes = length * POSTING_BYTES
+            if used + nbytes > budget:
+                continue
+            reader.load_list(func, minhash)
+            used += nbytes
+            loaded += 1
+        return loaded
+
     def contains_near_duplicate(
         self, query: str | Sequence[int] | np.ndarray, theta: float = 0.8
     ) -> bool:

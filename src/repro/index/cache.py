@@ -17,8 +17,9 @@ its eighty-seventh.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -36,11 +37,27 @@ class CacheStats:
     cached_bytes: int
     capacity_bytes: int
     pinned_bytes: int
+    cached_lists: int = 0
+    pinned_lists: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the service's ``/stats`` cache block)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "cached_bytes": self.cached_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "pinned_bytes": self.pinned_bytes,
+            "cached_lists": self.cached_lists,
+            "pinned_lists": self.pinned_lists,
+        }
 
 
 class CachedIndexReader:
@@ -57,6 +74,13 @@ class CachedIndexReader:
     Only full-list reads are cached; zone-map point reads
     (:meth:`load_text_windows`) stay uncached — they are already small,
     and caching them would duplicate fragments of the same list.
+
+    The reader is thread-safe: one instance may be shared by the batch
+    executor's thread mode and the online service's worker pool.  A
+    single reentrant lock guards the LRU dict, the byte counters, and
+    the pin set; cache hits only pay a dict lookup under the lock, and
+    misses serialize the inner read (callers that want parallel cold
+    I/O keep using one cache per worker, as the batch executor does).
     """
 
     def __init__(self, inner, capacity_bytes: int = 32 * 1024 * 1024) -> None:
@@ -70,39 +94,43 @@ class CachedIndexReader:
         self._used = 0
         self._lists: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
         self._pinned: set[tuple[int, int]] = set()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     # -- reader protocol ------------------------------------------------
     def list_length(self, func: int, minhash: int) -> int:
-        cached = self._lists.get((func, minhash))
-        if cached is not None:
-            return int(cached.size)
+        with self._lock:
+            cached = self._lists.get((func, minhash))
+            if cached is not None:
+                return int(cached.size)
         return self.inner.list_length(func, minhash)
 
     def load_list(self, func: int, minhash: int) -> np.ndarray:
         key = (func, minhash)
-        cached = self._lists.get(key)
-        if cached is not None:
-            self._lists.move_to_end(key)
-            self.hits += 1
-            return cached
-        self.misses += 1
-        postings = self.inner.load_list(func, minhash)
-        self._admit(key, postings)
-        return postings
+        with self._lock:
+            cached = self._lists.get(key)
+            if cached is not None:
+                self._lists.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+            postings = self.inner.load_list(func, minhash)
+            self._admit(key, postings)
+            return postings
 
     def load_text_windows(self, func: int, minhash: int, text_id: int) -> np.ndarray:
         key = (func, minhash)
-        cached = self._lists.get(key)
-        if cached is not None:
-            # Serve the point read from the cached full list.
-            self._lists.move_to_end(key)
-            self.hits += 1
-            lo = int(np.searchsorted(cached["text"], text_id, side="left"))
-            hi = int(np.searchsorted(cached["text"], text_id, side="right"))
-            return cached[lo:hi]
+        with self._lock:
+            cached = self._lists.get(key)
+            if cached is not None:
+                # Serve the point read from the cached full list.
+                self._lists.move_to_end(key)
+                self.hits += 1
+                lo = int(np.searchsorted(cached["text"], text_id, side="left"))
+                hi = int(np.searchsorted(cached["text"], text_id, side="right"))
+                return cached[lo:hi]
         return self.inner.load_text_windows(func, minhash, text_id)
 
     # -- batch pinning ------------------------------------------------
@@ -114,31 +142,35 @@ class CachedIndexReader:
         query path still works, it just pays the re-read).
         """
         key = (func, minhash)
-        if key in self._pinned:
-            return True
-        if key not in self._lists:
-            self.misses += 1
-            postings = self.inner.load_list(func, minhash)
-            self._admit(key, postings)
+        with self._lock:
+            if key in self._pinned:
+                return True
             if key not in self._lists:
-                return False
-        self._pinned.add(key)
-        return True
+                self.misses += 1
+                postings = self.inner.load_list(func, minhash)
+                self._admit(key, postings)
+                if key not in self._lists:
+                    return False
+            self._pinned.add(key)
+            return True
 
     def unpin_all(self) -> None:
         """Release every pin; pinned entries become ordinary LRU entries."""
-        self._pinned.clear()
+        with self._lock:
+            self._pinned.clear()
 
     @property
     def pinned_bytes(self) -> int:
-        return sum(
-            int(self._lists[key].size) * POSTING_BYTES
-            for key in self._pinned
-            if key in self._lists
-        )
+        with self._lock:
+            return sum(
+                int(self._lists[key].size) * POSTING_BYTES
+                for key in self._pinned
+                if key in self._lists
+            )
 
     # -- cache management ------------------------------------------------
     def _admit(self, key: tuple[int, int], postings: np.ndarray) -> None:
+        # Callers hold self._lock.
         nbytes = int(postings.size) * POSTING_BYTES
         if nbytes > self._capacity:
             return
@@ -165,20 +197,24 @@ class CachedIndexReader:
 
     def stats(self) -> CacheStats:
         """Current counters as an immutable snapshot."""
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-            cached_bytes=self._used,
-            capacity_bytes=self._capacity,
-            pinned_bytes=self.pinned_bytes,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                cached_bytes=self._used,
+                capacity_bytes=self._capacity,
+                pinned_bytes=self.pinned_bytes,
+                cached_lists=len(self._lists),
+                pinned_lists=len(self._pinned),
+            )
 
     def clear(self) -> None:
         """Drop every cached list (pins included)."""
-        self._lists.clear()
-        self._pinned.clear()
-        self._used = 0
+        with self._lock:
+            self._lists.clear()
+            self._pinned.clear()
+            self._used = 0
 
     # -- passthrough introspection ----------------------------------------
     @property
@@ -191,6 +227,9 @@ class CachedIndexReader:
 
     def list_lengths(self, func: int) -> np.ndarray:
         return self.inner.list_lengths(func)
+
+    def list_keys(self, func: int) -> np.ndarray:
+        return self.inner.list_keys(func)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

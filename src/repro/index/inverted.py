@@ -218,6 +218,11 @@ class MemoryInvertedIndex:
         """Lengths of every inverted list of one hash function."""
         return np.asarray(self._directories[func].counts)
 
+    def list_keys(self, func: int) -> np.ndarray:
+        """Min-hash keys of one function's lists, aligned with
+        :meth:`list_lengths` (cache warmup enumerates hot lists here)."""
+        return np.asarray(self._directories[func].keys)
+
     def iter_lists(self, func: int) -> Iterator[tuple[int, np.ndarray]]:
         """Yield ``(minhash, postings)`` for every list of one function."""
         directory = self._directories[func]

@@ -289,6 +289,11 @@ class DiskInvertedIndex:
     def list_lengths(self, func: int) -> np.ndarray:
         return np.asarray(self._counts[func])
 
+    def list_keys(self, func: int) -> np.ndarray:
+        """Min-hash keys of one function's lists, aligned with
+        :meth:`list_lengths` (cache warmup enumerates hot lists here)."""
+        return np.asarray(self._keys[func])
+
     def to_memory(self) -> MemoryInvertedIndex:
         """Load the entire index into a :class:`MemoryInvertedIndex`."""
         per_func = []

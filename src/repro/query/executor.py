@@ -254,6 +254,57 @@ class BatchQueryExecutor:
         ]
         return per_query, batch.stats
 
+    def execute_plan(
+        self,
+        plan: BatchPlan,
+        theta: float,
+        *,
+        first_match_only: bool = False,
+        verify: bool = False,
+    ) -> BatchResult:
+        """Run an already-built :class:`~repro.query.planner.BatchPlan`.
+
+        The reusable entry point for pre-sketched queries: callers that
+        sketch queries as they arrive (the online service's
+        micro-batcher) build the plan themselves via
+        :func:`~repro.query.planner.plan_batch` with ``sketches=...``
+        and hand it here, skipping the executor's own planning pass.
+        Sequential mode is meaningless for a plan (the plan *is* the
+        batched strategy), so ``workers=0`` executes as ``planned``.
+        """
+        begin = time.perf_counter()
+        mode = self._resolve_mode(verify)
+        if mode == "sequential":
+            mode = "planned"
+        shard_count = (
+            min(self.workers, len(plan.entries))
+            if mode in ("thread", "process")
+            else 1
+        )
+        shards = plan.shards(max(shard_count, 1))
+        shard_jobs = [
+            (
+                [(entry.position, entry.query) for entry in shard],
+                self._pin_keys_for(shard, plan),
+            )
+            for shard in shards
+        ]
+        if mode == "thread" and len(shards) >= 2:
+            outcomes = self._run_threads(
+                shard_jobs, theta, first_match_only, verify
+            )
+        elif mode == "process" and len(shards) >= 2:
+            outcomes = self._run_processes(shard_jobs, theta, first_match_only)
+        else:
+            mode = "planned"
+            outcomes = self._run_planned(
+                shard_jobs, theta, first_match_only, verify
+            )
+        batch = self._collect(plan, outcomes, mode)
+        batch.stats.workers = self.workers
+        batch.stats.total_seconds = time.perf_counter() - begin
+        return batch
+
     # ------------------------------------------------------------------
     def _execute_batch(
         self,
@@ -269,34 +320,12 @@ class BatchQueryExecutor:
             batch = self._execute_sequential(
                 queries, theta, first_match_only, verify
             )
+            batch.stats.workers = self.workers
         else:
             plan = plan_batch(self.searcher, queries, theta, verify=verify)
-            shard_count = (
-                min(self.workers, len(plan.entries))
-                if mode in ("thread", "process")
-                else 1
+            batch = self.execute_plan(
+                plan, theta, first_match_only=first_match_only, verify=verify
             )
-            shards = plan.shards(max(shard_count, 1))
-            shard_jobs = [
-                (
-                    [(entry.position, entry.query) for entry in shard],
-                    self._pin_keys_for(shard, plan),
-                )
-                for shard in shards
-            ]
-            if mode == "thread" and len(shards) >= 2:
-                outcomes = self._run_threads(
-                    shard_jobs, theta, first_match_only, verify
-                )
-            elif mode == "process" and len(shards) >= 2:
-                outcomes = self._run_processes(shard_jobs, theta, first_match_only)
-            else:
-                mode = "planned" if mode != "sequential" else mode
-                outcomes = self._run_planned(
-                    shard_jobs, theta, first_match_only, verify
-                )
-            batch = self._collect(plan, outcomes, mode)
-        batch.stats.workers = self.workers
         batch.stats.total_seconds = time.perf_counter() - begin
         return batch
 

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.search import NearDuplicateSearcher
 from repro.core.theory import collision_threshold
-from repro.exceptions import QueryError
+from repro.exceptions import InvalidParameterError, QueryError
 from repro.index.inverted import POSTING_BYTES
 
 #: A list key: (hash function, min-hash value).
@@ -132,23 +132,35 @@ def plan_batch(
     *,
     dedup: bool = True,
     verify: bool = False,
+    sketches: list[np.ndarray] | None = None,
 ) -> BatchPlan:
     """Build the batch plan for ``queries`` at threshold ``theta``.
 
     With ``verify=True`` the dedup key includes the query tokens, not
     just the sketch: exact-Jaccard verification reads the raw query, so
     only byte-identical queries may share a result.
+
+    ``sketches`` optionally supplies one precomputed k-mins sketch per
+    query (aligned with ``queries``).  The online service sketches each
+    request on arrival — while the micro-batch is still lingering — so
+    the coalesced plan skips the sketch pass entirely.
     """
     begin = time.perf_counter()
     family = searcher.family
     beta = collision_threshold(family.k, theta)
+    if sketches is not None and len(sketches) != len(queries):
+        raise InvalidParameterError(
+            f"got {len(sketches)} precomputed sketches for {len(queries)} queries"
+        )
     plan = BatchPlan()
     seen: dict[bytes, int] = {}
     for position, query in enumerate(queries):
         query = np.asarray(query)
         if query.size == 0:
             raise QueryError("query sequence is empty")
-        sketch = family.sketch(query)
+        sketch = (
+            sketches[position] if sketches is not None else family.sketch(query)
+        )
         key = sketch.tobytes()
         if verify:
             key += b"|" + np.ascontiguousarray(query).tobytes()

@@ -1,0 +1,60 @@
+"""Online near-duplicate search service.
+
+The paper evaluates the engine offline, but the deployment it argues
+for — memorization auditing of a model "serving heavy traffic from
+millions of users" — is an always-on service over a prebuilt index.
+This package is that layer:
+
+* :mod:`repro.service.protocol` — the JSON wire format (requests,
+  serialized :class:`~repro.core.search.SearchResult`, errors);
+* :mod:`repro.service.stats` — request counters, fixed-bucket latency
+  histograms (p50/p95/p99), batch-size distribution;
+* :mod:`repro.service.batcher` — the micro-batcher: concurrent
+  in-flight single-query requests are coalesced (bounded batch size,
+  bounded linger) into one
+  :class:`~repro.query.executor.BatchQueryExecutor` call, so the batch
+  planner's sketch dedup and list pinning apply *across clients*;
+* :mod:`repro.service.server` — a stdlib-only asyncio HTTP/1.1 server
+  (``/search``, ``/batch``, ``/health``, ``/stats``) with admission
+  control (bounded queue, 429 shed), per-request deadlines, and
+  graceful drain on shutdown;
+* :mod:`repro.service.client` — a small blocking
+  :class:`~repro.service.client.ServiceClient` used by the CLI, the
+  tests, and the service benchmark.
+
+Serving is a pure execution strategy: a served query returns exactly
+what :meth:`~repro.engine.NearDupEngine.search_raw` returns for the
+same query and theta, serialized by
+:func:`~repro.service.protocol.result_to_wire`.
+"""
+
+from repro.service.batcher import MicroBatcher
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    ProtocolError,
+    RemoteError,
+    RequestShedError,
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceError,
+    result_to_wire,
+)
+from repro.service.server import SearchService, ServiceConfig, ServiceRunner
+from repro.service.stats import LatencyHistogram, ServiceStats
+
+__all__ = [
+    "LatencyHistogram",
+    "MicroBatcher",
+    "ProtocolError",
+    "RemoteError",
+    "RequestShedError",
+    "RequestTimeoutError",
+    "SearchService",
+    "ServiceClient",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceRunner",
+    "ServiceStats",
+    "result_to_wire",
+]

@@ -1,0 +1,302 @@
+"""Micro-batching: coalesce concurrent requests into planned batches.
+
+PR 1's measurement was that a *batch* of queries planned together costs
+a fraction of the same queries run independently — sketch dedup answers
+repeated queries once, and shared Zipf-head lists are pinned and read
+once.  An online service receives exactly that workload, just spread
+across concurrent clients instead of one caller.  The micro-batcher
+recreates the batch boundary at the server: an arriving request is
+sketched immediately and parked in a bounded queue; the dispatch loop
+gathers up to ``max_batch`` requests, waiting at most ``linger_ms``
+beyond the first, and hands each same-``(theta, verify)`` group to one
+:meth:`~repro.query.executor.BatchQueryExecutor.execute_plan` call on a
+worker thread pool.
+
+Admission control and deadlines live here too: a full queue sheds the
+request immediately (the caller maps that to HTTP 429), and a request
+whose deadline passes while still queued is skipped at dispatch time —
+its planning and execution never happen.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.query.executor import BatchQueryExecutor
+from repro.query.planner import plan_batch
+from repro.query.results import BatchResult
+from repro.service.protocol import RequestShedError, ServiceClosedError
+from repro.service.stats import ServiceStats
+
+
+@dataclass
+class _Pending:
+    """One admitted single-query request waiting for its batch."""
+
+    tokens: np.ndarray
+    sketch: np.ndarray
+    theta: float
+    verify: bool
+    future: asyncio.Future
+    enqueued: float
+
+
+class MicroBatcher:
+    """Coalesce concurrent in-flight requests into executor batches.
+
+    Parameters
+    ----------
+    searcher:
+        The shared searcher, normally from
+        :meth:`~repro.engine.NearDupEngine.cached_searcher` so every
+        batch pins into one thread-safe LRU cache.
+    max_batch:
+        Upper bound on requests coalesced into one executor call.
+    linger_ms:
+        How long the dispatcher waits for more requests after the
+        first one of a batch arrives.  The knob trades tail latency
+        (each request can wait up to one linger) for coalescing.
+    max_queue:
+        Admission bound: requests beyond this many queued are shed
+        with :class:`~repro.service.protocol.RequestShedError`.
+    workers:
+        Threads executing batches.  Batches run concurrently when more
+        than one group (or a long-running batch) is in flight.
+    """
+
+    def __init__(
+        self,
+        searcher,
+        *,
+        max_batch: int = 16,
+        linger_ms: float = 8.0,
+        max_queue: int = 128,
+        workers: int = 2,
+        stats: ServiceStats | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise InvalidParameterError(f"max_batch must be >= 1, got {max_batch}")
+        if linger_ms < 0:
+            raise InvalidParameterError(f"linger_ms must be >= 0, got {linger_ms}")
+        if max_queue < 1:
+            raise InvalidParameterError(f"max_queue must be >= 1, got {max_queue}")
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        self.searcher = searcher
+        self.max_batch = int(max_batch)
+        self.linger = float(linger_ms) / 1e3
+        self.max_queue = int(max_queue)
+        self.stats = stats or ServiceStats()
+        self.executor = BatchQueryExecutor(searcher, workers=1)
+        self._pool = ThreadPoolExecutor(
+            max_workers=int(workers), thread_name_prefix="repro-service"
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: asyncio.Queue[_Pending] | None = None
+        self._gate: asyncio.Event | None = None
+        self._runner: asyncio.Task | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Bind to the running loop and start the dispatch task."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._gate = asyncio.Event()
+        self._gate.set()
+        self._runner = asyncio.create_task(self._run(), name="micro-batcher")
+
+    async def close(self, *, drain: bool = True) -> None:
+        """Refuse new requests; optionally finish the queued ones.
+
+        With ``drain=True`` (graceful shutdown) every already-admitted
+        request is still executed and answered; with ``drain=False``
+        queued requests fail with :class:`ServiceClosedError`.
+        """
+        self._closed = True
+        assert self._queue is not None and self._runner is not None
+        if drain:
+            self._gate.set()
+            while not self._queue.empty():
+                await asyncio.sleep(0.005)
+        self._runner.cancel()
+        try:
+            await self._runner
+        except asyncio.CancelledError:
+            pass
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if not item.future.done():
+                item.future.set_exception(ServiceClosedError("service is shutting down"))
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+        self._pool.shutdown(wait=True)
+
+    def pause(self) -> None:
+        """Hold dispatch (requests keep queueing).  Test/benchmark hook."""
+        assert self._gate is not None
+        self._gate.clear()
+
+    def resume(self) -> None:
+        assert self._gate is not None
+        self._gate.set()
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (not yet dispatched)."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # -- submission -----------------------------------------------------
+    async def submit(
+        self,
+        tokens: np.ndarray,
+        theta: float,
+        *,
+        verify: bool = False,
+        timeout: float | None = None,
+    ) -> tuple[object, int, float]:
+        """Admit one query; returns ``(SearchResult, batch_size, queue_wait_s)``.
+
+        Raises :class:`RequestShedError` when the queue is full,
+        :class:`ServiceClosedError` when draining, and
+        :class:`asyncio.TimeoutError` when ``timeout`` elapses first
+        (the request is cancelled; if still queued it is skipped before
+        any planning work happens).
+        """
+        if self._closed:
+            raise ServiceClosedError("service is shutting down")
+        assert self._loop is not None and self._queue is not None
+        # Sketch on arrival: by dispatch time the whole lingering batch
+        # is pre-sketched and the planner's sketch pass is free.
+        sketch = self.searcher.family.sketch(np.asarray(tokens, dtype=np.uint32))
+        item = _Pending(
+            tokens=np.asarray(tokens, dtype=np.uint32),
+            sketch=sketch,
+            theta=float(theta),
+            verify=bool(verify),
+            future=self._loop.create_future(),
+            enqueued=self._loop.time(),
+        )
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self.stats.record_shed()
+            raise RequestShedError(
+                f"request queue is full ({self.max_queue} waiting)"
+            ) from None
+        self.stats.record_admitted()
+        if timeout is None:
+            return await item.future
+        return await asyncio.wait_for(item.future, timeout)
+
+    async def submit_batch(
+        self,
+        queries: list[np.ndarray],
+        theta: float,
+        *,
+        verify: bool = False,
+        timeout: float | None = None,
+    ) -> BatchResult:
+        """Run a client-supplied batch directly (no linger needed).
+
+        The batch bypasses the coalescing queue — it already *is* a
+        batch — but shares the worker pool, the pinned cache, and the
+        stats block with micro-batched traffic.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is shutting down")
+        assert self._loop is not None
+        for _ in queries:
+            self.stats.record_admitted()
+        self.stats.record_batch(len(queries))
+        queries = [np.asarray(query, dtype=np.uint32) for query in queries]
+        call = self._loop.run_in_executor(
+            self._pool, lambda: self.executor.execute(queries, theta, verify=verify)
+        )
+        if timeout is None:
+            return await call
+        return await asyncio.wait_for(call, timeout)
+
+    # -- dispatch loop --------------------------------------------------
+    async def _run(self) -> None:
+        assert self._queue is not None and self._gate is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            try:
+                # The gate sits between dequeue and dispatch so pause()
+                # (tests, benchmarks) holds a fully observable state:
+                # one request held here, the rest queued behind
+                # admission control.
+                await self._gate.wait()
+                deadline = loop.time() + self.linger
+                while len(batch) < self.max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(self._queue.get(), remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            finally:
+                # Dispatch even when the loop is cancelled mid-linger
+                # (graceful drain): admitted requests are never dropped.
+                self._spawn_dispatch(batch, loop)
+
+    def _spawn_dispatch(
+        self, batch: list[_Pending], loop: asyncio.AbstractEventLoop
+    ) -> None:
+        # Same-parameter requests coalesce; a mixed drain dispatches
+        # one executor call per (theta, verify) group, concurrently.
+        groups: dict[tuple[float, bool], list[_Pending]] = {}
+        for item in batch:
+            groups.setdefault((item.theta, item.verify), []).append(item)
+        for group in groups.values():
+            task = loop.create_task(self._dispatch(group))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    async def _dispatch(self, group: list[_Pending]) -> None:
+        assert self._loop is not None
+        # A request whose deadline already fired was cancelled by its
+        # submit(); skipping it here cancels its planning-stage work.
+        live = [item for item in group if not item.future.done()]
+        if not live:
+            return
+        self.stats.record_batch(len(live))
+        try:
+            batch = await self._loop.run_in_executor(
+                self._pool, self._execute, live
+            )
+        except Exception as exc:  # noqa: BLE001 - forwarded to every caller
+            for item in live:
+                if not item.future.done():
+                    self.stats.record_error()
+                    item.future.set_exception(exc)
+            return
+        now = self._loop.time()
+        for item, result in zip(live, batch.results):
+            if not item.future.done():
+                item.future.set_result((result, len(live), now - item.enqueued))
+
+    def _execute(self, items: list[_Pending]) -> BatchResult:
+        """Worker-thread body: plan from the pre-computed sketches, run."""
+        theta = items[0].theta
+        verify = items[0].verify
+        plan = plan_batch(
+            self.searcher,
+            [item.tokens for item in items],
+            theta,
+            verify=verify,
+            sketches=[item.sketch for item in items],
+        )
+        return self.executor.execute_plan(plan, theta, verify=verify)

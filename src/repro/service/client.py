@@ -1,0 +1,147 @@
+"""Blocking HTTP client for the search service.
+
+A thin wrapper over :mod:`http.client` (stdlib, keep-alive): one
+:class:`ServiceClient` owns one connection, so N concurrent clients are
+N threads each holding their own instance — exactly the shape the
+service benchmark and the CLI ``remote-query`` subcommand need.
+
+Error responses are raised as typed exceptions
+(:class:`~repro.service.protocol.RequestShedError` for 429,
+:class:`~repro.service.protocol.RequestTimeoutError` for 504,
+:class:`~repro.service.protocol.ServiceClosedError` for 503,
+:class:`~repro.service.protocol.RemoteError` otherwise) so callers can
+implement backoff on shed without string-matching.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.service.protocol import (
+    RemoteError,
+    RequestShedError,
+    RequestTimeoutError,
+    ServiceClosedError,
+)
+
+_ERRORS_BY_STATUS = {
+    429: RequestShedError,
+    503: ServiceClosedError,
+    504: RequestTimeoutError,
+}
+
+
+class ServiceClient:
+    """One keep-alive connection to a running search service."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._connection: http.client.HTTPConnection | None = None
+
+    # -- transport ------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        try:
+            self._connection.request(method, path, body=payload, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException):
+            # Drop the (possibly half-dead) connection so the next call
+            # reconnects instead of failing on a stale socket.
+            self.close()
+            raise
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise RemoteError(
+                f"non-JSON response ({response.status}): {exc}", response.status
+            )
+        if response.status != 200 or not decoded.get("ok", False):
+            message = decoded.get("error", f"HTTP {response.status}")
+            error_type = _ERRORS_BY_STATUS.get(response.status, RemoteError)
+            if error_type is RemoteError:
+                raise RemoteError(message, response.status)
+            raise error_type(message)
+        return decoded
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- endpoints ------------------------------------------------------
+    def search(
+        self,
+        query: str | Sequence[int] | np.ndarray,
+        theta: float | None = None,
+        *,
+        verify: bool = False,
+        timeout_ms: float | None = None,
+    ) -> dict[str, Any]:
+        """One query; returns the full response body (``result`` inside).
+
+        A string query is tokenized server-side (the engine must own a
+        tokenizer); anything else is sent as a token-id list.
+        """
+        body: dict[str, Any] = {}
+        if isinstance(query, str):
+            body["text"] = query
+        else:
+            body["query"] = [int(token) for token in np.asarray(query).tolist()]
+        if theta is not None:
+            body["theta"] = float(theta)
+        if verify:
+            body["verify"] = True
+        if timeout_ms is not None:
+            body["timeout_ms"] = float(timeout_ms)
+        return self._request("POST", "/search", body)
+
+    def batch(
+        self,
+        queries: Sequence[Sequence[int] | np.ndarray],
+        theta: float | None = None,
+        *,
+        verify: bool = False,
+        timeout_ms: float | None = None,
+    ) -> dict[str, Any]:
+        """A client-side batch; returns ``results`` in input order."""
+        body: dict[str, Any] = {
+            "queries": [
+                [int(token) for token in np.asarray(query).tolist()]
+                for query in queries
+            ]
+        }
+        if theta is not None:
+            body["theta"] = float(theta)
+        if verify:
+            body["verify"] = True
+        if timeout_ms is not None:
+            body["timeout_ms"] = float(timeout_ms)
+        return self._request("POST", "/batch", body)
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")

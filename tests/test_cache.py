@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -179,6 +181,30 @@ class TestCountersAndStats:
         cache.load_list(1, 4)
         assert snap.misses == 1
 
+    def test_stats_count_lists(self):
+        """ISSUE 3 satellite: stats() reports cached and pinned lists."""
+        cache = CachedIndexReader(FakeReader(), capacity_bytes=1 << 20)
+        cache.load_list(0, 4)
+        cache.load_list(1, 8)
+        cache.pin(2, 4)
+        snap = cache.stats()
+        assert snap.cached_lists == 3
+        assert snap.pinned_lists == 1
+        assert snap.pinned_bytes == 4 * POSTING_BYTES
+        assert snap.cached_bytes == 16 * POSTING_BYTES
+
+    def test_stats_to_dict_is_json_ready(self):
+        import json
+
+        cache = CachedIndexReader(FakeReader(), capacity_bytes=1 << 20)
+        cache.load_list(0, 4)
+        cache.load_list(0, 4)
+        payload = cache.stats().to_dict()
+        assert payload["hits"] == 1 and payload["misses"] == 1
+        assert payload["hit_rate"] == pytest.approx(0.5)
+        assert payload["cached_lists"] == 1 and payload["pinned_lists"] == 0
+        json.dumps(payload)
+
 
 class TestPinning:
     """ISSUE 1 tentpole support: batch-pinned lists never evict."""
@@ -227,6 +253,78 @@ class TestPinning:
         cache.pin(0, 4)
         cache.clear()
         assert cache.pinned_bytes == 0 and cache.cached_bytes == 0
+
+
+class TestThreadSafety:
+    """ISSUE 3 satellite: the cache is shared across server workers."""
+
+    def test_concurrent_mixed_workload_stays_consistent(self):
+        # Small capacity on purpose: constant admission/eviction churn
+        # maximises the chance of torn bookkeeping without the lock.
+        cache = CachedIndexReader(FakeReader(), capacity_bytes=24 * POSTING_BYTES)
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def worker(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                barrier.wait()
+                for _ in range(400):
+                    op = int(rng.integers(0, 10))
+                    minhash = int(rng.integers(1, 12))
+                    func = int(rng.integers(0, 4))
+                    if op < 6:
+                        postings = cache.load_list(func, minhash)
+                        assert postings.size == minhash
+                        assert postings["text"][-1] == minhash - 1
+                    elif op < 8:
+                        windows = cache.load_text_windows(func, minhash, 0)
+                        assert windows.size == 1
+                    elif op == 8:
+                        cache.pin(func, minhash)
+                    else:
+                        cache.unpin_all()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not errors
+        cache.unpin_all()
+        snap = cache.stats()
+        assert snap.cached_bytes <= snap.capacity_bytes
+        assert snap.pinned_bytes == 0 and snap.pinned_lists == 0
+        # Internal bookkeeping survived the churn: the byte counter
+        # matches the lists actually resident.
+        resident = sum(
+            postings.nbytes for postings in cache._lists.values()
+        )
+        assert snap.cached_bytes == resident
+        assert snap.hits + snap.misses > 0
+
+    def test_concurrent_repeat_reads_all_identical(self):
+        cache = CachedIndexReader(FakeReader(), capacity_bytes=1 << 20)
+        expected = cache.load_list(0, 8).copy()
+        results: list[np.ndarray] = []
+        lock = threading.Lock()
+
+        def worker() -> None:
+            for _ in range(50):
+                postings = cache.load_list(0, 8)
+                with lock:
+                    results.append(postings)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert len(results) == 300
+        for postings in results:
+            assert np.array_equal(postings, expected)
 
 
 class TestSearchThroughCache:
