@@ -1,0 +1,231 @@
+"""Query hot-path benchmark: fused collision kernel vs. per-group loop.
+
+ISSUE 4 acceptance benchmark, two measurements:
+
+* **Kernel throughput** — the same merged short-list postings pushed
+  through the pre-vectorization path (one Python-level
+  :func:`~repro.core.intervals.collision_count` call per candidate
+  group) and through one
+  :func:`~repro.core.intervals.fused_collision_count` call covering
+  every group.  Reported as million postings/sec; the fused kernel must
+  be >= 2x the loop at full scale.
+* **End-to-end latency** — p50/p95 of single-query
+  :meth:`~repro.core.search.NearDuplicateSearcher.search` over an
+  in-memory index with ``kernel="reference"`` vs ``kernel="fused"``
+  (matches are asserted identical while measuring).
+
+Run: ``PYTHONPATH=src python benchmarks/bench_query_hotpath.py [--quick]``
+Writes ``BENCH_query_hotpath.json`` next to the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hashing import HashFamily
+from repro.core.intervals import collision_count, fused_collision_count
+from repro.core.search import NearDuplicateSearcher
+from repro.corpus.synthetic import synthweb
+from repro.index.builder import build_memory_index
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_query_hotpath.json"
+
+
+def build_workload(quick: bool):
+    num_texts = 150 if quick else 2000
+    data = synthweb(
+        num_texts=num_texts,
+        mean_length=160 if quick else 300,
+        vocab_size=2048,
+        duplicate_rate=0.35,
+        span_length=64,
+        mutation_rate=0.03,
+        seed=17,
+    )
+    family = HashFamily(k=16 if quick else 32, seed=9)
+    index = build_memory_index(data.corpus, family, t=25, vocab_size=2048)
+    return data, family, index
+
+
+def gather_groups(data, family, index, theta: float, num_queries: int):
+    """Collect the merged short-list posting groups real queries produce.
+
+    Mirrors the searcher's own preamble (load every non-empty list of
+    the query sketch, concatenate, group by text) so the kernel
+    benchmark runs on exactly the arrays the hot path sees.
+    """
+    groups = []
+    alphas = []
+    from repro.core.theory import collision_threshold
+
+    for position in range(num_queries):
+        query = np.asarray(data.corpus[position % len(data.corpus)])[:64]
+        sketch = family.sketch(query)
+        chunks = [
+            postings
+            for func in range(family.k)
+            if (postings := index.load_list(func, int(sketch[func]))).size
+        ]
+        if not chunks:
+            continue
+        merged = np.concatenate(chunks)
+        order = np.lexsort((merged["left"], merged["text"]))
+        merged = merged[order]
+        beta = collision_threshold(family.k, theta)
+        texts = merged["text"]
+        starts = np.flatnonzero(
+            np.concatenate(([True], texts[1:] != texts[:-1]))
+        )
+        sizes = np.diff(np.append(starts, merged.size))
+        keep = sizes >= beta
+        if not keep.any():
+            continue
+        kept = merged[np.repeat(keep, sizes)]
+        groups.append((kept, sizes[keep]))
+        alphas.append(beta)
+    return groups, alphas
+
+
+def bench_kernel(groups, alphas, repeats: int) -> dict:
+    """Time the per-group loop vs. the fused kernel on identical input."""
+    total_postings = sum(int(kept.size) for kept, _ in groups)
+
+    def run_loop():
+        emitted = 0
+        for (kept, sizes), alpha in zip(groups, alphas):
+            bounds = np.concatenate(([0], np.cumsum(sizes)))
+            for lo, hi in zip(bounds[:-1], bounds[1:]):
+                emitted += len(collision_count(kept[lo:hi], alpha))
+        return emitted
+
+    def run_fused():
+        emitted = 0
+        for (kept, sizes), alpha in zip(groups, alphas):
+            gids = np.repeat(np.arange(sizes.size, dtype=np.int64), sizes)
+            rect = fused_collision_count(
+                kept["left"], kept["center"], kept["right"], gids, alpha
+            )
+            emitted += rect.size
+        return emitted
+
+    # Warm-up + result equivalence check.
+    assert run_loop() == run_fused(), "kernel outputs diverge"
+
+    loop_seconds = min(
+        _timed(run_loop) for _ in range(repeats)
+    )
+    fused_seconds = min(
+        _timed(run_fused) for _ in range(repeats)
+    )
+    return {
+        "groups": sum(int(sizes.size) for _, sizes in groups),
+        "postings": total_postings,
+        "loop_seconds": loop_seconds,
+        "fused_seconds": fused_seconds,
+        "loop_mpostings_per_s": total_postings / loop_seconds / 1e6,
+        "fused_mpostings_per_s": total_postings / fused_seconds / 1e6,
+        "speedup": loop_seconds / fused_seconds if fused_seconds else 0.0,
+    }
+
+
+def _timed(fn) -> float:
+    begin = time.perf_counter()
+    fn()
+    return time.perf_counter() - begin
+
+
+def bench_end_to_end(data, index, theta: float, num_queries: int) -> dict:
+    """Per-query latency of the reference vs. fused searcher."""
+    queries = [
+        np.asarray(data.corpus[position % len(data.corpus)])[:64]
+        for position in range(num_queries)
+    ]
+    out = {}
+    results = {}
+    for kernel in ("reference", "fused"):
+        searcher = NearDuplicateSearcher(index, kernel=kernel)
+        latencies = []
+        kernel_results = []
+        for query in queries:
+            begin = time.perf_counter()
+            result = searcher.search(query, theta)
+            latencies.append(time.perf_counter() - begin)
+            kernel_results.append(result.matches)
+        ordered = np.sort(latencies)
+        results[kernel] = kernel_results
+        out[kernel] = {
+            "queries": num_queries,
+            "p50_ms": 1e3 * float(np.quantile(ordered, 0.50)),
+            "p95_ms": 1e3 * float(np.quantile(ordered, 0.95)),
+            "mean_ms": 1e3 * float(np.mean(ordered)),
+        }
+    assert results["reference"] == results["fused"], "searcher outputs diverge"
+    out["p50_speedup"] = (
+        out["reference"]["p50_ms"] / out["fused"]["p50_ms"]
+        if out["fused"]["p50_ms"]
+        else 0.0
+    )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke scale (seconds, not minutes)"
+    )
+    parser.add_argument("--theta", type=float, default=0.7)
+    parser.add_argument("--output", default=str(OUTPUT))
+    args = parser.parse_args(argv)
+
+    data, family, index = build_workload(args.quick)
+    num_queries = 20 if args.quick else 120
+    groups, alphas = gather_groups(data, family, index, args.theta, num_queries)
+    kernel = bench_kernel(groups, alphas, repeats=2 if args.quick else 5)
+    end_to_end = bench_end_to_end(
+        data, index, args.theta, 20 if args.quick else 100
+    )
+
+    print(
+        f"kernel: {kernel['groups']} groups, {kernel['postings']} postings | "
+        f"loop {kernel['loop_mpostings_per_s']:.2f} Mp/s, "
+        f"fused {kernel['fused_mpostings_per_s']:.2f} Mp/s "
+        f"({kernel['speedup']:.2f}x)"
+    )
+    print(
+        f"end-to-end p50: reference {end_to_end['reference']['p50_ms']:.2f} ms, "
+        f"fused {end_to_end['fused']['p50_ms']:.2f} ms "
+        f"({end_to_end['p50_speedup']:.2f}x)"
+    )
+
+    payload = {
+        "benchmark": "bench_query_hotpath",
+        "quick": args.quick,
+        "theta": args.theta,
+        "kernel": kernel,
+        "end_to_end": end_to_end,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2))
+    print(f"wrote {args.output}")
+
+    # Acceptance gate (full scale only): fused kernel >= 2x the loop,
+    # and the fused searcher's p50 no slower than the reference.
+    if not args.quick:
+        ok = kernel["speedup"] >= 2.0 and end_to_end["p50_speedup"] >= 1.0
+        print(
+            f"acceptance: kernel speedup {kernel['speedup']:.2f}x (>= 2 required), "
+            f"p50 speedup {end_to_end['p50_speedup']:.2f}x (>= 1 required) "
+            f"-> {'PASS' if ok else 'FAIL'}"
+        )
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

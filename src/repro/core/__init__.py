@@ -18,8 +18,10 @@ from repro.core.compact_windows import (
 from repro.core.hashing import HashFamily
 from repro.core.intervals import (
     CollisionRectangle,
+    FusedRectangles,
     ScanResult,
     collision_count,
+    fused_collision_count,
     interval_scan,
 )
 from repro.core.multiset import (
@@ -39,6 +41,7 @@ from repro.core.rmq import (
 from repro.core.search import (
     NearDuplicateSearcher,
     QueryStats,
+    SEARCH_KERNELS,
     SearchResult,
     TextMatch,
 )
@@ -62,11 +65,13 @@ __all__ = [
     "BlockRMQ",
     "CollisionRectangle",
     "CompactWindow",
+    "FusedRectangles",
     "HashFamily",
     "MultisetVerifier",
     "NearDuplicateSearcher",
     "QueryStats",
     "RMQ_BACKENDS",
+    "SEARCH_KERNELS",
     "ScanResult",
     "SearchResult",
     "SegmentTreeRMQ",
@@ -82,6 +87,7 @@ __all__ = [
     "estimator_variance_bound",
     "expand_multiset",
     "expected_window_count",
+    "fused_collision_count",
     "generate_compact_windows",
     "generate_compact_windows_kwide",
     "generate_compact_windows_recursive",

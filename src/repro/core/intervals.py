@@ -208,6 +208,210 @@ def collision_count(
     return results
 
 
+def _sweep_groups(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    group_ids: np.ndarray,
+    alpha: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized multi-group endpoint sweep (Algorithm 5, counting form).
+
+    Sweeps the inclusive intervals ``[starts[i], ends[i]]`` of *every*
+    group at once and returns, per maximal constant-coverage segment
+    with coverage ``>= alpha``, the arrays ``(group, seg_start, seg_end,
+    count)`` ordered by ``(group, segment coordinate)`` — exactly the
+    order :func:`interval_scan` reports segments in, group by group.
+
+    The trick that fuses the groups into one pass: events carry a
+    composite ``group * span + coordinate`` key (``span`` exceeds every
+    coordinate), so a single argsort keeps groups contiguous while
+    ordering events within each group by coordinate with closing events
+    first — and because every open has its close inside the same group,
+    one global ``cumsum`` of the +1/−1 deltas *is* the per-group active
+    count (each group's events net to zero before the next begins).
+    """
+    empty = np.empty(0, dtype=np.int64)
+    n = int(starts.size)
+    if n == 0:
+        return empty, empty, empty, empty
+    starts = starts.astype(np.int64, copy=False)
+    ends = ends.astype(np.int64, copy=False)
+    group_ids = group_ids.astype(np.int64, copy=False)
+    span = int(ends.max()) + 2
+    base = group_ids * span
+    # Composite event keys: bit 0 orders closes (0) before opens (1) at
+    # the same (group, coordinate); closing happens at ``end + 1``.
+    keys = np.empty(2 * n, dtype=np.int64)
+    keys[:n] = ((base + starts) << 1) | 1
+    keys[n:] = (base + ends + 1) << 1
+    order = np.argsort(keys)
+    window = order % n  # event -> source interval
+    deltas = np.where(order < n, 1, -1)
+    active = np.cumsum(deltas)
+    composite = keys[order] >> 1  # (group, coordinate), comparable
+    ev_group = group_ids[window]
+    ev_coord = composite - ev_group * span
+    # A segment spans from one coordinate to the next *within a group*;
+    # it is materialized at the last event of its coordinate batch.
+    segment = np.zeros(2 * n, dtype=bool)
+    segment[:-1] = (
+        (composite[1:] != composite[:-1])
+        & (ev_group[1:] == ev_group[:-1])
+        & (active[:-1] >= alpha)
+    )
+    found = np.flatnonzero(segment)
+    return (
+        ev_group[found],
+        ev_coord[found],
+        ev_coord[found + 1] - 1,
+        active[found],
+    )
+
+
+@dataclass(frozen=True)
+class FusedRectangles:
+    """Column-oriented output of :func:`fused_collision_count`.
+
+    One row per :class:`CollisionRectangle`, tagged with the id of the
+    window group that produced it.  ``group`` is non-decreasing, and
+    within a group rows follow the exact emission order of
+    :func:`collision_count` (left segment, then right segment, both in
+    coordinate order), so slicing by group reproduces the per-group
+    rectangle lists of the scalar oracle.
+    """
+
+    group: np.ndarray
+    i_lo: np.ndarray
+    i_hi: np.ndarray
+    j_lo: np.ndarray
+    j_hi: np.ndarray
+    count: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.group.size)
+
+    def filtered(self, mask: np.ndarray) -> "FusedRectangles":
+        """Rows where ``mask`` holds (e.g. the min-length filter)."""
+        return FusedRectangles(
+            self.group[mask],
+            self.i_lo[mask],
+            self.i_hi[mask],
+            self.j_lo[mask],
+            self.j_hi[mask],
+            self.count[mask],
+        )
+
+    def group_slice(self, group: int) -> tuple[int, int]:
+        """Row range ``[lo, hi)`` of one group's rectangles."""
+        lo = int(np.searchsorted(self.group, group, side="left"))
+        hi = int(np.searchsorted(self.group, group, side="right"))
+        return lo, hi
+
+    def rectangles(self, lo: int = 0, hi: int | None = None) -> list[CollisionRectangle]:
+        """Materialize rows ``[lo, hi)`` as :class:`CollisionRectangle`\\ s."""
+        if hi is None:
+            hi = self.size
+        return [
+            CollisionRectangle(i_lo=a, i_hi=b, j_lo=c, j_hi=d, count=e)
+            for a, b, c, d, e in zip(
+                self.i_lo[lo:hi].tolist(),
+                self.i_hi[lo:hi].tolist(),
+                self.j_lo[lo:hi].tolist(),
+                self.j_hi[lo:hi].tolist(),
+                self.count[lo:hi].tolist(),
+            )
+        ]
+
+
+def fused_collision_count(
+    lefts: np.ndarray,
+    centers: np.ndarray,
+    rights: np.ndarray,
+    group_ids: np.ndarray,
+    alpha: int,
+) -> FusedRectangles:
+    """Algorithm 4 over many window groups in one vectorized pass.
+
+    Equivalent to running :func:`collision_count` on every group
+    separately (the property-test oracle), but the per-group Python
+    sweep is replaced by three flat-array passes:
+
+    1. one global left sweep (:func:`_sweep_groups`) over all
+       ``[left, center]`` intervals finds every qualifying start
+       segment of every group;
+    2. the member windows of all start segments are extracted with a
+       single batched ``searchsorted`` over composite ``(group, left)``
+       keys plus one center-coordinate mask — no per-segment loop;
+    3. one global right sweep over the members' ``[center, right]``
+       intervals, keyed by start segment, emits the rectangles.
+
+    Parameters
+    ----------
+    lefts, centers, rights:
+        Window coordinates, **sorted by** ``(group_ids, lefts)``.
+    group_ids:
+        Dense group labels ``0 .. G-1``, non-decreasing, aligned with
+        the coordinate arrays (one group per candidate text during
+        query processing).
+    alpha:
+        Collision threshold (``>= 1``).
+    """
+    if alpha < 1:
+        raise InvalidParameterError(f"alpha must be >= 1, got {alpha}")
+    empty = np.empty(0, dtype=np.int64)
+    nothing = FusedRectangles(empty, empty, empty, empty, empty, empty)
+    n = int(lefts.size)
+    if n == 0:
+        return nothing
+    lefts = lefts.astype(np.int64, copy=False)
+    centers = centers.astype(np.int64, copy=False)
+    rights = rights.astype(np.int64, copy=False)
+    group_ids = group_ids.astype(np.int64, copy=False)
+
+    seg_group, seg_start, seg_end, _ = _sweep_groups(
+        lefts, centers, group_ids, alpha
+    )
+    if seg_group.size == 0:
+        return nothing
+
+    # Members of a start segment beginning at ``s`` in group ``g`` are
+    # the windows with ``left <= s <= center``.  With windows sorted by
+    # (group, left), the left constraint is one batched searchsorted
+    # over composite keys; the center constraint is a mask.
+    span = int(rights.max()) + 2
+    left_keys = group_ids * span + lefts
+    num_groups = int(group_ids[-1]) + 1
+    group_starts = np.searchsorted(group_ids, np.arange(num_groups))
+    upper = np.searchsorted(left_keys, seg_group * span + seg_start, side="right")
+    lower = group_starts[seg_group]
+    counts = upper - lower
+    offsets = np.cumsum(counts) - counts
+    member = (
+        np.arange(int(counts.sum()), dtype=np.int64)
+        - np.repeat(offsets, counts)
+        + np.repeat(lower, counts)
+    )
+    seg_of_member = np.repeat(
+        np.arange(seg_group.size, dtype=np.int64), counts
+    )
+    covered = centers[member] >= np.repeat(seg_start, counts)
+    member = member[covered]
+    seg_of_member = seg_of_member[covered]
+
+    rect_seg, j_lo, j_hi, rect_count = _sweep_groups(
+        centers[member], rights[member], seg_of_member, alpha
+    )
+    return FusedRectangles(
+        group=seg_group[rect_seg],
+        i_lo=seg_start[rect_seg],
+        i_hi=seg_end[rect_seg],
+        j_lo=j_lo,
+        j_hi=j_hi,
+        count=rect_count,
+    )
+
+
 def max_collisions(
     windows: Sequence[CompactWindow] | np.ndarray, i: int, j: int
 ) -> int:

@@ -29,13 +29,23 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.hashing import HashFamily
-from repro.core.intervals import CollisionRectangle, collision_count
+from repro.core.intervals import (
+    CollisionRectangle,
+    FusedRectangles,
+    collision_count,
+    fused_collision_count,
+)
 from repro.core.theory import collision_threshold
 from repro.core.verify import Span, merge_overlapping_spans
 from repro.exceptions import InvalidParameterError, QueryError
 from repro.index.inverted import InvertedIndexReader, POSTING_DTYPE
 
 logger = logging.getLogger(__name__)
+
+#: Group-scan kernels a searcher can run (``reference`` is the scalar
+#: per-group sweep kept as the equivalence oracle and benchmark
+#: baseline; ``fused`` is the vectorized default).
+SEARCH_KERNELS = ("fused", "reference")
 
 
 @dataclass
@@ -51,6 +61,11 @@ class QueryStats:
     groups_scanned: int = 0
     candidates: int = 0
     texts_matched: int = 0
+    #: Long-list point-read *operations* issued to the reader (batched
+    #: grouped reads count once per list; the reference path counts one
+    #: per surviving candidate per long list).  Complements
+    #: ``lists_loaded``, which only sees full short-list loads.
+    point_reads: int = 0
 
     @property
     def cpu_seconds(self) -> float:
@@ -147,6 +162,7 @@ def derive_theta_result(base: SearchResult, theta: float) -> SearchResult:
         groups_scanned=base.stats.groups_scanned,
         candidates=base.stats.candidates,
         texts_matched=len(matches),
+        point_reads=base.stats.point_reads,
     )
     return SearchResult(
         matches=matches,
@@ -156,6 +172,45 @@ def derive_theta_result(base: SearchResult, theta: float) -> SearchResult:
         beta=beta,
         t=base.t,
     )
+
+
+def sketch_lengths(index, sketch: np.ndarray, k: int) -> np.ndarray:
+    """The k query-list lengths, via the reader's batched lookup.
+
+    Falls back to the per-function :meth:`list_length` loop for readers
+    that do not implement ``sketch_list_lengths`` (third-party readers
+    only need the minimal protocol).
+    """
+    batched = getattr(index, "sketch_list_lengths", None)
+    if batched is not None:
+        return np.asarray(batched(sketch), dtype=np.int64)
+    return np.array(
+        [index.list_length(func, int(sketch[func])) for func in range(k)],
+        dtype=np.int64,
+    )
+
+
+def _load_texts_windows(
+    index, func: int, minhash: int, text_ids: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Batched long-list point read with a scalar fallback.
+
+    Returns ``(postings sorted by text, point-read operations issued)``
+    — one operation for a reader with the grouped path, one per text
+    for the fallback loop.
+    """
+    batched = getattr(index, "load_texts_windows", None)
+    if batched is not None:
+        return batched(func, minhash, text_ids), 1
+    parts = [
+        index.load_text_windows(func, minhash, int(text_id))
+        for text_id in text_ids
+    ]
+    parts = [part for part in parts if part.size]
+    if not parts:
+        return np.empty(0, dtype=POSTING_DTYPE), int(len(text_ids))
+    merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    return merged, int(len(text_ids))
 
 
 class NearDuplicateSearcher:
@@ -178,6 +233,12 @@ class NearDuplicateSearcher:
         candidates by *exact* Jaccard — turning the approximate engine
         into an exact Definition 1 answer (on the candidates the
         sketching surfaced; recall remains probabilistic).
+    kernel:
+        Group-scan implementation: ``"fused"`` (default) runs the
+        vectorized multi-group collision-count kernel with batched
+        long-list point reads; ``"reference"`` runs the scalar
+        per-group Algorithm 4/5 sweep (the equivalence oracle and the
+        benchmark baseline).  Matches are identical either way.
     """
 
     def __init__(
@@ -186,13 +247,19 @@ class NearDuplicateSearcher:
         *,
         long_list_cutoff: int | None = None,
         corpus=None,
+        kernel: str = "fused",
     ) -> None:
         self.index = index
         self.family: HashFamily = index.family
         self.t = index.t
         if long_list_cutoff is not None and long_list_cutoff < 0:
             raise InvalidParameterError("long_list_cutoff must be >= 0 or None")
+        if kernel not in SEARCH_KERNELS:
+            raise InvalidParameterError(
+                f"kernel must be one of {SEARCH_KERNELS}, got {kernel!r}"
+            )
         self.long_list_cutoff = long_list_cutoff
+        self.kernel = kernel
         # A configured cutoff does not depend on the query; hoist it so
         # batch workloads don't re-derive it per query (the ``None``
         # heuristic stays per-query: it uses the query's own lengths).
@@ -247,10 +314,7 @@ class NearDuplicateSearcher:
         beta = collision_threshold(k, theta)
         sketch = self.family.sketch(query)
 
-        lengths = np.array(
-            [self.index.list_length(f, int(sketch[f])) for f in range(k)],
-            dtype=np.int64,
-        )
+        lengths = sketch_lengths(self.index, sketch, k)
         long_funcs = self._select_long_lists(lengths, beta)
         stats.long_lists = len(long_funcs)
         alpha_short = beta - len(long_funcs)
@@ -268,47 +332,23 @@ class NearDuplicateSearcher:
 
         matches: list[TextMatch] = []
         if short_chunks:
-            merged = np.concatenate(short_chunks)
-            order = np.argsort(merged["text"], kind="stable")
-            merged = merged[order]
-            text_ids = merged["text"]
-            boundaries = np.flatnonzero(
-                np.concatenate(([True], text_ids[1:] != text_ids[:-1]))
+            scan = (
+                self._scan_fused
+                if self.kernel == "fused"
+                else self._scan_reference
             )
-            boundaries = np.append(boundaries, merged.size)
-            for start, end in zip(boundaries[:-1], boundaries[1:]):
-                group = merged[start:end]
-                stats.groups_scanned += 1
-                if group.size < alpha_short:
-                    continue
-                rectangles = collision_count(group, max(alpha_short, 1))
-                if not rectangles:
-                    continue
-                stats.candidates += 1
-                text_id = int(group["text"][0])
-                if long_funcs:
-                    extra = [group]
-                    for func in long_funcs:
-                        fetched = self.index.load_text_windows(
-                            func, int(sketch[func]), text_id
-                        )
-                        if fetched.size:
-                            extra.append(fetched)
-                    combined = np.concatenate(extra)
-                    rectangles = collision_count(combined, beta)
-                rectangles = [
-                    rect
-                    for rect in rectangles
-                    if rect.clip_min_length(self.t) is not None
-                ]
-                if rectangles and verify:
-                    rectangles = self._verify_rectangles(
-                        query, theta, text_id, rectangles
-                    )
-                if rectangles:
-                    matches.append(TextMatch(text_id, tuple(rectangles)))
-                    if first_match_only:
-                        break
+            matches = scan(
+                short_chunks,
+                alpha_short,
+                beta,
+                sketch,
+                long_funcs,
+                stats,
+                query,
+                theta,
+                first_match_only,
+                verify,
+            )
 
         stats.total_seconds = time.perf_counter() - begin_total
         stats.io_bytes = io.bytes_read - io_bytes0
@@ -334,6 +374,256 @@ class NearDuplicateSearcher:
             beta=beta,
             t=self.t,
         )
+
+    # ------------------------------------------------------------------
+    def _scan_reference(
+        self,
+        short_chunks: list[np.ndarray],
+        alpha_short: int,
+        beta: int,
+        sketch: np.ndarray,
+        long_funcs: set[int],
+        stats: QueryStats,
+        query: np.ndarray,
+        theta: float,
+        first_match_only: bool,
+        verify: bool,
+    ) -> list[TextMatch]:
+        """The scalar per-group sweep (oracle / benchmark baseline)."""
+        merged = np.concatenate(short_chunks)
+        order = np.argsort(merged["text"], kind="stable")
+        merged = merged[order]
+        text_ids = merged["text"]
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], text_ids[1:] != text_ids[:-1]))
+        )
+        boundaries = np.append(boundaries, merged.size)
+        matches: list[TextMatch] = []
+        for start, end in zip(boundaries[:-1], boundaries[1:]):
+            group = merged[start:end]
+            stats.groups_scanned += 1
+            if group.size < alpha_short:
+                continue
+            rectangles = collision_count(group, max(alpha_short, 1))
+            if not rectangles:
+                continue
+            stats.candidates += 1
+            text_id = int(group["text"][0])
+            if long_funcs:
+                extra = [group]
+                for func in sorted(long_funcs):
+                    fetched = self.index.load_text_windows(
+                        func, int(sketch[func]), text_id
+                    )
+                    stats.point_reads += 1
+                    if fetched.size:
+                        extra.append(fetched)
+                combined = np.concatenate(extra)
+                rectangles = collision_count(combined, beta)
+            rectangles = [
+                rect
+                for rect in rectangles
+                if rect.clip_min_length(self.t) is not None
+            ]
+            if rectangles and verify:
+                rectangles = self._verify_rectangles(
+                    query, theta, text_id, rectangles
+                )
+            if rectangles:
+                matches.append(TextMatch(text_id, tuple(rectangles)))
+                if first_match_only:
+                    break
+        return matches
+
+    # ------------------------------------------------------------------
+    def _scan_fused(
+        self,
+        short_chunks: list[np.ndarray],
+        alpha_short: int,
+        beta: int,
+        sketch: np.ndarray,
+        long_funcs: set[int],
+        stats: QueryStats,
+        query: np.ndarray,
+        theta: float,
+        first_match_only: bool,
+        verify: bool,
+    ) -> list[TextMatch]:
+        """Vectorized group scan: one fused kernel pass over all groups.
+
+        Produces exactly the matches (and ordering) of
+        :meth:`_scan_reference`: the short postings are sorted once by
+        ``(text, left)``, groups below the reduced threshold are pruned
+        with a single mask, and the Algorithm 4/5 double sweep runs as
+        flat event arrays over every surviving group at once.  Long-list
+        refinement then gathers *all* surviving candidates and issues
+        one grouped zone-map read per long list instead of one point
+        read per candidate per list.
+        """
+        merged = np.concatenate(short_chunks)
+        order = np.lexsort((merged["left"], merged["text"]))
+        merged = merged[order]
+        text_ids = merged["text"]
+        starts = np.flatnonzero(
+            np.concatenate(([True], text_ids[1:] != text_ids[:-1]))
+        )
+        sizes = np.diff(np.append(starts, merged.size))
+        num_groups = int(sizes.size)
+        alpha_eff = max(alpha_short, 1)
+        keep = sizes >= alpha_short
+        kept_sizes = sizes[keep]
+        if kept_sizes.size == 0:
+            stats.groups_scanned += num_groups
+            return []
+        kept = merged[np.repeat(keep, sizes)]
+        group_texts = text_ids[starts[keep]].astype(np.int64)
+        group_ids = np.repeat(
+            np.arange(kept_sizes.size, dtype=np.int64), kept_sizes
+        )
+        rect = fused_collision_count(
+            kept["left"], kept["center"], kept["right"], group_ids, alpha_eff
+        )
+        cand_groups = np.unique(rect.group)
+
+        if first_match_only:
+            return self._emit_first_match(
+                rect,
+                cand_groups,
+                kept,
+                kept_sizes,
+                group_texts,
+                np.flatnonzero(keep),
+                num_groups,
+                beta,
+                sketch,
+                long_funcs,
+                stats,
+                query,
+                theta,
+                verify,
+            )
+
+        stats.groups_scanned += num_groups
+        stats.candidates += int(cand_groups.size)
+        if cand_groups.size == 0:
+            return []
+
+        if long_funcs:
+            # Batched long-list refinement: one grouped point read per
+            # long list covering every surviving candidate, then one
+            # fused pass at the full threshold beta.
+            cand_texts = group_texts[cand_groups]
+            is_candidate = np.zeros(kept_sizes.size, dtype=bool)
+            is_candidate[cand_groups] = True
+            parts = [kept[np.repeat(is_candidate, kept_sizes)]]
+            for func in sorted(long_funcs):
+                fetched, operations = _load_texts_windows(
+                    self.index, func, int(sketch[func]), cand_texts
+                )
+                stats.point_reads += operations
+                if fetched.size:
+                    parts.append(fetched)
+            combined = np.concatenate(parts)
+            corder = np.lexsort((combined["left"], combined["text"]))
+            combined = combined[corder]
+            ctexts = combined["text"]
+            cstarts = np.flatnonzero(
+                np.concatenate(([True], ctexts[1:] != ctexts[:-1]))
+            )
+            csizes = np.diff(np.append(cstarts, combined.size))
+            cgroup_ids = np.repeat(
+                np.arange(csizes.size, dtype=np.int64), csizes
+            )
+            rect = fused_collision_count(
+                combined["left"],
+                combined["center"],
+                combined["right"],
+                cgroup_ids,
+                beta,
+            )
+            group_texts = ctexts[cstarts].astype(np.int64)
+
+        rect = rect.filtered(rect.j_hi - rect.i_lo + 1 >= self.t)
+        matches: list[TextMatch] = []
+        for group in np.unique(rect.group).tolist():
+            lo, hi = rect.group_slice(group)
+            rectangles = rect.rectangles(lo, hi)
+            text_id = int(group_texts[group])
+            if verify:
+                rectangles = self._verify_rectangles(
+                    query, theta, text_id, rectangles
+                )
+            if rectangles:
+                matches.append(TextMatch(text_id, tuple(rectangles)))
+        return matches
+
+    # ------------------------------------------------------------------
+    def _emit_first_match(
+        self,
+        rect: FusedRectangles,
+        cand_groups: np.ndarray,
+        kept: np.ndarray,
+        kept_sizes: np.ndarray,
+        group_texts: np.ndarray,
+        kept_positions: np.ndarray,
+        num_groups: int,
+        beta: int,
+        sketch: np.ndarray,
+        long_funcs: set[int],
+        stats: QueryStats,
+        query: np.ndarray,
+        theta: float,
+        verify: bool,
+    ) -> list[TextMatch]:
+        """First-match mode over fused pass-A rectangles.
+
+        Candidates are visited in ascending text order with *lazy*
+        per-candidate long-list reads, so the early exit reads exactly
+        as much as the reference loop would; the stats counters mirror
+        the reference loop's stop point (groups and candidates beyond
+        the first match stay uncounted, as if never visited).
+        """
+        group_bounds = np.concatenate(
+            ([0], np.cumsum(kept_sizes))
+        ).astype(np.int64)
+        for visited, group in enumerate(cand_groups.tolist()):
+            text_id = int(group_texts[group])
+            lo, hi = rect.group_slice(group)
+            rectangles = rect.rectangles(lo, hi)
+            if long_funcs:
+                extra = [kept[group_bounds[group] : group_bounds[group + 1]]]
+                wanted = np.array([text_id], dtype=np.int64)
+                for func in sorted(long_funcs):
+                    fetched, operations = _load_texts_windows(
+                        self.index, func, int(sketch[func]), wanted
+                    )
+                    stats.point_reads += operations
+                    if fetched.size:
+                        extra.append(fetched)
+                combined = np.concatenate(extra)
+                combined = combined[np.argsort(combined["left"], kind="stable")]
+                refined = fused_collision_count(
+                    combined["left"],
+                    combined["center"],
+                    combined["right"],
+                    np.zeros(combined.size, dtype=np.int64),
+                    beta,
+                )
+                rectangles = refined.rectangles()
+            rectangles = [
+                r for r in rectangles if r.clip_min_length(self.t) is not None
+            ]
+            if rectangles and verify:
+                rectangles = self._verify_rectangles(
+                    query, theta, text_id, rectangles
+                )
+            if rectangles:
+                stats.groups_scanned += int(kept_positions[group]) + 1
+                stats.candidates += visited + 1
+                return [TextMatch(text_id, tuple(rectangles))]
+        stats.groups_scanned += num_groups
+        stats.candidates += int(cand_groups.size)
+        return []
 
     # ------------------------------------------------------------------
     def search_thetas(

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
-from repro.index.inverted import IOStats, POSTING_BYTES
+from repro.index.inverted import IOStats, POSTING_BYTES, POSTING_DTYPE, extract_texts
 
 
 @dataclass(frozen=True)
@@ -132,6 +132,43 @@ class CachedIndexReader:
                 hi = int(np.searchsorted(cached["text"], text_id, side="right"))
                 return cached[lo:hi]
         return self.inner.load_text_windows(func, minhash, text_id)
+
+    def sketch_list_lengths(self, sketch: np.ndarray) -> np.ndarray:
+        """Batched list lengths for one sketch (delegated to the inner
+        reader — cached list sizes always match the inner lengths)."""
+        inner = getattr(self.inner, "sketch_list_lengths", None)
+        if inner is not None:
+            return inner(sketch)
+        return np.array(
+            [
+                self.inner.list_length(func, int(sketch[func]))
+                for func in range(self.family.k)
+            ],
+            dtype=np.int64,
+        )
+
+    def load_texts_windows(
+        self, func: int, minhash: int, text_ids: np.ndarray
+    ) -> np.ndarray:
+        """Batched point read, served from a cached full list when hot."""
+        key = (func, minhash)
+        with self._lock:
+            cached = self._lists.get(key)
+            if cached is not None:
+                self._lists.move_to_end(key)
+                self.hits += 1
+                return extract_texts(cached, np.unique(np.asarray(text_ids)))
+        inner = getattr(self.inner, "load_texts_windows", None)
+        if inner is not None:
+            return inner(func, minhash, text_ids)
+        parts = [
+            self.inner.load_text_windows(func, minhash, int(text_id))
+            for text_id in np.unique(np.asarray(text_ids))
+        ]
+        parts = [part for part in parts if part.size]
+        if not parts:
+            return np.empty(0, dtype=POSTING_DTYPE)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
     # -- batch pinning ------------------------------------------------
     def pin(self, func: int, minhash: int) -> bool:

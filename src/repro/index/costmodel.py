@@ -145,12 +145,11 @@ class CostModelSearcher:
         )
 
     def search(self, query: np.ndarray, theta: float, **kwargs):
+        from repro.core.search import sketch_lengths
+
         family = self.index.family
         sketch = family.sketch(np.asarray(query))
-        lengths = np.array(
-            [self.index.list_length(f, int(sketch[f])) for f in range(family.k)],
-            dtype=np.int64,
-        )
+        lengths = sketch_lengths(self.index, sketch, family.k)
         plan = plan_prefix(
             lengths,
             family.k,

@@ -195,6 +195,32 @@ class IncrementalIndex:
             return np.empty(0, dtype=POSTING_DTYPE)
         return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
+    def sketch_list_lengths(self, sketch: np.ndarray) -> np.ndarray:
+        """Batched per-sketch lengths: main + delta, one pass each."""
+        lengths = self._main.sketch_list_lengths(sketch)
+        delta = self._delta_index()
+        if delta is not None:
+            lengths = lengths + delta.sketch_list_lengths(sketch)
+        return lengths
+
+    def load_texts_windows(
+        self, func: int, minhash: int, text_ids: np.ndarray
+    ) -> np.ndarray:
+        """Batched point reads over main + delta.
+
+        Delta text ids are strictly larger than main ones, so the
+        concatenation stays sorted by text id (the same invariant
+        :meth:`load_list` relies on).
+        """
+        delta = self._delta_index()
+        parts = [self._main.load_texts_windows(func, minhash, text_ids)]
+        if delta is not None:
+            parts.append(delta.load_texts_windows(func, minhash, text_ids))
+        parts = [p for p in parts if p.size]
+        if not parts:
+            return np.empty(0, dtype=POSTING_DTYPE)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
     # ------------------------------------------------------------------
     @property
     def num_postings(self) -> int:

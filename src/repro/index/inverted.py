@@ -37,6 +37,33 @@ POSTING_DTYPE = np.dtype(
 POSTING_BYTES = POSTING_DTYPE.itemsize
 
 
+def gather_ranges(array: np.ndarray, starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``array[starts[i] : starts[i] + counts[i]]`` slices.
+
+    The flat-index form of a per-slice gather loop: one ``arange`` over
+    the total output size, shifted per slice.  Used by the batched
+    point-read paths to pull many texts' postings out of one list
+    without a Python-level loop.
+    """
+    counts = counts.astype(np.int64, copy=False)
+    total = int(counts.sum())
+    if total == 0:
+        return array[:0]
+    offsets = np.cumsum(counts) - counts
+    flat = (
+        np.arange(total, dtype=np.int64)
+        + np.repeat(starts.astype(np.int64, copy=False) - offsets, counts)
+    )
+    return array[flat]
+
+
+def extract_texts(chunk: np.ndarray, text_ids: np.ndarray) -> np.ndarray:
+    """Postings of every requested text within one text-sorted chunk."""
+    lo = np.searchsorted(chunk["text"], text_ids, side="left")
+    hi = np.searchsorted(chunk["text"], text_ids, side="right")
+    return gather_ranges(chunk, lo, hi - lo)
+
+
 @dataclass
 class IOStats:
     """Byte/call accounting for inverted-list reads.
@@ -79,6 +106,16 @@ class InvertedIndexReader(Protocol):
     def load_text_windows(self, func: int, minhash: int, text_id: int) -> np.ndarray:
         """Only the postings of ``text_id`` within one list (zone-map path)."""
         ...
+
+    # Readers additionally expose two *batched* variants (not part of
+    # the structural protocol so third-party readers keep working; the
+    # searcher falls back to the scalar methods when they are absent):
+    #
+    # ``sketch_list_lengths(sketch)`` — the k list lengths of one query
+    # sketch in a single directory pass;
+    # ``load_texts_windows(func, minhash, text_ids)`` — the postings of
+    # many texts within one list, as one grouped ranged read instead of
+    # one point read per text.
 
 
 class _Directory:
@@ -191,6 +228,36 @@ class MemoryInvertedIndex:
         hi = int(np.searchsorted(chunk["text"], text_id, side="right"))
         self.io_stats.add(max(hi - lo, 0) * POSTING_BYTES)
         return chunk[lo:hi]
+
+    def sketch_list_lengths(self, sketch: np.ndarray) -> np.ndarray:
+        """Lengths of the k lists named by one query sketch, one pass."""
+        lengths = np.zeros(self.family.k, dtype=np.int64)
+        for func in range(self.family.k):
+            directory = self._directories[func]
+            slot = directory.find(int(sketch[func]))
+            if slot >= 0:
+                lengths[func] = int(directory.counts[slot])
+        return lengths
+
+    def load_texts_windows(
+        self, func: int, minhash: int, text_ids: np.ndarray
+    ) -> np.ndarray:
+        """Postings of every text in ``text_ids`` within one list.
+
+        The batched form of :meth:`load_text_windows`: one logical read
+        covering all requested texts (sorted, deduplicated), returned
+        sorted by text id.  I/O is accounted as a single call.
+        """
+        directory = self._directories[func]
+        slot = directory.find(minhash)
+        if slot < 0:
+            return np.empty(0, dtype=POSTING_DTYPE)
+        start = int(directory.offsets[slot])
+        count = int(directory.counts[slot])
+        chunk = self._payload[start : start + count]
+        fetched = extract_texts(chunk, np.unique(np.asarray(text_ids)))
+        self.io_stats.add(fetched.size * POSTING_BYTES)
+        return fetched
 
     def view(self) -> "MemoryInvertedIndex":
         """A reader sharing this index's arrays but with private ``io_stats``.

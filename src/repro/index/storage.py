@@ -34,6 +34,7 @@ from repro.index.inverted import (
     MemoryInvertedIndex,
     POSTING_BYTES,
     POSTING_DTYPE,
+    extract_texts,
 )
 from repro.index.zonemap import DEFAULT_STEP, ZoneMap, build_zone_map
 
@@ -270,6 +271,69 @@ class DiskInvertedIndex:
         left = int(np.searchsorted(chunk["text"], text_id, side="left"))
         right = int(np.searchsorted(chunk["text"], text_id, side="right"))
         return chunk[left:right]
+
+    def sketch_list_lengths(self, sketch: np.ndarray) -> np.ndarray:
+        """Lengths of the k lists named by one query sketch.
+
+        One pass over the in-memory directory arrays — no payload I/O,
+        and a single call replaces the per-function lookup loop on the
+        query hot path.
+        """
+        lengths = np.zeros(self.family.k, dtype=np.int64)
+        for func in range(self.family.k):
+            keys = self._keys[func]
+            minhash = int(sketch[func])
+            pos = int(np.searchsorted(keys, minhash))
+            if pos < keys.size and int(keys[pos]) == minhash:
+                lengths[func] = int(self._counts[func][pos])
+        return lengths
+
+    def load_texts_windows(
+        self, func: int, minhash: int, text_ids: np.ndarray
+    ) -> np.ndarray:
+        """Postings of every text in ``text_ids`` within one list.
+
+        The batched form of :meth:`load_text_windows`: the zone map is
+        resolved once, the per-text posting ranges are merged into
+        maximal contiguous runs, and each run is read from the payload
+        with one ranged read — ``O(runs)`` I/O calls for the whole
+        candidate set instead of one point read per text.  Postings come
+        back sorted by text id (runs are ascending slices of a
+        text-sorted list).
+        """
+        slot = self._slot(func, minhash)
+        if slot < 0:
+            return np.empty(0, dtype=POSTING_DTYPE)
+        start = int(self._offsets[func][slot])
+        count = int(self._counts[func][slot])
+        text_ids = np.unique(np.asarray(text_ids))
+        zone = self.zone_map(func, minhash)
+        begin = time.perf_counter()
+        if zone is None:
+            lo = np.zeros(1, dtype=np.int64)
+            hi = np.full(1, count, dtype=np.int64)
+        else:
+            lo, hi = zone.locate_many(text_ids)
+            nonempty = hi > lo
+            lo, hi = lo[nonempty], hi[nonempty]
+        if lo.size == 0:
+            self.io_stats.add(0, time.perf_counter() - begin)
+            return np.empty(0, dtype=POSTING_DTYPE)
+        # Merge overlapping/adjacent zone ranges into contiguous runs.
+        run_start = np.zeros(lo.size, dtype=bool)
+        run_start[0] = True
+        if lo.size > 1:
+            run_start[1:] = lo[1:] > np.maximum.accumulate(hi)[:-1]
+        run_lo = lo[run_start]
+        run_hi = np.maximum.reduceat(hi, np.flatnonzero(run_start))
+        parts = []
+        for run_begin, run_end in zip(run_lo.tolist(), run_hi.tolist()):
+            tick = time.perf_counter()
+            part = np.array(self._payload[start + run_begin : start + run_end])
+            self.io_stats.add(part.size * POSTING_BYTES, time.perf_counter() - tick)
+            parts.append(part)
+        buffer = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return extract_texts(buffer, text_ids)
 
     # -- introspection ------------------------------------------------
     @property

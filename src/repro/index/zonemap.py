@@ -61,6 +61,25 @@ class ZoneMap:
             return (lo, lo)
         return (lo, hi)
 
+    def locate_many(self, text_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`locate`: posting ranges for many text ids.
+
+        Returns ``(lo, hi)`` arrays aligned with ``text_ids``; entry
+        ``i`` is exactly ``locate(text_ids[i])``.  With ``text_ids``
+        sorted ascending the ranges are non-decreasing, which lets the
+        batched point-read path merge overlapping zones into a few
+        contiguous reads.
+        """
+        text_ids = np.asarray(text_ids)
+        if self.length == 0:
+            zeros = np.zeros(text_ids.size, dtype=np.int64)
+            return zeros, zeros.copy()
+        first = np.searchsorted(self.sample_texts, text_ids, side="left")
+        lo = np.maximum(0, first.astype(np.int64) - 1) * self.step
+        nxt = np.searchsorted(self.sample_texts, text_ids, side="right")
+        hi = np.minimum(self.length, nxt.astype(np.int64) * self.step)
+        return lo, np.maximum(hi, lo)
+
 
 def build_zone_map(text_ids: np.ndarray, step: int = DEFAULT_STEP) -> ZoneMap:
     """Build the zone map of a posting list's (sorted) text-id column."""

@@ -62,14 +62,14 @@ _WORKER_SEARCHER: NearDuplicateSearcher | None = None
 
 
 def _init_query_worker(
-    directory: str, long_list_cutoff: int | None, cache_bytes: int
+    directory: str, long_list_cutoff: int | None, cache_bytes: int, kernel: str
 ) -> None:
     """Open the on-disk index once per worker process."""
     global _WORKER_SEARCHER
     index = DiskInvertedIndex(directory)
     reader = CachedIndexReader(index, capacity_bytes=cache_bytes)
     _WORKER_SEARCHER = NearDuplicateSearcher(
-        reader, long_list_cutoff=long_list_cutoff
+        reader, long_list_cutoff=long_list_cutoff, kernel=kernel
     )
 
 
@@ -430,6 +430,7 @@ class BatchQueryExecutor:
             reader,
             long_list_cutoff=self.searcher.long_list_cutoff,
             corpus=self.searcher.corpus,
+            kernel=self.searcher.kernel,
         )
 
     def _run_threads(
@@ -450,6 +451,7 @@ class BatchQueryExecutor:
                 reader,
                 long_list_cutoff=self.searcher.long_list_cutoff,
                 corpus=self.searcher.corpus,
+                kernel=self.searcher.kernel,
             )
             return _run_shard(
                 local, shard, theta, first_match_only, verify, pin_keys
@@ -481,6 +483,7 @@ class BatchQueryExecutor:
                 str(base.directory),
                 self.searcher.long_list_cutoff,
                 self.cache_bytes,
+                self.searcher.kernel,
             ),
         ) as pool:
             return list(pool.map(_run_process_shard, payloads))

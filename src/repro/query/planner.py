@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.search import NearDuplicateSearcher
+from repro.core.search import NearDuplicateSearcher, sketch_lengths
 from repro.core.theory import collision_threshold
 from repro.exceptions import InvalidParameterError, QueryError
 from repro.index.inverted import POSTING_BYTES
@@ -171,13 +171,7 @@ def plan_batch(
                 plan.entries[unique_position].referenced_keys
             )
             continue
-        lengths = np.array(
-            [
-                searcher.index.list_length(func, int(sketch[func]))
-                for func in range(family.k)
-            ],
-            dtype=np.int64,
-        )
+        lengths = sketch_lengths(searcher.index, sketch, family.k)
         long_funcs = frozenset(searcher._select_long_lists(lengths, beta))
         entry = PlannedQuery(
             position=len(plan.entries),

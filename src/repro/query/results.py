@@ -40,6 +40,9 @@ class BatchStats:
     io_seconds: float = 0.0
     cpu_seconds: float = 0.0
     lists_loaded: int = 0
+    #: Zone-map point-read operations issued for long-list refinement
+    #: (one per batched ``load_texts_windows`` call on the fused path).
+    point_reads: int = 0
     candidates: int = 0
     texts_matched: int = 0
     # Cache counters summed over every reader the batch used.
@@ -82,6 +85,7 @@ class BatchStats:
         self.io_seconds += stats.io_seconds
         self.cpu_seconds += stats.cpu_seconds
         self.lists_loaded += stats.lists_loaded
+        self.point_reads += stats.point_reads
         self.candidates += stats.candidates
         self.texts_matched += stats.texts_matched
 
@@ -101,6 +105,7 @@ class BatchStats:
         self.io_seconds += other.io_seconds
         self.cpu_seconds += other.cpu_seconds
         self.lists_loaded += other.lists_loaded
+        self.point_reads += other.point_reads
         self.candidates += other.candidates
         self.texts_matched += other.texts_matched
         self.cache_hits += other.cache_hits
@@ -122,7 +127,8 @@ class BatchStats:
             f"({self.list_dedup_ratio:.2f}x shared), {self.lists_pinned} pinned, "
             f"{self.lists_loaded} loaded",
             f"io: {self.io_bytes} bytes in {self.io_calls} calls "
-            f"({1e3 * self.io_seconds:.1f} ms)",
+            f"({1e3 * self.io_seconds:.1f} ms), "
+            f"{self.point_reads} point reads",
             f"cache: {self.cache_hits} hits / {self.cache_misses} misses / "
             f"{self.cache_evictions} evictions",
             f"time: plan {1e3 * self.plan_seconds:.1f} ms, "

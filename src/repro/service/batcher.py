@@ -219,9 +219,13 @@ class MicroBatcher:
         call = self._loop.run_in_executor(
             self._pool, lambda: self.executor.execute(queries, theta, verify=verify)
         )
-        if timeout is None:
-            return await call
-        return await asyncio.wait_for(call, timeout)
+        if timeout is not None:
+            call = asyncio.wait_for(call, timeout)
+        batch = await call
+        self.stats.record_search_io(
+            batch.stats.lists_loaded, batch.stats.point_reads
+        )
+        return batch
 
     # -- dispatch loop --------------------------------------------------
     async def _run(self) -> None:
@@ -283,6 +287,9 @@ class MicroBatcher:
                     self.stats.record_error()
                     item.future.set_exception(exc)
             return
+        self.stats.record_search_io(
+            batch.stats.lists_loaded, batch.stats.point_reads
+        )
         now = self._loop.time()
         for item, result in zip(live, batch.results):
             if not item.future.done():

@@ -92,6 +92,8 @@ class ServiceStats:
         self.timeouts = 0
         self.batches = 0
         self.batched_queries = 0
+        self.lists_loaded = 0
+        self.point_reads = 0
         self.latency = LatencyHistogram()
         self.queue_wait = LatencyHistogram()
         self.batch_sizes: Counter[int] = Counter()
@@ -120,6 +122,13 @@ class ServiceStats:
             self.batched_queries += size
             self.batch_sizes[size] += 1
 
+    def record_search_io(self, lists_loaded: int, point_reads: int) -> None:
+        """Fold one executed batch's index-read counts in (full-list
+        loads vs. zone-map point-read operations)."""
+        with self._lock:
+            self.lists_loaded += int(lists_loaded)
+            self.point_reads += int(point_reads)
+
     def record_completed(self, latency_seconds: float, queue_seconds: float) -> None:
         with self._lock:
             self.completed += 1
@@ -143,6 +152,8 @@ class ServiceStats:
                 "timeouts": self.timeouts,
                 "batches": self.batches,
                 "batched_queries": self.batched_queries,
+                "lists_loaded": self.lists_loaded,
+                "point_reads": self.point_reads,
                 "mean_batch_size": self.mean_batch_size,
                 "batch_size_distribution": {
                     str(size): count
