@@ -60,6 +60,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
             batch_texts=args.batch_texts,
             memory_budget_bytes=args.memory_budget << 20,
             workers=max(1, args.build_workers),
+            codec=args.codec,
         )
         stats = build_external_index(corpus, family, args.t, args.out, config=config)
     else:
@@ -70,6 +71,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
             args.out,
             workers=max(1, args.build_workers),
             batch_texts=args.batch_texts,
+            codec=args.codec,
         )
     print(
         f"built index: {stats.windows_generated} compact windows, "
@@ -385,6 +387,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for window generation / partition aggregation "
         "(1 = single process)",
+    )
+    p_build.add_argument(
+        "--codec",
+        choices=["raw", "packed"],
+        default="raw",
+        help="payload codec: raw 16-byte postings (format v1) or "
+        "delta + bit-packed blocks (format v2, ~3-5x smaller)",
     )
     p_build.set_defaults(func=_cmd_build)
 

@@ -22,6 +22,7 @@ searcher:
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 import time
 from dataclasses import dataclass, field
@@ -71,6 +72,20 @@ class QueryStats:
     def cpu_seconds(self) -> float:
         """Computation time: total minus I/O (the upper bars of Figure 3)."""
         return max(0.0, self.total_seconds - self.io_seconds)
+
+    def merge(self, other: "QueryStats") -> None:
+        """Fold ``other`` into this accumulator, field by field.
+
+        Enumerates the dataclass fields so a counter added to
+        ``QueryStats`` later is merged automatically — shard fan-out
+        and batch accumulation both go through here, and a hand-written
+        sum would silently drop new fields (as happened with
+        ``point_reads``).
+        """
+        for spec in dataclasses.fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
 
 
 @dataclass(frozen=True)

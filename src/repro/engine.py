@@ -28,6 +28,7 @@ from repro.corpus.corpus import Corpus, InMemoryCorpus
 from repro.corpus.store import DiskCorpus, write_corpus
 from repro.exceptions import InvalidParameterError
 from repro.index.builder import DEFAULT_BATCH_TEXTS, build_memory_index
+from repro.index.codec import check_codec
 from repro.index.storage import DiskInvertedIndex, write_index
 from repro.tokenizer.bpe import BPETokenizer
 
@@ -89,10 +90,13 @@ class NearDupEngine:
         index,
         *,
         tokenizer: BPETokenizer | None = None,
+        codec: str = "raw",
     ) -> None:
         self.corpus = corpus
         self.index = index
         self.tokenizer = tokenizer
+        #: Payload codec :meth:`save` writes (``raw`` or ``packed``).
+        self.codec = check_codec(codec)
         self.searcher = NearDuplicateSearcher(index, corpus=corpus)
 
     # ------------------------------------------------------------------
@@ -109,11 +113,14 @@ class NearDupEngine:
         seed: int = 0,
         build_workers: int = 1,
         batch_texts: int = DEFAULT_BATCH_TEXTS,
+        codec: str = "raw",
     ) -> "NearDupEngine":
         """Train a BPE tokenizer on ``texts``, tokenize, and index.
 
         ``build_workers > 1`` generates the index on a process pool;
         the result is identical to the single-process build.
+        ``codec="packed"`` makes :meth:`save` write the compressed
+        format v2 index payload.
         """
         materialized = list(texts)
         if not materialized:
@@ -129,7 +136,7 @@ class NearDupEngine:
             build_workers=build_workers,
             batch_texts=batch_texts,
         )
-        return cls(corpus, index, tokenizer=tokenizer)
+        return cls(corpus, index, tokenizer=tokenizer, codec=codec)
 
     @classmethod
     def from_corpus(
@@ -143,10 +150,13 @@ class NearDupEngine:
         tokenizer: BPETokenizer | None = None,
         build_workers: int = 1,
         batch_texts: int = DEFAULT_BATCH_TEXTS,
+        codec: str = "raw",
     ) -> "NearDupEngine":
         """Index a pre-tokenized corpus (token-id queries only, unless a
         tokenizer is supplied).  ``build_workers > 1`` generates the
-        index on a process pool; the result is identical."""
+        index on a process pool; the result is identical.
+        ``codec="packed"`` makes :meth:`save` write the compressed
+        format v2 index payload."""
         family = HashFamily(k=k, seed=seed)
         index = _build_index(
             corpus,
@@ -156,7 +166,7 @@ class NearDupEngine:
             build_workers=build_workers,
             batch_texts=batch_texts,
         )
-        return cls(corpus, index, tokenizer=tokenizer)
+        return cls(corpus, index, tokenizer=tokenizer, codec=codec)
 
     # ------------------------------------------------------------------
     # Search
@@ -351,9 +361,9 @@ class NearDupEngine:
         directory.mkdir(parents=True, exist_ok=True)
         write_corpus(self.corpus, directory / "corpus")
         if hasattr(self.index, "iter_lists"):
-            write_index(self.index, directory / "index")
+            write_index(self.index, directory / "index", codec=self.codec)
         else:  # already an on-disk reader: materialize a copy
-            write_index(self.index.to_memory(), directory / "index")
+            write_index(self.index.to_memory(), directory / "index", codec=self.codec)
         meta = {"format_version": _FORMAT_VERSION, "has_tokenizer": False}
         if self.tokenizer is not None:
             self.tokenizer.save(directory / "tokenizer.json")
@@ -378,7 +388,7 @@ class NearDupEngine:
         tokenizer = None
         if meta.get("has_tokenizer"):
             tokenizer = BPETokenizer.load(directory / "tokenizer.json")
-        return cls(corpus, index, tokenizer=tokenizer)
+        return cls(corpus, index, tokenizer=tokenizer, codec=index.codec)
 
     # ------------------------------------------------------------------
     @property

@@ -8,6 +8,16 @@ from repro.index.builder import (
     merge_per_func_chunks,
 )
 from repro.index.cache import CachedIndexReader
+from repro.index.codec import (
+    BLOCK_POSTINGS,
+    CODECS,
+    EncodedList,
+    check_codec,
+    decode_blocks,
+    encode_list,
+    pack_bits,
+    unpack_bits_at,
+)
 from repro.index.costmodel import (
     CostEstimate,
     CostModelSearcher,
@@ -42,8 +52,16 @@ from repro.index.validate import ValidationReport, validate_index
 from repro.index.zonemap import ZoneMap, build_zone_map
 
 __all__ = [
+    "BLOCK_POSTINGS",
     "BuildStats",
+    "CODECS",
     "CachedIndexReader",
+    "EncodedList",
+    "check_codec",
+    "decode_blocks",
+    "encode_list",
+    "pack_bits",
+    "unpack_bits_at",
     "DEFAULT_BATCH_TEXTS",
     "CostEstimate",
     "CostModelSearcher",

@@ -227,12 +227,14 @@ def build_and_write_index(
     vocab_size: int | None = None,
     workers: int = 1,
     batch_texts: int = DEFAULT_BATCH_TEXTS,
+    codec: str = "raw",
 ) -> BuildStats:
     """Build in memory, then persist to ``directory`` (the Algorithm 1 flow).
 
     ``workers > 1`` generates windows on a process pool
     (:func:`~repro.index.parallel.build_memory_index_parallel`); the
-    resulting index is identical.  Returns the build statistics with
+    resulting index is identical.  ``codec="packed"`` writes the
+    compressed format v2 payload.  Returns the build statistics with
     both the generation and the write-back phases timed — the
     quantities of Figure 2(i)–(l).
     """
@@ -259,7 +261,7 @@ def build_and_write_index(
             batch_texts=batch_texts,
         )
     begin = time.perf_counter()
-    write_index(index, directory)
+    write_index(index, directory, codec=codec)
     stats.io_seconds += time.perf_counter() - begin
     stats.bytes_written = index.nbytes
     return stats

@@ -45,6 +45,7 @@ from repro.core.hashing import HashFamily
 from repro.corpus.corpus import infer_vocab_size, iter_corpus_batches
 from repro.exceptions import InvalidParameterError
 from repro.index.builder import BuildStats, generate_corpus_postings
+from repro.index.codec import check_codec
 from repro.index.inverted import POSTING_DTYPE
 from repro.index.storage import _IndexWriter
 
@@ -70,6 +71,9 @@ class ExternalBuildConfig:
     ``workers > 1`` aggregates pass-2 partitions on a process pool;
     ``pipeline_spill`` moves pass-1 spill writes to a background thread
     so generation and I/O overlap.  Neither changes the output bytes.
+    ``codec="packed"`` stream-compresses every aggregated list into the
+    format v2 payload during pass 2 — the raw 16-byte postings only
+    ever exist in the bounded spill files.
     """
 
     batch_texts: int = 256
@@ -78,6 +82,7 @@ class ExternalBuildConfig:
     max_recursion: int = 4
     workers: int = 1
     pipeline_spill: bool = True
+    codec: str = "raw"
 
     def __post_init__(self) -> None:
         if self.batch_texts <= 0:
@@ -88,6 +93,7 @@ class ExternalBuildConfig:
             raise InvalidParameterError("memory budget smaller than one record")
         if self.workers <= 0:
             raise InvalidParameterError("workers must be positive")
+        check_codec(self.codec)
 
 
 def _partition_of(records: np.ndarray, num_partitions: int, salt: int) -> np.ndarray:
@@ -378,7 +384,7 @@ def build_external_index(
         stats.io_seconds += time.perf_counter() - begin
 
         # Pass 2: aggregate each partition into final inverted lists.
-        writer = _IndexWriter(directory, family, t)
+        writer = _IndexWriter(directory, family, t, codec=config.codec)
         if config.workers > 1 and nonempty:
             from concurrent.futures import ProcessPoolExecutor
 

@@ -75,16 +75,22 @@ class IOStats:
     bytes_read: int = 0
     read_calls: int = 0
     seconds: float = 0.0
+    #: Posting bytes handed to the searcher after decoding.  Equal to
+    #: ``bytes_read`` for raw (v1) payloads; larger for compressed (v2)
+    #: payloads, where the gap is the codec's I/O saving.
+    decoded_bytes: int = 0
 
     def reset(self) -> None:
         self.bytes_read = 0
         self.read_calls = 0
         self.seconds = 0.0
+        self.decoded_bytes = 0
 
-    def add(self, nbytes: int, seconds: float = 0.0) -> None:
+    def add(self, nbytes: int, seconds: float = 0.0, decoded: int | None = None) -> None:
         self.bytes_read += int(nbytes)
         self.read_calls += 1
         self.seconds += seconds
+        self.decoded_bytes += int(nbytes if decoded is None else decoded)
 
 
 @runtime_checkable

@@ -28,6 +28,7 @@ def merge_disk_indexes(
     destination: str | Path,
     *,
     text_offsets: list[int] | None = None,
+    codec: str = "raw",
 ) -> Path:
     """Merge on-disk indexes built over disjoint corpus partitions.
 
@@ -43,6 +44,10 @@ def merge_disk_indexes(
         (max text id + 1 per partition), which is correct when each
         partition indexed a contiguous corpus slice starting at local
         id 0 and every text produced at least one window.
+    codec:
+        Payload codec of the *merged* index (``raw`` or ``packed``).
+        Sources may use either codec — lists are decoded while
+        merging — so a merge can also serve as a v1 → v2 recompression.
 
     All sources must share the same hash family and length threshold
     ``t`` (otherwise their lists are incomparable).
@@ -67,7 +72,7 @@ def merge_disk_indexes(
     if len(text_offsets) != len(readers):
         raise InvalidParameterError("one text offset per source index is required")
 
-    writer = _IndexWriter(destination, family, t)
+    writer = _IndexWriter(destination, family, t, codec=codec)
     for func in range(family.k):
         # Union of this function's keys across all partitions.
         all_keys = np.unique(

@@ -17,6 +17,7 @@ local (each shard has its own Zipf head), which is what
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -24,6 +25,7 @@ from repro.core.hashing import HashFamily
 from repro.corpus.corpus import Corpus, InMemoryCorpus, infer_vocab_size
 from repro.exceptions import InvalidParameterError
 from repro.index.builder import DEFAULT_BATCH_TEXTS, build_memory_index
+from repro.index.codec import check_codec
 
 # NOTE: repro.core.search imports repro.index.inverted, whose package
 # __init__ imports this module — so the searcher types are imported
@@ -72,15 +74,21 @@ class ShardedIndex:
         vocab_size: int | None = None,
         workers: int = 1,
         batch_texts: int = DEFAULT_BATCH_TEXTS,
+        directory: str | None = None,
+        codec: str = "raw",
     ) -> "ShardedIndex":
         """Partition ``corpus`` into ``num_shards`` ranges and index each.
 
         ``workers > 1`` builds each shard on a process pool
         (:func:`~repro.index.parallel.build_memory_index_parallel`); the
-        per-shard indexes are identical either way.
+        per-shard indexes are identical either way.  With ``directory``
+        set, every shard is persisted to ``directory/shard<i>`` using
+        ``codec`` (``raw`` or ``packed``) and re-opened memory-mapped,
+        so the sharded index serves from disk instead of RAM.
         """
         if num_shards <= 0:
             raise InvalidParameterError(f"num_shards must be positive, got {num_shards}")
+        check_codec(codec)
         total = len(corpus)
         if vocab_size is None:
             vocab_size = infer_vocab_size(corpus)
@@ -101,6 +109,15 @@ class ShardedIndex:
                 local, family, t, vocab_size=vocab_size, batch_texts=batch_texts
             )
 
+        def materialize(index, shard_id: int):
+            if directory is None:
+                return index
+            from repro.index.storage import DiskInvertedIndex, write_index
+
+            shard_dir = Path(directory) / f"shard{shard_id}"
+            write_index(index, shard_dir, codec=codec)
+            return DiskInvertedIndex(shard_dir)
+
         per_shard = max(1, (total + num_shards - 1) // num_shards)
         shards = []
         start = 0
@@ -110,12 +127,20 @@ class ShardedIndex:
                 [np.asarray(corpus[start + offset]) for offset in range(count)]
             )
             shards.append(
-                Shard(first_text=start, count=count, index=build_shard(local))
+                Shard(
+                    first_text=start,
+                    count=count,
+                    index=materialize(build_shard(local), len(shards)),
+                )
             )
             start += count
         if not shards:  # empty corpus: one empty shard keeps the API total
             shards.append(
-                Shard(first_text=0, count=0, index=build_shard(InMemoryCorpus([])))
+                Shard(
+                    first_text=0,
+                    count=0,
+                    index=materialize(build_shard(InMemoryCorpus([])), 0),
+                )
             )
         return cls(shards, family, t)
 
@@ -157,14 +182,7 @@ class ShardedSearcher:
                         rectangles=match.rectangles,
                     )
                 )
-            stats.total_seconds += result.stats.total_seconds
-            stats.io_seconds += result.stats.io_seconds
-            stats.io_bytes += result.stats.io_bytes
-            stats.io_calls += result.stats.io_calls
-            stats.lists_loaded += result.stats.lists_loaded
-            stats.long_lists += result.stats.long_lists
-            stats.groups_scanned += result.stats.groups_scanned
-            stats.candidates += result.stats.candidates
+            stats.merge(result.stats)
         stats.texts_matched = len(merged_matches)
         merged_matches.sort(key=lambda m: m.text_id)
         return SearchResult(

@@ -2,26 +2,39 @@
 
 Layout of an index directory:
 
-* ``index.meta.json`` — format version, ``k``, ``t``, the hash-family
-  parameters, zone-map configuration, payload record count;
+* ``index.meta.json`` — format version, codec, ``k``, ``t``, the
+  hash-family parameters, zone-map configuration, payload record count.
+  The meta file is the **commit point**: it is written last, via a
+  temp file + ``os.replace``, so a directory holding payload/directory
+  files without it is a recognisably partial build;
 * ``index.dir.npz`` — per hash function ``i``: ``keys_i`` (sorted
   ``uint32`` min-hash values), ``offsets_i`` (``uint64`` start of each
-  list, as a *posting index* into the payload) and ``counts_i``
-  (``uint32`` list lengths); plus, for every long list, its zone-map
-  samples (``zm_keys_i``, ``zm_ptr_i``, ``zm_samples_i``);
-* ``index.postings.bin`` — the concatenated 16-byte postings.  Lists
-  are contiguous and sorted by text id internally, but the order of
-  lists within the file is arbitrary (the out-of-core builder appends
-  them in partition order; the directory carries explicit offsets).
+  list — a *posting index* into the payload for the ``raw`` codec, a
+  *byte offset* for ``packed``) and ``counts_i`` (``uint32`` list
+  lengths); plus, for every long list, its zone-map samples
+  (``zm_keys_i``, ``zm_ptr_i``, ``zm_samples_i``).  Format v2 adds the
+  per-block mini-directory: ``blk_first_i`` (``uint32`` first text id
+  per block), ``blk_widths_i`` (``uint8 (nb, 4)`` per-column bit
+  widths) and ``blk_offsets_i`` (``uint64`` absolute payload byte
+  offset per block), concatenated in key order;
+* ``index.postings.bin`` — the payload.  ``raw`` (format v1) stores
+  concatenated 16-byte postings; ``packed`` (format v2) stores the
+  bit-packed blocks of :mod:`repro.index.codec`.  Lists are contiguous
+  and sorted by text id internally, but the order of lists within the
+  file is arbitrary (the out-of-core builder appends them in partition
+  order; the directory carries explicit offsets).
 
-The reader memory-maps the payload and reads only the slices the
-searcher asks for, accounting every byte in ``io_stats`` so the
-benchmarks can reproduce the paper's I/O-vs-CPU latency split.
+The reader memory-maps the payload and reads only the slices — for v2,
+only the *blocks* — the searcher asks for, accounting every payload
+byte in ``io_stats`` (with ``decoded_bytes`` tracking the posting
+bytes produced after decompression) so the benchmarks can reproduce
+the paper's I/O-vs-CPU latency split.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -29,16 +42,26 @@ import numpy as np
 
 from repro.core.hashing import HashFamily
 from repro.exceptions import IndexFormatError, InvalidParameterError
+from repro.index.codec import (
+    BLOCK_POSTINGS,
+    block_byte_sizes,
+    block_counts,
+    check_codec,
+    decode_blocks,
+    encode_list,
+)
 from repro.index.inverted import (
     IOStats,
     MemoryInvertedIndex,
     POSTING_BYTES,
     POSTING_DTYPE,
     extract_texts,
+    gather_ranges,
 )
 from repro.index.zonemap import DEFAULT_STEP, ZoneMap, build_zone_map
 
 _FORMAT_VERSION = 1
+_FORMAT_VERSION_PACKED = 2
 _META_FILE = "index.meta.json"
 _DIR_FILE = "index.dir.npz"
 _PAYLOAD_FILE = "index.postings.bin"
@@ -52,7 +75,10 @@ class _IndexWriter:
 
     Both the in-memory dump (:func:`write_index`) and the out-of-core
     builder (:mod:`repro.index.external`) feed lists through this
-    writer one at a time, in any key order.
+    writer one at a time, in any key order.  With ``codec="packed"``
+    every list is compressed as it is written, so the external
+    builder's spill/merge pass streams straight into format v2 without
+    ever materialising the raw payload.
     """
 
     def __init__(
@@ -62,6 +88,7 @@ class _IndexWriter:
         t: int,
         zonemap_step: int = DEFAULT_STEP,
         zonemap_min_list: int = DEFAULT_ZONEMAP_MIN_LIST,
+        codec: str = "raw",
     ) -> None:
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
@@ -69,14 +96,20 @@ class _IndexWriter:
         self._t = int(t)
         self._zonemap_step = int(zonemap_step)
         self._zonemap_min_list = int(zonemap_min_list)
+        self._codec = check_codec(codec)
         self._payload = open(self._directory / _PAYLOAD_FILE, "wb")
         self._written = 0
+        self._payload_bytes = 0
         self._keys: list[list[int]] = [[] for _ in range(family.k)]
         self._offsets: list[list[int]] = [[] for _ in range(family.k)]
         self._counts: list[list[int]] = [[] for _ in range(family.k)]
         self._zm_keys: list[list[int]] = [[] for _ in range(family.k)]
         self._zm_ptr: list[list[int]] = [[] for _ in range(family.k)]
         self._zm_samples: list[list[np.ndarray]] = [[] for _ in range(family.k)]
+        # v2 per-list block-directory fragments, reordered at close.
+        self._blk_first: list[list[np.ndarray]] = [[] for _ in range(family.k)]
+        self._blk_widths: list[list[np.ndarray]] = [[] for _ in range(family.k)]
+        self._blk_offsets: list[list[np.ndarray]] = [[] for _ in range(family.k)]
         self.bytes_written = 0
         self.io_seconds = 0.0
 
@@ -84,11 +117,29 @@ class _IndexWriter:
         """Append one inverted list (postings sorted by text id)."""
         if postings.dtype != POSTING_DTYPE:
             raise InvalidParameterError("postings must use POSTING_DTYPE")
-        start = time.perf_counter()
-        postings.tofile(self._payload)
-        self.io_seconds += time.perf_counter() - start
+        if self._codec == "packed":
+            encoded = encode_list(postings)
+            start = time.perf_counter()
+            encoded.data.tofile(self._payload)
+            self.io_seconds += time.perf_counter() - start
+            sizes = encoded.block_sizes
+            self._blk_first[func].append(encoded.first_texts)
+            self._blk_widths[func].append(encoded.widths)
+            self._blk_offsets[func].append(
+                self._payload_bytes
+                + np.concatenate(([0], np.cumsum(sizes)))[:-1].astype(np.int64)
+            )
+            self._offsets[func].append(self._payload_bytes)
+            self._payload_bytes += int(encoded.data.size)
+            self.bytes_written += int(encoded.data.size)
+        else:
+            start = time.perf_counter()
+            postings.tofile(self._payload)
+            self.io_seconds += time.perf_counter() - start
+            self._offsets[func].append(self._written)
+            self._payload_bytes += int(postings.size) * POSTING_BYTES
+            self.bytes_written += int(postings.size) * POSTING_BYTES
         self._keys[func].append(int(minhash))
-        self._offsets[func].append(self._written)
         self._counts[func].append(int(postings.size))
         if postings.size >= self._zonemap_min_list:
             zone = build_zone_map(postings["text"], self._zonemap_step)
@@ -98,10 +149,15 @@ class _IndexWriter:
             )
             self._zm_samples[func].append(zone.sample_texts)
         self._written += int(postings.size)
-        self.bytes_written += int(postings.size) * POSTING_BYTES
 
     def close(self) -> None:
-        """Flush the payload and write the directory + metadata files."""
+        """Flush the payload and write the directory + metadata files.
+
+        The metadata file is the commit point: it is written to a temp
+        file and atomically renamed into place with ``os.replace``, so
+        a crash anywhere before that leaves a directory the reader
+        rejects as a partial build instead of silently misreading.
+        """
         start = time.perf_counter()
         self._payload.close()
         arrays: dict[str, np.ndarray] = {}
@@ -113,6 +169,27 @@ class _IndexWriter:
             arrays[f"keys_{func}"] = keys[order]
             arrays[f"offsets_{func}"] = offsets[order]
             arrays[f"counts_{func}"] = counts[order]
+            if self._codec == "packed":
+                first = self._blk_first[func]
+                widths = self._blk_widths[func]
+                blk_offsets = self._blk_offsets[func]
+                arrays[f"blk_first_{func}"] = (
+                    np.concatenate([first[i] for i in order])
+                    if first
+                    else np.empty(0, dtype=np.uint32)
+                )
+                arrays[f"blk_widths_{func}"] = (
+                    np.concatenate([widths[i] for i in order])
+                    if widths
+                    else np.empty((0, 4), dtype=np.uint8)
+                )
+                arrays[f"blk_offsets_{func}"] = (
+                    np.concatenate([blk_offsets[i] for i in order]).astype(
+                        np.uint64
+                    )
+                    if blk_offsets
+                    else np.empty(0, dtype=np.uint64)
+                )
             zm_keys = np.asarray(self._zm_keys[func], dtype=np.uint32)
             zm_ptr = np.asarray(self._zm_ptr[func] + [0], dtype=np.uint64)
             samples = (
@@ -131,14 +208,24 @@ class _IndexWriter:
             arrays[f"zm_samples_{func}"] = samples
         np.savez(self._directory / _DIR_FILE, **arrays)
         meta = {
-            "format_version": _FORMAT_VERSION,
+            "format_version": (
+                _FORMAT_VERSION_PACKED
+                if self._codec == "packed"
+                else _FORMAT_VERSION
+            ),
             "t": self._t,
             "num_postings": self._written,
             "zonemap_step": self._zonemap_step,
             "zonemap_min_list": self._zonemap_min_list,
             "family": self._family.to_dict(),
         }
-        (self._directory / _META_FILE).write_text(json.dumps(meta))
+        if self._codec == "packed":
+            meta["codec"] = self._codec
+            meta["payload_bytes"] = self._payload_bytes
+        meta_path = self._directory / _META_FILE
+        temp_path = self._directory / (_META_FILE + ".tmp")
+        temp_path.write_text(json.dumps(meta))
+        os.replace(temp_path, meta_path)
         self.io_seconds += time.perf_counter() - start
 
 
@@ -147,10 +234,11 @@ def write_index(
     directory: str | Path,
     zonemap_step: int = DEFAULT_STEP,
     zonemap_min_list: int = DEFAULT_ZONEMAP_MIN_LIST,
+    codec: str = "raw",
 ) -> Path:
     """Persist an in-memory index to ``directory``; returns the path."""
     writer = _IndexWriter(
-        directory, index.family, index.t, zonemap_step, zonemap_min_list
+        directory, index.family, index.t, zonemap_step, zonemap_min_list, codec
     )
     for func in range(index.family.k):
         for minhash, postings in index.iter_lists(func):
@@ -160,37 +248,89 @@ def write_index(
 
 
 class DiskInvertedIndex:
-    """Memory-mapped reader of an on-disk index with I/O accounting."""
+    """Memory-mapped reader of an on-disk index with I/O accounting.
+
+    Dispatches on the directory's codec: ``raw`` (format v1) payloads
+    are mapped as posting records and sliced directly; ``packed``
+    (format v2) payloads are mapped as bytes and every read decodes
+    only the blocks covering the requested posting range, so the
+    zone-map point-read paths keep their sub-list I/O.
+    """
 
     def __init__(self, directory: str | Path) -> None:
         self._directory = Path(directory)
         meta_path = self._directory / _META_FILE
+        payload_path = self._directory / _PAYLOAD_FILE
         if not meta_path.exists():
+            leftovers = [
+                name
+                for name in (_PAYLOAD_FILE, _DIR_FILE)
+                if (self._directory / name).exists()
+            ]
+            if leftovers:
+                raise IndexFormatError(
+                    f"{self._directory} has {', '.join(leftovers)} but no "
+                    f"{_META_FILE} — likely a partial build (the writer "
+                    "crashed before the metadata commit point); rebuild the "
+                    "index"
+                )
             raise IndexFormatError(f"missing {_META_FILE} in {self._directory}")
         meta = json.loads(meta_path.read_text())
-        if meta.get("format_version") != _FORMAT_VERSION:
+        version = meta.get("format_version")
+        if version not in (_FORMAT_VERSION, _FORMAT_VERSION_PACKED):
             raise IndexFormatError(
-                f"unsupported index format version {meta.get('format_version')!r}"
+                f"unsupported index format version {version!r}"
+            )
+        self._codec = meta.get("codec", "raw")
+        if self._codec not in ("raw", "packed") or (
+            (self._codec == "packed") != (version == _FORMAT_VERSION_PACKED)
+        ):
+            raise IndexFormatError(
+                f"unsupported codec {self._codec!r} for format version {version}"
             )
         self.family = HashFamily.from_dict(meta["family"])
         self.t = int(meta["t"])
         self._num_postings = int(meta["num_postings"])
         self._zonemap_step = int(meta["zonemap_step"])
-        payload_path = self._directory / _PAYLOAD_FILE
-        expected = self._num_postings * POSTING_BYTES
-        if payload_path.stat().st_size != expected:
-            raise IndexFormatError(
-                f"payload has {payload_path.stat().st_size} bytes, expected {expected}"
-            )
-        if self._num_postings:
-            self._payload = np.memmap(payload_path, dtype=POSTING_DTYPE, mode="r")
+        if self._codec == "packed":
+            self._payload_bytes = int(meta["payload_bytes"])
+            if payload_path.stat().st_size != self._payload_bytes:
+                raise IndexFormatError(
+                    f"payload has {payload_path.stat().st_size} bytes, "
+                    f"expected {self._payload_bytes} (truncated or corrupt)"
+                )
+            if self._payload_bytes:
+                self._payload = np.memmap(payload_path, dtype=np.uint8, mode="r")
+            else:
+                self._payload = np.empty(0, dtype=np.uint8)
         else:
-            self._payload = np.empty(0, dtype=POSTING_DTYPE)
+            self._payload_bytes = self._num_postings * POSTING_BYTES
+            if payload_path.stat().st_size != self._payload_bytes:
+                raise IndexFormatError(
+                    f"payload has {payload_path.stat().st_size} bytes, "
+                    f"expected {self._payload_bytes}"
+                )
+            if self._num_postings:
+                self._payload = np.memmap(payload_path, dtype=POSTING_DTYPE, mode="r")
+            else:
+                self._payload = np.empty(0, dtype=POSTING_DTYPE)
         try:
             with np.load(self._directory / _DIR_FILE) as archive:
                 self._keys = [archive[f"keys_{f}"] for f in range(self.family.k)]
                 self._offsets = [archive[f"offsets_{f}"] for f in range(self.family.k)]
                 self._counts = [archive[f"counts_{f}"] for f in range(self.family.k)]
+                if self._codec == "packed":
+                    self._blk_first = [
+                        archive[f"blk_first_{f}"] for f in range(self.family.k)
+                    ]
+                    self._blk_widths = [
+                        archive[f"blk_widths_{f}"].reshape(-1, 4)
+                        for f in range(self.family.k)
+                    ]
+                    self._blk_offsets = [
+                        archive[f"blk_offsets_{f}"].astype(np.int64)
+                        for f in range(self.family.k)
+                    ]
                 self._zm_keys = [archive[f"zm_keys_{f}"] for f in range(self.family.k)]
                 self._zm_starts = [
                     archive[f"zm_starts_{f}"] for f in range(self.family.k)
@@ -211,6 +351,21 @@ class DiskInvertedIndex:
                 f"directory accounts for {directory_total} postings, "
                 f"metadata says {self._num_postings}"
             )
+        if self._codec == "packed":
+            # Block pointer per list: cumulative block counts in key order.
+            self._blk_ptr = []
+            for func in range(self.family.k):
+                per_list = (
+                    self._counts[func].astype(np.int64) + BLOCK_POSTINGS - 1
+                ) // BLOCK_POSTINGS
+                ptr = np.concatenate(([0], np.cumsum(per_list)))
+                if int(ptr[-1]) != int(self._blk_first[func].size):
+                    raise IndexFormatError(
+                        f"block directory of function {func} holds "
+                        f"{self._blk_first[func].size} blocks, counts imply "
+                        f"{int(ptr[-1])}"
+                    )
+                self._blk_ptr.append(ptr)
         self.io_stats = IOStats()
 
     # -- reader protocol ------------------------------------------------
@@ -227,12 +382,46 @@ class DiskInvertedIndex:
             return 0
         return int(self._counts[func][slot])
 
+    def _decode_span(self, func: int, slot: int, blk_lo: int, blk_hi: int) -> np.ndarray:
+        """Decode blocks ``[blk_lo, blk_hi)`` (list-relative) of one list.
+
+        Returns the covered postings in text order and accounts the
+        compressed bytes touched vs. posting bytes produced.
+        """
+        count = int(self._counts[func][slot])
+        num_blocks = (count + BLOCK_POSTINGS - 1) // BLOCK_POSTINGS
+        base = int(self._blk_ptr[func][slot])
+        blk_hi = min(blk_hi, num_blocks)
+        if blk_lo >= blk_hi:
+            return np.empty(0, dtype=POSTING_DTYPE)
+        counts = np.full(blk_hi - blk_lo, BLOCK_POSTINGS, dtype=np.int64)
+        if blk_hi == num_blocks:
+            counts[-1] = count - (num_blocks - 1) * BLOCK_POSTINGS
+        widths = self._blk_widths[func][base + blk_lo : base + blk_hi]
+        begin = time.perf_counter()
+        decoded = decode_blocks(
+            self._payload,
+            self._blk_offsets[func][base + blk_lo : base + blk_hi],
+            counts,
+            widths,
+            self._blk_first[func][base + blk_lo : base + blk_hi],
+        )
+        self.io_stats.add(
+            int(block_byte_sizes(counts, widths).sum()),
+            time.perf_counter() - begin,
+            decoded=decoded.size * POSTING_BYTES,
+        )
+        return decoded
+
     def load_list(self, func: int, minhash: int) -> np.ndarray:
         slot = self._slot(func, minhash)
         if slot < 0:
             return np.empty(0, dtype=POSTING_DTYPE)
-        start = int(self._offsets[func][slot])
         count = int(self._counts[func][slot])
+        if self._codec == "packed":
+            num_blocks = (count + BLOCK_POSTINGS - 1) // BLOCK_POSTINGS
+            return self._decode_span(func, slot, 0, num_blocks)
+        start = int(self._offsets[func][slot])
         begin = time.perf_counter()
         chunk = np.array(self._payload[start : start + count])
         self.io_stats.add(count * POSTING_BYTES, time.perf_counter() - begin)
@@ -257,17 +446,25 @@ class DiskInvertedIndex:
         slot = self._slot(func, minhash)
         if slot < 0:
             return np.empty(0, dtype=POSTING_DTYPE)
-        start = int(self._offsets[func][slot])
         count = int(self._counts[func][slot])
         zone = self.zone_map(func, minhash)
-        begin = time.perf_counter()
         if zone is not None:
             lo, hi = zone.locate(text_id)
         else:
             lo, hi = 0, count
-        chunk = np.array(self._payload[start + lo : start + hi])
-        elapsed = time.perf_counter() - begin
-        self.io_stats.add(max(hi - lo, 0) * POSTING_BYTES, elapsed)
+        if self._codec == "packed":
+            chunk = self._decode_span(
+                func,
+                slot,
+                lo // BLOCK_POSTINGS,
+                (hi + BLOCK_POSTINGS - 1) // BLOCK_POSTINGS,
+            )
+        else:
+            start = int(self._offsets[func][slot])
+            begin = time.perf_counter()
+            chunk = np.array(self._payload[start + lo : start + hi])
+            elapsed = time.perf_counter() - begin
+            self.io_stats.add(max(hi - lo, 0) * POSTING_BYTES, elapsed)
         left = int(np.searchsorted(chunk["text"], text_id, side="left"))
         right = int(np.searchsorted(chunk["text"], text_id, side="right"))
         return chunk[left:right]
@@ -297,9 +494,11 @@ class DiskInvertedIndex:
         resolved once, the per-text posting ranges are merged into
         maximal contiguous runs, and each run is read from the payload
         with one ranged read — ``O(runs)`` I/O calls for the whole
-        candidate set instead of one point read per text.  Postings come
-        back sorted by text id (runs are ascending slices of a
-        text-sorted list).
+        candidate set instead of one point read per text.  For the
+        packed codec the runs are rounded to block boundaries and every
+        touched block is decoded in a single grouped kernel call.
+        Postings come back sorted by text id (runs are ascending slices
+        of a text-sorted list).
         """
         slot = self._slot(func, minhash)
         if slot < 0:
@@ -326,6 +525,9 @@ class DiskInvertedIndex:
             run_start[1:] = lo[1:] > np.maximum.accumulate(hi)[:-1]
         run_lo = lo[run_start]
         run_hi = np.maximum.reduceat(hi, np.flatnonzero(run_start))
+        if self._codec == "packed":
+            buffer = self._decode_block_runs(func, slot, count, run_lo, run_hi)
+            return extract_texts(buffer, text_ids)
         parts = []
         for run_begin, run_end in zip(run_lo.tolist(), run_hi.tolist()):
             tick = time.perf_counter()
@@ -335,11 +537,70 @@ class DiskInvertedIndex:
         buffer = parts[0] if len(parts) == 1 else np.concatenate(parts)
         return extract_texts(buffer, text_ids)
 
+    def _decode_block_runs(
+        self,
+        func: int,
+        slot: int,
+        count: int,
+        run_lo: np.ndarray,
+        run_hi: np.ndarray,
+    ) -> np.ndarray:
+        """Decode the blocks covering posting runs of one packed list.
+
+        Posting-index runs become block-index runs (re-merged, since
+        rounding to :data:`BLOCK_POSTINGS` can make neighbours touch),
+        and every touched block goes through one grouped
+        :func:`~repro.index.codec.decode_blocks` call.
+        """
+        num_blocks = (count + BLOCK_POSTINGS - 1) // BLOCK_POSTINGS
+        blk_lo = run_lo // BLOCK_POSTINGS
+        blk_hi = np.minimum(
+            (run_hi + BLOCK_POSTINGS - 1) // BLOCK_POSTINGS, num_blocks
+        )
+        keep = blk_hi > blk_lo
+        blk_lo, blk_hi = blk_lo[keep], blk_hi[keep]
+        if blk_lo.size == 0:
+            return np.empty(0, dtype=POSTING_DTYPE)
+        merge_start = np.zeros(blk_lo.size, dtype=bool)
+        merge_start[0] = True
+        if blk_lo.size > 1:
+            merge_start[1:] = blk_lo[1:] > np.maximum.accumulate(blk_hi)[:-1]
+        merged_lo = blk_lo[merge_start]
+        merged_hi = np.maximum.reduceat(blk_hi, np.flatnonzero(merge_start))
+        spans = (merged_hi - merged_lo).astype(np.int64)
+        blocks = np.repeat(merged_lo - np.cumsum(spans) + spans, spans) + np.arange(
+            int(spans.sum()), dtype=np.int64
+        )
+        base = int(self._blk_ptr[func][slot])
+        counts = np.full(blocks.size, BLOCK_POSTINGS, dtype=np.int64)
+        last = count - (num_blocks - 1) * BLOCK_POSTINGS
+        counts[blocks == num_blocks - 1] = last
+        widths = self._blk_widths[func][base + blocks]
+        begin = time.perf_counter()
+        decoded = decode_blocks(
+            self._payload,
+            self._blk_offsets[func][base + blocks],
+            counts,
+            widths,
+            self._blk_first[func][base + blocks],
+        )
+        self.io_stats.add(
+            int(block_byte_sizes(counts, widths).sum()),
+            time.perf_counter() - begin,
+            decoded=decoded.size * POSTING_BYTES,
+        )
+        return decoded
+
     # -- introspection ------------------------------------------------
     @property
     def directory(self) -> Path:
         """The index directory (lets batch workers re-open the index)."""
         return self._directory
+
+    @property
+    def codec(self) -> str:
+        """Payload codec: ``raw`` (format v1) or ``packed`` (format v2)."""
+        return self._codec
 
     @property
     def num_postings(self) -> int:
@@ -348,7 +609,7 @@ class DiskInvertedIndex:
     @property
     def nbytes(self) -> int:
         """Payload bytes on disk (the paper's index-size metric)."""
-        return self._num_postings * POSTING_BYTES
+        return self._payload_bytes
 
     def list_lengths(self, func: int) -> np.ndarray:
         return np.asarray(self._counts[func])
@@ -359,23 +620,52 @@ class DiskInvertedIndex:
         return np.asarray(self._keys[func])
 
     def to_memory(self) -> MemoryInvertedIndex:
-        """Load the entire index into a :class:`MemoryInvertedIndex`."""
+        """Load the entire index into a :class:`MemoryInvertedIndex`.
+
+        One vectorized gather (raw) or one grouped block decode
+        (packed) per hash function — no per-list Python loop.
+        """
         per_func = []
         for func in range(self.family.k):
             counts = self._counts[func].astype(np.int64)
             minhashes = np.repeat(self._keys[func], counts)
-            chunks = [
-                self._payload[int(off) : int(off) + int(cnt)]
-                for off, cnt in zip(self._offsets[func], self._counts[func])
-            ]
-            postings = (
-                np.concatenate(chunks) if chunks else np.empty(0, dtype=POSTING_DTYPE)
-            )
+            if self._codec == "packed":
+                postings = self._decode_all(func)
+            else:
+                postings = gather_ranges(
+                    self._payload, self._offsets[func].astype(np.int64), counts
+                )
+                postings = np.array(postings) if postings.size else np.empty(
+                    0, dtype=POSTING_DTYPE
+                )
             per_func.append((minhashes.astype(np.uint32), postings))
         return MemoryInvertedIndex.from_postings(self.family, self.t, per_func)
+
+    def _decode_all(self, func: int) -> np.ndarray:
+        """Decode every block of one hash function in a single call."""
+        list_counts = self._counts[func].astype(np.int64)
+        ptr = self._blk_ptr[func]
+        total_blocks = int(ptr[-1])
+        if total_blocks == 0:
+            return np.empty(0, dtype=POSTING_DTYPE)
+        counts = np.full(total_blocks, BLOCK_POSTINGS, dtype=np.int64)
+        per_list = ptr[1:] - ptr[:-1]
+        has_blocks = per_list > 0
+        last_block = (ptr[1:] - 1)[has_blocks]
+        counts[last_block] = (
+            list_counts[has_blocks]
+            - (per_list[has_blocks] - 1) * BLOCK_POSTINGS
+        )
+        return decode_blocks(
+            self._payload,
+            self._blk_offsets[func],
+            counts,
+            self._blk_widths[func],
+            self._blk_first[func],
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DiskInvertedIndex({str(self._directory)!r}, k={self.family.k}, "
-            f"t={self.t}, postings={self.num_postings})"
+            f"t={self.t}, postings={self.num_postings}, codec={self._codec})"
         )

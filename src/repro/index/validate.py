@@ -14,7 +14,12 @@ Checked invariants:
 4. window geometry: ``left <= center <= right`` and width ``>= t``;
 5. (with corpus) every window's center token hash equals the list's
    min-hash and is minimal within the window span;
-6. (with corpus) window bounds lie inside their text.
+6. (with corpus) window bounds lie inside their text;
+7. (packed / format v2 readers) the per-block mini-directory agrees
+   with the decoded contents: ``first_text`` entries match the block-
+   leading postings, the stored bit widths are exactly the minimal
+   widths of the re-derived columns, and block byte offsets tile the
+   payload contiguously within each list.
 """
 
 from __future__ import annotations
@@ -24,6 +29,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.corpus.corpus import Corpus
+from repro.index.codec import (
+    BLOCK_POSTINGS,
+    _bit_widths,
+    block_byte_sizes,
+    block_counts,
+    list_columns,
+)
 
 
 @dataclass
@@ -139,4 +151,62 @@ def validate_index(
                         f"func {func} list {minhash}: center not minimal in "
                         f"text {text_id} window [{left},{right}]"
                     )
+    if getattr(index, "codec", "raw") == "packed":
+        _validate_block_directory(index, report, max_lists_per_func)
     return report
+
+
+def _validate_block_directory(index, report: ValidationReport, max_lists_per_func):
+    """Invariant (7): v2 block directory vs. decoded list contents."""
+    for func in range(index.family.k):
+        ptr = index._blk_ptr[func]
+        for slot, minhash in enumerate(index._keys[func]):
+            if max_lists_per_func is not None and slot >= max_lists_per_func:
+                break
+            minhash = int(minhash)
+            postings = index.load_list(func, minhash)
+            blk_lo, blk_hi = int(ptr[slot]), int(ptr[slot + 1])
+            first = index._blk_first[func][blk_lo:blk_hi]
+            widths = index._blk_widths[func][blk_lo:blk_hi]
+            offsets = index._blk_offsets[func][blk_lo:blk_hi]
+            counts = block_counts(postings.size)
+            if counts.size != first.size:
+                report._fail(
+                    f"func {func} list {minhash}: {first.size} directory "
+                    f"blocks for {counts.size} expected"
+                )
+                continue
+            if not np.array_equal(
+                first.astype(np.int64),
+                postings["text"][::BLOCK_POSTINGS].astype(np.int64),
+            ):
+                report._fail(
+                    f"func {func} list {minhash}: blk_first does not match "
+                    "decoded block-leading texts"
+                )
+            padded_len = counts.size * BLOCK_POSTINGS
+            for column, values in enumerate(list_columns(postings)):
+                padded = np.zeros(padded_len, dtype=np.int64)
+                padded[: values.size] = values
+                minimal = _bit_widths(
+                    padded.reshape(-1, BLOCK_POSTINGS).max(axis=1)
+                )
+                if not np.array_equal(minimal, widths[:, column]):
+                    report._fail(
+                        f"func {func} list {minhash}: stored bit widths of "
+                        f"column {column} are not the minimal widths of the "
+                        "decoded values"
+                    )
+            sizes = block_byte_sizes(counts, widths)
+            if counts.size > 1 and not np.array_equal(
+                np.diff(offsets.astype(np.int64)), sizes[:-1]
+            ):
+                report._fail(
+                    f"func {func} list {minhash}: block offsets are not "
+                    "contiguous with the block sizes"
+                )
+            if counts.size and int(offsets[-1]) + int(sizes[-1]) > index.nbytes:
+                report._fail(
+                    f"func {func} list {minhash}: blocks extend past the "
+                    "payload end"
+                )

@@ -8,6 +8,7 @@ cache counters, and worker utilization.  The CLI prints it verbatim.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.core.search import QueryStats, SearchResult
@@ -79,15 +80,22 @@ class BatchStats:
 
     # ------------------------------------------------------------------
     def add_query(self, stats: QueryStats) -> None:
-        """Fold one executed query's stats into the batch totals."""
-        self.io_bytes += stats.io_bytes
-        self.io_calls += stats.io_calls
-        self.io_seconds += stats.io_seconds
+        """Fold one executed query's stats into the batch totals.
+
+        Driven by the :class:`QueryStats` field list, so a counter
+        added there later flows into every same-named ``BatchStats``
+        attribute automatically instead of being silently dropped.
+        ``total_seconds`` is skipped (the batch keeps wall time, not
+        the sum of per-query times); the derived ``cpu_seconds`` is
+        accumulated explicitly.
+        """
+        for spec in dataclasses.fields(stats):
+            if spec.name == "total_seconds" or not hasattr(self, spec.name):
+                continue
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(stats, spec.name)
+            )
         self.cpu_seconds += stats.cpu_seconds
-        self.lists_loaded += stats.lists_loaded
-        self.point_reads += stats.point_reads
-        self.candidates += stats.candidates
-        self.texts_matched += stats.texts_matched
 
     def merge(self, other: "BatchStats") -> None:
         """Fold another chunk's stats in (chunked ``batch_size`` runs)."""
