@@ -61,6 +61,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
             memory_budget_bytes=args.memory_budget << 20,
             workers=max(1, args.build_workers),
             codec=args.codec,
+            dir_format=args.dir_format,
         )
         stats = build_external_index(corpus, family, args.t, args.out, config=config)
     else:
@@ -72,6 +73,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
             workers=max(1, args.build_workers),
             batch_texts=args.batch_texts,
             codec=args.codec,
+            dir_format=args.dir_format,
         )
     print(
         f"built index: {stats.windows_generated} compact windows, "
@@ -170,7 +172,10 @@ def _cmd_batch_query(args: argparse.Namespace) -> int:
     batch = None
     if valid:
         try:
-            batch = executor.execute([tokens for _, tokens in valid], args.theta)
+            with executor:
+                batch = executor.execute(
+                    [tokens for _, tokens in valid], args.theta
+                )
         except Exception as exc:  # noqa: BLE001 - reported per query below
             for number, _ in valid:
                 records[number]["error"] = f"search failed: {exc}"
@@ -283,7 +288,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServiceConfig(
         host=args.host,
         port=args.port,
-        workers=args.workers,
+        workers=args.batch_workers,
+        procs=args.workers,
+        reuse_port=args.reuse_port,
         max_batch=args.max_batch,
         linger_ms=args.linger_ms,
         max_queue=args.max_queue,
@@ -395,6 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="payload codec: raw 16-byte postings (format v1) or "
         "delta + bit-packed blocks (format v2, ~3-5x smaller)",
     )
+    p_build.add_argument(
+        "--dir-format",
+        choices=["sidecar", "npz"],
+        default="sidecar",
+        help="directory container: page-aligned mmap sidecar "
+        "(zero-copy open) or the legacy zipped npz archive",
+    )
     p_build.set_defaults(func=_cmd_build)
 
     p_query = sub.add_parser("query", help="run one near-duplicate search")
@@ -476,7 +490,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080, help="0 = ephemeral")
     p_serve.add_argument(
-        "--workers", type=int, default=2, help="threads executing batches"
+        "--workers",
+        type=int,
+        default=1,
+        help="prefork server processes sharing one mmap index and one "
+        "listening socket (1 = single in-process server)",
+    )
+    p_serve.add_argument(
+        "--batch-workers",
+        type=int,
+        default=2,
+        help="threads executing batches inside each server process",
+    )
+    p_serve.add_argument(
+        "--reuse-port",
+        action="store_true",
+        help="per-worker SO_REUSEPORT sockets instead of one shared "
+        "accept socket (kernel hash-balances connections)",
     )
     p_serve.add_argument(
         "--max-batch", type=int, default=16, help="requests coalesced per batch"

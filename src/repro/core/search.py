@@ -726,12 +726,12 @@ class NearDuplicateSearcher:
         """
         from repro.query.executor import BatchQueryExecutor
 
-        executor = BatchQueryExecutor(
+        with BatchQueryExecutor(
             self, workers=workers, batch_size=batch_size
-        )
-        return executor.execute(
-            queries, theta, first_match_only=first_match_only, verify=verify
-        ).results
+        ) as executor:
+            return executor.execute(
+                queries, theta, first_match_only=first_match_only, verify=verify
+            ).results
 
     def _effective_cutoff(self, lengths: np.ndarray) -> int | None:
         """The long-list cutoff for one query, or ``None`` when disabled.

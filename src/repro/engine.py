@@ -243,11 +243,11 @@ class NearDupEngine:
         :class:`~repro.query.results.BatchStats`."""
         from repro.query.executor import BatchQueryExecutor
 
-        executor = BatchQueryExecutor(
-            self.searcher, workers=workers, batch_size=batch_size
-        )
         tokenized = [self._as_tokens(query) for query in queries]
-        return executor.execute(tokenized, theta, **kwargs)
+        with BatchQueryExecutor(
+            self.searcher, workers=workers, batch_size=batch_size
+        ) as executor:
+            return executor.execute(tokenized, theta, **kwargs)
 
     # ------------------------------------------------------------------
     # Serving hooks

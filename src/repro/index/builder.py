@@ -228,6 +228,7 @@ def build_and_write_index(
     workers: int = 1,
     batch_texts: int = DEFAULT_BATCH_TEXTS,
     codec: str = "raw",
+    dir_format: str = "sidecar",
 ) -> BuildStats:
     """Build in memory, then persist to ``directory`` (the Algorithm 1 flow).
 
@@ -261,7 +262,7 @@ def build_and_write_index(
             batch_texts=batch_texts,
         )
     begin = time.perf_counter()
-    write_index(index, directory, codec=codec)
+    write_index(index, directory, codec=codec, dir_format=dir_format)
     stats.io_seconds += time.perf_counter() - begin
     stats.bytes_written = index.nbytes
     return stats

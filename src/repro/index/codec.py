@@ -135,6 +135,18 @@ def _bit_widths(block_max: np.ndarray) -> np.ndarray:
 # ----------------------------------------------------------------------
 # Bit-slab kernels
 # ----------------------------------------------------------------------
+def _as_byte_view(buffer) -> np.ndarray:
+    """A uint8 view of any byte source without copying.
+
+    Accepts uint8 arrays/memmaps directly and wraps raw buffer objects
+    (``mmap``, ``memoryview``, ``bytes``) with ``np.frombuffer``, so
+    the decode kernels can read straight out of a mapped index file.
+    """
+    if isinstance(buffer, np.ndarray):
+        return np.asarray(buffer, dtype=np.uint8)
+    return np.frombuffer(buffer, dtype=np.uint8)
+
+
 def pack_bits(values: np.ndarray, width: int) -> np.ndarray:
     """Pack ``values`` (< 2**width) MSB-first into a byte-aligned slab.
 
@@ -172,7 +184,7 @@ def unpack_bits_at(
     bit_starts = np.asarray(bit_starts, dtype=np.int64)
     if width == 0 or bit_starts.size == 0:
         return np.zeros(bit_starts.size, dtype=np.uint32)
-    slab = np.asarray(slab, dtype=np.uint8)
+    slab = _as_byte_view(slab)
     if slab.size == 0:
         raise InvalidParameterError("cannot unpack from an empty slab")
     byte0 = bit_starts >> 3
@@ -287,7 +299,9 @@ def decode_blocks(
     Parameters
     ----------
     buffer:
-        Byte array the blocks live in (any uint8 array or memmap view).
+        Byte source the blocks live in: any uint8 array or memmap
+        view, or a raw buffer object (``mmap``/``memoryview``/
+        ``bytes``) — wrapped zero-copy via :func:`_as_byte_view`.
     offsets:
         Byte offset of each block within ``buffer``.
     counts / widths / first_texts:
@@ -304,6 +318,7 @@ def decode_blocks(
     out = np.empty(total, dtype=POSTING_DTYPE)
     if total == 0:
         return out
+    buffer = _as_byte_view(buffer)
     offsets = np.asarray(offsets, dtype=np.int64)
     widths = np.asarray(widths, dtype=np.uint8).reshape(nb, NUM_COLUMNS)
     slab_sizes = column_slab_sizes(counts, widths)

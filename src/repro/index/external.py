@@ -47,7 +47,7 @@ from repro.exceptions import InvalidParameterError
 from repro.index.builder import BuildStats, generate_corpus_postings
 from repro.index.codec import check_codec
 from repro.index.inverted import POSTING_DTYPE
-from repro.index.storage import _IndexWriter
+from repro.index.storage import DIR_FORMATS, _IndexWriter
 
 logger = logging.getLogger(__name__)
 
@@ -83,6 +83,7 @@ class ExternalBuildConfig:
     workers: int = 1
     pipeline_spill: bool = True
     codec: str = "raw"
+    dir_format: str = "sidecar"
 
     def __post_init__(self) -> None:
         if self.batch_texts <= 0:
@@ -94,6 +95,10 @@ class ExternalBuildConfig:
         if self.workers <= 0:
             raise InvalidParameterError("workers must be positive")
         check_codec(self.codec)
+        if self.dir_format not in DIR_FORMATS:
+            raise InvalidParameterError(
+                f"dir_format must be one of {DIR_FORMATS}, got {self.dir_format!r}"
+            )
 
 
 def _partition_of(records: np.ndarray, num_partitions: int, salt: int) -> np.ndarray:
@@ -384,7 +389,9 @@ def build_external_index(
         stats.io_seconds += time.perf_counter() - begin
 
         # Pass 2: aggregate each partition into final inverted lists.
-        writer = _IndexWriter(directory, family, t, codec=config.codec)
+        writer = _IndexWriter(
+            directory, family, t, codec=config.codec, dir_format=config.dir_format
+        )
         if config.workers > 1 and nonempty:
             from concurrent.futures import ProcessPoolExecutor
 

@@ -7,7 +7,7 @@ Layout of an index directory:
   The meta file is the **commit point**: it is written last, via a
   temp file + ``os.replace``, so a directory holding payload/directory
   files without it is a recognisably partial build;
-* ``index.dir.npz`` — per hash function ``i``: ``keys_i`` (sorted
+* the directory — per hash function ``i``: ``keys_i`` (sorted
   ``uint32`` min-hash values), ``offsets_i`` (``uint64`` start of each
   list — a *posting index* into the payload for the ``raw`` codec, a
   *byte offset* for ``packed``) and ``counts_i`` (``uint32`` list
@@ -23,6 +23,15 @@ Layout of an index directory:
   and sorted by text id internally, but the order of lists within the
   file is arbitrary (the out-of-core builder appends them in partition
   order; the directory carries explicit offsets).
+
+The directory ships in one of two containers: ``index.dir.bin``, a
+flat page-aligned sidecar (:mod:`repro.index.sidecar`) opened with one
+``mmap`` plus one ``np.frombuffer`` view per array — the default,
+chosen so opens cost microseconds and N forked server processes share
+a single page-cache copy — or the legacy zipped ``index.dir.npz``
+archive (``dir_format="npz"``), which stays readable.  The meta file
+records the committed container under its ``"directory"`` key;
+pre-sidecar indexes without the key are read as ``npz``.
 
 The reader memory-maps the payload and reads only the slices — for v2,
 only the *blocks* — the searcher asks for, accounting every payload
@@ -58,6 +67,11 @@ from repro.index.inverted import (
     extract_texts,
     gather_ranges,
 )
+from repro.index.sidecar import (
+    SIDECAR_FILE as _DIR_SIDECAR_FILE,
+    read_sidecar,
+    write_sidecar,
+)
 from repro.index.zonemap import DEFAULT_STEP, ZoneMap, build_zone_map
 
 _FORMAT_VERSION = 1
@@ -65,6 +79,10 @@ _FORMAT_VERSION_PACKED = 2
 _META_FILE = "index.meta.json"
 _DIR_FILE = "index.dir.npz"
 _PAYLOAD_FILE = "index.postings.bin"
+
+#: Supported directory containers: the mmap sidecar (default) and the
+#: legacy zipped archive.
+DIR_FORMATS = ("sidecar", "npz")
 
 #: Lists at least this long get a zone map by default.
 DEFAULT_ZONEMAP_MIN_LIST = 256
@@ -89,6 +107,7 @@ class _IndexWriter:
         zonemap_step: int = DEFAULT_STEP,
         zonemap_min_list: int = DEFAULT_ZONEMAP_MIN_LIST,
         codec: str = "raw",
+        dir_format: str = "sidecar",
     ) -> None:
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
@@ -97,6 +116,11 @@ class _IndexWriter:
         self._zonemap_step = int(zonemap_step)
         self._zonemap_min_list = int(zonemap_min_list)
         self._codec = check_codec(codec)
+        if dir_format not in DIR_FORMATS:
+            raise InvalidParameterError(
+                f"dir_format must be one of {DIR_FORMATS}, got {dir_format!r}"
+            )
+        self._dir_format = dir_format
         self._payload = open(self._directory / _PAYLOAD_FILE, "wb")
         self._written = 0
         self._payload_bytes = 0
@@ -206,7 +230,10 @@ class _IndexWriter:
             arrays[f"zm_starts_{func}"] = starts.astype(np.uint64)
             arrays[f"zm_lengths_{func}"] = lengths.astype(np.uint32) if zm_keys.size else np.empty(0, dtype=np.uint32)
             arrays[f"zm_samples_{func}"] = samples
-        np.savez(self._directory / _DIR_FILE, **arrays)
+        if self._dir_format == "sidecar":
+            write_sidecar(self._directory / _DIR_SIDECAR_FILE, arrays)
+        else:
+            np.savez(self._directory / _DIR_FILE, **arrays)
         meta = {
             "format_version": (
                 _FORMAT_VERSION_PACKED
@@ -218,6 +245,7 @@ class _IndexWriter:
             "zonemap_step": self._zonemap_step,
             "zonemap_min_list": self._zonemap_min_list,
             "family": self._family.to_dict(),
+            "directory": self._dir_format,
         }
         if self._codec == "packed":
             meta["codec"] = self._codec
@@ -235,16 +263,73 @@ def write_index(
     zonemap_step: int = DEFAULT_STEP,
     zonemap_min_list: int = DEFAULT_ZONEMAP_MIN_LIST,
     codec: str = "raw",
+    dir_format: str = "sidecar",
 ) -> Path:
     """Persist an in-memory index to ``directory``; returns the path."""
     writer = _IndexWriter(
-        directory, index.family, index.t, zonemap_step, zonemap_min_list, codec
+        directory,
+        index.family,
+        index.t,
+        zonemap_step,
+        zonemap_min_list,
+        codec,
+        dir_format,
     )
     for func in range(index.family.k):
         for minhash, postings in index.iter_lists(func):
             writer.write_list(func, minhash, postings)
     writer.close()
     return Path(directory)
+
+
+def convert_directory(directory: str | Path, dir_format: str = "sidecar") -> Path:
+    """Rewrite an index directory's container in place (npz ↔ sidecar).
+
+    Loads whichever container is present, writes the requested one,
+    removes the old file, and re-commits the metadata (temp file +
+    ``os.replace``) with the new ``"directory"`` key.  The payload is
+    untouched, so conversion costs one directory read + write — this
+    upgrades pre-sidecar indexes without a rebuild and lets benchmarks
+    compare open paths over byte-identical payloads.
+    """
+    directory = Path(directory)
+    if dir_format not in DIR_FORMATS:
+        raise InvalidParameterError(
+            f"dir_format must be one of {DIR_FORMATS}, got {dir_format!r}"
+        )
+    meta_path = directory / _META_FILE
+    if not meta_path.exists():
+        raise IndexFormatError(f"missing {_META_FILE} in {directory}")
+    meta = json.loads(meta_path.read_text())
+    sidecar_path = directory / _DIR_SIDECAR_FILE
+    npz_path = directory / _DIR_FILE
+    current = meta.get("directory")
+    if current is None:
+        current = "sidecar" if sidecar_path.exists() else "npz"
+    if current == dir_format:
+        return directory
+    if current == "sidecar":
+        views, _mapping = read_sidecar(sidecar_path)
+        # Copy out of the mapping before dropping it; np.savez would
+        # otherwise hold mmap-backed views past the unlink below.
+        arrays = {name: np.array(view) for name, view in views.items()}
+        np.savez(npz_path, **arrays)
+        sidecar_path.unlink()
+    else:
+        try:
+            with np.load(npz_path) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+        except (OSError, ValueError) as exc:
+            raise IndexFormatError(
+                f"directory file {_DIR_FILE} is missing or corrupt: {exc}"
+            ) from exc
+        write_sidecar(sidecar_path, arrays)
+        npz_path.unlink()
+    meta["directory"] = dir_format
+    temp_path = directory / (_META_FILE + ".tmp")
+    temp_path.write_text(json.dumps(meta))
+    os.replace(temp_path, meta_path)
+    return directory
 
 
 class DiskInvertedIndex:
@@ -264,7 +349,7 @@ class DiskInvertedIndex:
         if not meta_path.exists():
             leftovers = [
                 name
-                for name in (_PAYLOAD_FILE, _DIR_FILE)
+                for name in (_PAYLOAD_FILE, _DIR_SIDECAR_FILE, _DIR_FILE)
                 if (self._directory / name).exists()
             ]
             if leftovers:
@@ -292,11 +377,20 @@ class DiskInvertedIndex:
         self.t = int(meta["t"])
         self._num_postings = int(meta["num_postings"])
         self._zonemap_step = int(meta["zonemap_step"])
+        # Stat the payload exactly once; a vanished or unreadable file
+        # surfaces as a format error, not a raw FileNotFoundError.
+        try:
+            payload_size = payload_path.stat().st_size
+        except OSError as exc:
+            raise IndexFormatError(
+                f"payload file {_PAYLOAD_FILE} is missing or unreadable "
+                f"in {self._directory}: {exc}"
+            ) from exc
         if self._codec == "packed":
             self._payload_bytes = int(meta["payload_bytes"])
-            if payload_path.stat().st_size != self._payload_bytes:
+            if payload_size != self._payload_bytes:
                 raise IndexFormatError(
-                    f"payload has {payload_path.stat().st_size} bytes, "
+                    f"payload has {payload_size} bytes, "
                     f"expected {self._payload_bytes} (truncated or corrupt)"
                 )
             if self._payload_bytes:
@@ -305,45 +399,59 @@ class DiskInvertedIndex:
                 self._payload = np.empty(0, dtype=np.uint8)
         else:
             self._payload_bytes = self._num_postings * POSTING_BYTES
-            if payload_path.stat().st_size != self._payload_bytes:
+            if payload_size != self._payload_bytes:
                 raise IndexFormatError(
-                    f"payload has {payload_path.stat().st_size} bytes, "
+                    f"payload has {payload_size} bytes, "
                     f"expected {self._payload_bytes}"
                 )
             if self._num_postings:
                 self._payload = np.memmap(payload_path, dtype=POSTING_DTYPE, mode="r")
             else:
                 self._payload = np.empty(0, dtype=POSTING_DTYPE)
-        try:
-            with np.load(self._directory / _DIR_FILE) as archive:
-                self._keys = [archive[f"keys_{f}"] for f in range(self.family.k)]
-                self._offsets = [archive[f"offsets_{f}"] for f in range(self.family.k)]
-                self._counts = [archive[f"counts_{f}"] for f in range(self.family.k)]
-                if self._codec == "packed":
-                    self._blk_first = [
-                        archive[f"blk_first_{f}"] for f in range(self.family.k)
-                    ]
-                    self._blk_widths = [
-                        archive[f"blk_widths_{f}"].reshape(-1, 4)
-                        for f in range(self.family.k)
-                    ]
-                    self._blk_offsets = [
-                        archive[f"blk_offsets_{f}"].astype(np.int64)
-                        for f in range(self.family.k)
-                    ]
-                self._zm_keys = [archive[f"zm_keys_{f}"] for f in range(self.family.k)]
-                self._zm_starts = [
-                    archive[f"zm_starts_{f}"] for f in range(self.family.k)
-                ]
-                self._zm_lengths = [
-                    archive[f"zm_lengths_{f}"] for f in range(self.family.k)
-                ]
-                self._zm_samples = [
-                    archive[f"zm_samples_{f}"] for f in range(self.family.k)
-                ]
-        except (OSError, ValueError, KeyError) as exc:
+        declared = meta.get("directory")
+        if declared is None:
+            # Pre-sidecar metadata: infer the container from the files.
+            declared = (
+                "sidecar"
+                if (self._directory / _DIR_SIDECAR_FILE).exists()
+                else "npz"
+            )
+        if declared not in DIR_FORMATS:
             raise IndexFormatError(
-                f"directory file {_DIR_FILE} is missing or corrupt: {exc}"
+                f"unsupported directory container {declared!r}"
+            )
+        self._dir_format = declared
+        self._dir_map = None
+        arrays = self._load_directory()
+        try:
+            self._keys = [arrays[f"keys_{f}"] for f in range(self.family.k)]
+            self._offsets = [arrays[f"offsets_{f}"] for f in range(self.family.k)]
+            self._counts = [arrays[f"counts_{f}"] for f in range(self.family.k)]
+            if self._codec == "packed":
+                self._blk_first = [
+                    arrays[f"blk_first_{f}"] for f in range(self.family.k)
+                ]
+                self._blk_widths = [
+                    arrays[f"blk_widths_{f}"].reshape(-1, 4)
+                    for f in range(self.family.k)
+                ]
+                self._blk_offsets = [
+                    arrays[f"blk_offsets_{f}"] for f in range(self.family.k)
+                ]
+            self._zm_keys = [arrays[f"zm_keys_{f}"] for f in range(self.family.k)]
+            self._zm_starts = [
+                arrays[f"zm_starts_{f}"] for f in range(self.family.k)
+            ]
+            self._zm_lengths = [
+                arrays[f"zm_lengths_{f}"] for f in range(self.family.k)
+            ]
+            self._zm_samples = [
+                arrays[f"zm_samples_{f}"] for f in range(self.family.k)
+            ]
+        except KeyError as exc:
+            raise IndexFormatError(
+                f"index directory is missing array {exc} "
+                f"(container: {self._dir_format})"
             ) from exc
         directory_total = sum(int(c.sum()) for c in self._counts)
         if directory_total != self._num_postings:
@@ -367,6 +475,33 @@ class DiskInvertedIndex:
                     )
                 self._blk_ptr.append(ptr)
         self.io_stats = IOStats()
+
+    def _load_directory(self) -> dict[str, np.ndarray]:
+        """All directory arrays, from whichever container committed.
+
+        The sidecar path is zero-copy: one ``mmap`` shared by every
+        returned view (kept alive via ``self._dir_map``), no
+        decompression.  The legacy ``.npz`` path decompresses each
+        array into a private heap copy, exactly as before.
+        """
+        if self._dir_format == "sidecar":
+            try:
+                arrays, self._dir_map = read_sidecar(
+                    self._directory / _DIR_SIDECAR_FILE
+                )
+            except IndexFormatError as exc:
+                raise IndexFormatError(
+                    f"directory sidecar {_DIR_SIDECAR_FILE} is missing or "
+                    f"corrupt: {exc}"
+                ) from exc
+            return arrays
+        try:
+            with np.load(self._directory / _DIR_FILE) as archive:
+                return {name: archive[name] for name in archive.files}
+        except (OSError, ValueError) as exc:
+            raise IndexFormatError(
+                f"directory file {_DIR_FILE} is missing or corrupt: {exc}"
+            ) from exc
 
     # -- reader protocol ------------------------------------------------
     def _slot(self, func: int, minhash: int) -> int:
@@ -423,7 +558,9 @@ class DiskInvertedIndex:
             return self._decode_span(func, slot, 0, num_blocks)
         start = int(self._offsets[func][slot])
         begin = time.perf_counter()
-        chunk = np.array(self._payload[start : start + count])
+        # Zero-copy: a read-only view into the payload mapping, shared
+        # with the page cache (and with sibling prefork workers).
+        chunk = self._payload[start : start + count]
         self.io_stats.add(count * POSTING_BYTES, time.perf_counter() - begin)
         return chunk
 
@@ -462,7 +599,7 @@ class DiskInvertedIndex:
         else:
             start = int(self._offsets[func][slot])
             begin = time.perf_counter()
-            chunk = np.array(self._payload[start + lo : start + hi])
+            chunk = self._payload[start + lo : start + hi]
             elapsed = time.perf_counter() - begin
             self.io_stats.add(max(hi - lo, 0) * POSTING_BYTES, elapsed)
         left = int(np.searchsorted(chunk["text"], text_id, side="left"))
@@ -531,7 +668,7 @@ class DiskInvertedIndex:
         parts = []
         for run_begin, run_end in zip(run_lo.tolist(), run_hi.tolist()):
             tick = time.perf_counter()
-            part = np.array(self._payload[start + run_begin : start + run_end])
+            part = self._payload[start + run_begin : start + run_end]
             self.io_stats.add(part.size * POSTING_BYTES, time.perf_counter() - tick)
             parts.append(part)
         buffer = parts[0] if len(parts) == 1 else np.concatenate(parts)
@@ -601,6 +738,11 @@ class DiskInvertedIndex:
     def codec(self) -> str:
         """Payload codec: ``raw`` (format v1) or ``packed`` (format v2)."""
         return self._codec
+
+    @property
+    def directory_format(self) -> str:
+        """Directory container backing this reader: ``sidecar`` or ``npz``."""
+        return self._dir_format
 
     @property
     def num_postings(self) -> int:

@@ -19,7 +19,15 @@ Checked invariants:
    with the decoded contents: ``first_text`` entries match the block-
    leading postings, the stored bit widths are exactly the minimal
    widths of the re-derived columns, and block byte offsets tile the
-   payload contiguously within each list.
+   payload contiguously within each list;
+8. (disk readers) the directory container is consistent with the meta
+   file: the container ``index.meta.json`` declares is the one on
+   disk, exactly one container file is present, and — for the mmap
+   sidecar — the TOC is self-consistent (aligned, in-bounds,
+   non-overlapping sections whose byte sizes match their dtype/shape)
+   and carries every array the reader needs per hash function, with
+   matching lengths (``keys == offsets == counts``, the zone-map
+   triple, the block mini-directory).
 """
 
 from __future__ import annotations
@@ -153,7 +161,100 @@ def validate_index(
                     )
     if getattr(index, "codec", "raw") == "packed":
         _validate_block_directory(index, report, max_lists_per_func)
+    if hasattr(index, "directory_format"):
+        _validate_directory_container(index, report)
     return report
+
+
+def _validate_directory_container(index, report: ValidationReport) -> None:
+    """Invariant (8): container files vs. meta, sidecar TOC soundness."""
+    from pathlib import Path
+
+    from repro.index.sidecar import SECTION_ALIGN, SIDECAR_FILE, read_toc
+
+    directory = Path(index._directory)
+    declared = index.directory_format
+    present = {
+        name: (directory / filename).exists()
+        for name, filename in (("sidecar", SIDECAR_FILE), ("npz", "index.dir.npz"))
+    }
+    if not present.get(declared, False):
+        report._fail(
+            f"meta declares directory container {declared!r} but its file "
+            "is missing"
+        )
+    extra = [name for name, here in present.items() if here and name != declared]
+    if extra:
+        report._fail(
+            f"stray directory container file(s) {extra} next to the "
+            f"declared {declared!r} container"
+        )
+    if declared != "sidecar" or not present.get("sidecar", False):
+        return
+
+    try:
+        sections, data_start, size = read_toc(directory / SIDECAR_FILE)
+    except Exception as exc:  # noqa: BLE001 - any parse failure is the finding
+        report._fail(f"sidecar TOC unreadable: {exc}")
+        return
+    names = set()
+    spans = []
+    for section in sections:
+        name = section["name"]
+        names.add(name)
+        offset, nbytes = int(section["offset"]), int(section["nbytes"])
+        if offset % SECTION_ALIGN:
+            report._fail(f"sidecar section {name}: offset not {SECTION_ALIGN}-aligned")
+        expected = int(np.prod(section["shape"], dtype=np.int64)) * np.dtype(
+            section["dtype"]
+        ).itemsize
+        if nbytes != expected:
+            report._fail(
+                f"sidecar section {name}: nbytes {nbytes} does not match "
+                f"dtype/shape ({expected})"
+            )
+        if data_start + offset + nbytes > size:
+            report._fail(f"sidecar section {name}: extends past end of file")
+        spans.append((offset, offset + nbytes, name))
+    spans.sort()
+    for (_, end, name), (start, _, other) in zip(spans, spans[1:]):
+        if start < end:
+            report._fail(f"sidecar sections {name} and {other} overlap")
+
+    lengths = {section["name"]: int(section["shape"][0]) for section in sections}
+    required = ["keys", "offsets", "counts", "zm_keys", "zm_starts", "zm_lengths", "zm_samples"]
+    if getattr(index, "codec", "raw") == "packed":
+        required += ["blk_first", "blk_widths", "blk_offsets"]
+    for func in range(index.family.k):
+        missing = [
+            prefix for prefix in required if f"{prefix}_{func}" not in names
+        ]
+        if missing:
+            report._fail(f"sidecar is missing sections for func {func}: {missing}")
+            continue
+        num_lists = lengths[f"keys_{func}"]
+        if (
+            lengths[f"offsets_{func}"] != num_lists
+            or lengths[f"counts_{func}"] != num_lists
+        ):
+            report._fail(
+                f"sidecar func {func}: keys/offsets/counts lengths disagree"
+            )
+        num_zm = lengths[f"zm_keys_{func}"]
+        if (
+            lengths[f"zm_starts_{func}"] != num_zm
+            or lengths[f"zm_lengths_{func}"] != num_zm
+        ):
+            report._fail(f"sidecar func {func}: zone-map triple lengths disagree")
+        if getattr(index, "codec", "raw") == "packed":
+            num_blocks = lengths[f"blk_first_{func}"]
+            if (
+                lengths[f"blk_widths_{func}"] != num_blocks
+                or lengths[f"blk_offsets_{func}"] != num_blocks
+            ):
+                report._fail(
+                    f"sidecar func {func}: block mini-directory lengths disagree"
+                )
 
 
 def _validate_block_directory(index, report: ValidationReport, max_lists_per_func):

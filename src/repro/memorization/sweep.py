@@ -114,7 +114,11 @@ def run_figure4_sweep(
     executor = BatchQueryExecutor(
         searcher, workers=workers, batch_size=batch_size
     )
+    with executor:
+        return _run_sweep(executor, zoo, config, generation)
 
+
+def _run_sweep(executor, zoo, config, generation) -> "SweepResult":
     result = SweepResult()
     thetas = list(config.thetas)
     for tier in zoo:

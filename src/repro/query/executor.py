@@ -20,10 +20,15 @@ Execution strategies (``BatchStats.mode``):
     numpy kernels release the GIL for the heavy scans.
 ``process``
     ``workers>=2`` over a :class:`~repro.index.storage.DiskInvertedIndex`:
-    mirrors :mod:`repro.index.parallel` — workers re-open the index from
-    its directory (mmap-friendly; postings are never pickled), own a
-    private cache, and the parent ships each worker the shard of queries
-    whose dominant lists it should keep hot.
+    mirrors :mod:`repro.index.parallel` — workers open the index from
+    its directory once, in the pool initializer (mmap-friendly;
+    postings are never pickled), own a private cache, and the parent
+    ships each worker the shard of queries whose dominant lists it
+    should keep hot.  The pool itself is created lazily and **reused
+    across** :meth:`BatchQueryExecutor.execute` **calls**: repeated
+    batches pay the fork + index open once, and the per-worker caches
+    stay warm between batches.  Call :meth:`BatchQueryExecutor.close`
+    (or use the executor as a context manager) to release the pool.
 
 All modes return matches identical to the sequential loop; batching is
 a pure execution strategy.
@@ -207,6 +212,28 @@ class BatchQueryExecutor:
         self.mode = mode
         self.cache_bytes = int(cache_bytes)
         self.pin_fraction = float(pin_fraction)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_key: tuple | None = None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the persistent process pool (no-op if none exists)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_key = None
+
+    def __enter__(self) -> "BatchQueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
+            self._pool = None
 
     # ------------------------------------------------------------------
     def execute(
@@ -476,17 +503,28 @@ class BatchQueryExecutor:
             }
             for shard, pin_keys in shard_jobs
         ]
-        with ProcessPoolExecutor(
-            max_workers=len(shard_jobs),
-            initializer=_init_query_worker,
-            initargs=(
-                str(base.directory),
-                self.searcher.long_list_cutoff,
-                self.cache_bytes,
-                self.searcher.kernel,
-            ),
-        ) as pool:
-            return list(pool.map(_run_process_shard, payloads))
+        pool = self._process_pool(base)
+        return list(pool.map(_run_process_shard, payloads))
+
+    def _process_pool(self, base: DiskInvertedIndex) -> ProcessPoolExecutor:
+        """The persistent worker pool, (re)created only when the index
+        directory or searcher configuration changes."""
+        initargs = (
+            str(base.directory),
+            self.searcher.long_list_cutoff,
+            self.cache_bytes,
+            self.searcher.kernel,
+        )
+        key = (*initargs, self.workers)
+        if self._pool is None or self._pool_key != key:
+            self.close()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_query_worker,
+                initargs=initargs,
+            )
+            self._pool_key = key
+        return self._pool
 
     # -- assembly ------------------------------------------------------
     def _collect(

@@ -20,7 +20,12 @@ This package is that layer:
   graceful drain on shutdown;
 * :mod:`repro.service.client` — a small blocking
   :class:`~repro.service.client.ServiceClient` used by the CLI, the
-  tests, and the service benchmark.
+  tests, and the service benchmark;
+* :mod:`repro.service.prefork` — the multi-core deployment shape: a
+  supervisor forks N workers over one shared zero-copy index mapping
+  and one listening socket, with crash respawn, graceful drain, and
+  shared-memory stats aggregated into a ``cluster`` block of
+  ``/stats``.
 
 Serving is a pure execution strategy: a served query returns exactly
 what :meth:`~repro.engine.NearDupEngine.search_raw` returns for the
@@ -39,12 +44,14 @@ from repro.service.protocol import (
     ServiceError,
     result_to_wire,
 )
+from repro.service.prefork import PreforkServer, SharedServiceStats, StatsSlots
 from repro.service.server import SearchService, ServiceConfig, ServiceRunner
 from repro.service.stats import LatencyHistogram, ServiceStats
 
 __all__ = [
     "LatencyHistogram",
     "MicroBatcher",
+    "PreforkServer",
     "ProtocolError",
     "RemoteError",
     "RequestShedError",
@@ -56,5 +63,7 @@ __all__ = [
     "ServiceError",
     "ServiceRunner",
     "ServiceStats",
+    "SharedServiceStats",
+    "StatsSlots",
     "result_to_wire",
 ]

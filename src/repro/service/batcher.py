@@ -137,6 +137,7 @@ class MicroBatcher:
         if self._inflight:
             await asyncio.gather(*self._inflight, return_exceptions=True)
         self._pool.shutdown(wait=True)
+        self.executor.close()
 
     def pause(self) -> None:
         """Hold dispatch (requests keep queueing).  Test/benchmark hook."""

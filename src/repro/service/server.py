@@ -22,9 +22,11 @@ import asyncio
 import concurrent.futures
 import json
 import logging
+import os
+import socket
 import threading
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.engine import NearDupEngine
 from repro.service.batcher import MicroBatcher
@@ -62,7 +64,9 @@ class ServiceConfig:
 
     host: str = "127.0.0.1"
     port: int = 8080  #: 0 = ephemeral (the bound port lands in ``service.port``)
-    workers: int = 2
+    workers: int = 2  #: batcher threads per server process
+    procs: int = 1  #: prefork worker processes (1 = single in-process server)
+    reuse_port: bool = False  #: per-worker SO_REUSEPORT sockets instead of one shared accept socket
     max_batch: int = 16
     linger_ms: float = 8.0
     max_queue: int = 128
@@ -76,10 +80,21 @@ class ServiceConfig:
 class SearchService:
     """The served engine: routes requests into the micro-batcher."""
 
-    def __init__(self, engine: NearDupEngine, config: ServiceConfig | None = None):
+    def __init__(
+        self,
+        engine: NearDupEngine,
+        config: ServiceConfig | None = None,
+        *,
+        stats: ServiceStats | None = None,
+    ):
         self.engine = engine
         self.config = config or ServiceConfig()
-        self.stats = ServiceStats()
+        # Prefork workers inject a shared-memory-backed stats block so
+        # the supervisor's cluster view sees every worker's counters.
+        self.stats = stats or ServiceStats()
+        #: Optional cluster aggregation hook (set by the prefork
+        #: worker); when present, ``/stats`` adds a ``cluster`` block.
+        self.cluster: Callable[[], dict[str, Any]] | None = None
         self.searcher = engine.cached_searcher(cache_bytes=self.config.cache_bytes)
         self.batcher = MicroBatcher(
             self.searcher,
@@ -95,16 +110,30 @@ class SearchService:
         self.port: int | None = None
 
     # -- lifecycle ------------------------------------------------------
-    async def start(self) -> None:
-        """Warm the cache, start the batcher, and bind the socket."""
+    async def start(self, *, sock: socket.socket | None = None) -> None:
+        """Warm the cache, start the batcher, and bind the socket.
+
+        ``sock`` lets a prefork supervisor pass one already-bound
+        listening socket shared by every forked worker (a shared accept
+        loop); with ``config.reuse_port`` each worker instead binds its
+        own ``SO_REUSEPORT`` socket and the kernel spreads accepts.
+        """
         if self.config.warmup_lists > 0:
             self.warmed_lists = self.engine.warmup(
                 self.searcher, max_lists=self.config.warmup_lists
             )
         await self.batcher.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
-        )
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                self.config.host,
+                self.config.port,
+                reuse_port=self.config.reuse_port or None,
+            )
         self.port = self._server.sockets[0].getsockname()[1]
         logger.info(
             "serving %d texts / %d postings on %s:%d (%d lists warm)",
@@ -328,6 +357,7 @@ class SearchService:
         return {
             "ok": True,
             "status": "draining" if self._draining else "serving",
+            "pid": os.getpid(),
             "texts": self.engine.num_texts,
             "postings": self.engine.index.num_postings,
             "k": self.engine.index.family.k,
@@ -335,7 +365,7 @@ class SearchService:
         }
 
     def _stats_payload(self) -> dict[str, Any]:
-        return {
+        payload = {
             "ok": True,
             "service": self.stats.snapshot(),
             "cache": self.searcher.index.stats().to_dict(),
@@ -344,6 +374,7 @@ class SearchService:
             "engine": self._health_payload(),
             "config": {
                 "workers": self.config.workers,
+                "procs": self.config.procs,
                 "max_batch": self.config.max_batch,
                 "linger_ms": self.config.linger_ms,
                 "max_queue": self.config.max_queue,
@@ -351,6 +382,9 @@ class SearchService:
                 "cache_bytes": self.config.cache_bytes,
             },
         }
+        if self.cluster is not None:
+            payload["cluster"] = self.cluster()
+        return payload
 
 
 # ----------------------------------------------------------------------
@@ -498,9 +532,16 @@ def serve(
     """Blocking entry point of ``repro-cli serve``.
 
     Loads the engine, runs the service until interrupted, then drains
-    in-flight requests before returning.
+    in-flight requests before returning.  With ``config.procs > 1`` the
+    engine is loaded once (mmap) and served by a
+    :class:`~repro.service.prefork.PreforkServer` fleet of forked
+    workers sharing that mapping.
     """
     engine = load_served_engine(index_dir, corpus_dir)
+    if config is not None and config.procs > 1:
+        from repro.service.prefork import PreforkServer
+
+        return PreforkServer(engine, config).run_forever(banner=banner)
     service = SearchService(engine, config)
     try:
         asyncio.run(_serve_until_cancelled(service, banner))

@@ -43,7 +43,7 @@ from repro.index.codec import (
 )
 from repro.index.incremental import IncrementalIndex
 from repro.index.inverted import POSTING_BYTES, POSTING_DTYPE
-from repro.index.storage import DiskInvertedIndex, write_index
+from repro.index.storage import DiskInvertedIndex, convert_directory, write_index
 from repro.index.validate import validate_index
 from repro.query.results import BatchStats
 
@@ -425,6 +425,7 @@ class TestErrorPaths:
     def test_block_count_mismatch_rejected(self, corpus_setup, tmp_path):
         *_, v2_dir = corpus_setup
         clone = clone_index(v2_dir, tmp_path / "blkmiss")
+        convert_directory(clone, "npz")
         with np.load(clone / "index.dir.npz") as archive:
             arrays = {name: archive[name] for name in archive.files}
         name = "blk_first_0"

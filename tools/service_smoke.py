@@ -6,11 +6,17 @@ process, round-trips ``/health`` and ``/search`` through
 direct in-process search, then interrupts the server and asserts a
 clean (exit 0) graceful shutdown.
 
-Run: ``PYTHONPATH=src python tools/service_smoke.py``
+With ``--workers N`` (N > 1) the server runs as a prefork fleet —
+N forked processes sharing one mmap index and one listening socket —
+and the smoke additionally asserts the aggregated ``cluster`` block
+of ``/stats`` sees the whole fleet.
+
+Run: ``PYTHONPATH=src python tools/service_smoke.py [--workers 2]``
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import signal
 import socket
@@ -34,6 +40,15 @@ def free_port() -> int:
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="prefork server processes (1 = single in-process server)",
+    )
+    args = parser.parse_args()
+
     data = synthweb(
         num_texts=80,
         mean_length=120,
@@ -51,7 +66,8 @@ def main() -> int:
     server = subprocess.Popen(
         [
             sys.executable, "-m", "repro.cli", "serve", str(directory),
-            "--port", str(port), "--workers", "1", "--linger-ms", "2",
+            "--port", str(port), "--workers", str(args.workers),
+            "--linger-ms", "2",
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -88,6 +104,17 @@ def main() -> int:
         )
         stats = client.stats()
         assert stats["service"]["completed"] >= 1
+        if args.workers > 1:
+            cluster = stats.get("cluster")
+            assert cluster is not None, "prefork /stats is missing the cluster block"
+            assert cluster["procs"] == args.workers, cluster
+            assert cluster["alive"] == args.workers, cluster
+            assert cluster["completed"] >= 1, cluster
+            print(
+                f"cluster: {cluster['alive']}/{cluster['procs']} workers, "
+                f"{cluster['completed']} completed, pids "
+                f"{[worker['pid'] for worker in cluster['workers']]}"
+            )
         client.close()
     finally:
         server.send_signal(signal.SIGINT)
