@@ -11,7 +11,13 @@ Subcommands cover the full pipeline on synthetic data:
   memorization evaluation;
 * ``serve``      — run the online search service over a saved engine
   directory (asyncio HTTP, micro-batching, admission control);
-* ``remote-query`` — query a running service from the command line.
+* ``build-fleet`` — split a saved engine into per-shard engines plus a
+  ``shardmap.json`` for the scatter-gather tier;
+* ``serve-shards`` — launch one shard server per ``shard<i>/`` under a
+  fleet root (each may prefork);
+* ``route``      — run the scatter-gather router over a shard map;
+* ``remote-query`` — query a running service or router from the
+  command line.
 """
 
 from __future__ import annotations
@@ -302,6 +308,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return serve(args.engine_dir, corpus_dir=args.corpus, config=config)
 
 
+def _cmd_build_fleet(args: argparse.Namespace) -> int:
+    from repro.engine import NearDupEngine
+    from repro.service.router import build_shard_fleet
+
+    engine = NearDupEngine.load(args.engine_dir)
+    shard_map = build_shard_fleet(
+        engine,
+        args.out,
+        num_shards=args.shards,
+        host=args.host,
+        base_port=args.base_port,
+    )
+    print(
+        f"wrote {len(shard_map)} shard engines ({shard_map.num_texts} texts) "
+        f"and shardmap.json under {args.out}"
+    )
+    return 0
+
+
+def _cmd_serve_shards(args: argparse.Namespace) -> int:
+    from repro.service.router import serve_shards
+
+    return serve_shards(
+        args.fleet_dir,
+        host=args.host,
+        base_port=args.base_port,
+        workers=args.batch_workers,
+        procs=args.workers,
+    )
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.service.router import RouterConfig, route
+
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        timeout_ms=args.timeout_ms,
+        shard_timeout_ms=args.shard_timeout_ms,
+        max_connections=args.max_connections,
+        partial_results=not args.no_partial,
+    )
+    return route(args.shard_map, config=config)
+
+
 def _cmd_remote_query(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceClient
     from repro.service.protocol import ServiceError
@@ -330,12 +381,19 @@ def _cmd_remote_query(args: argparse.Namespace) -> int:
             return 1
     result = response["result"]
     server = response["server"]
+    if "shards_asked" in server:  # answered by the scatter-gather router
+        extra = f"{server['shards_answered']}/{server['shards_asked']} shards"
+        if response.get("partial"):
+            extra += " (PARTIAL)"
+    else:
+        extra = (
+            f"queued {server['queue_ms']:.1f} ms, "
+            f"batched with {server['batched_with']}"
+        )
     print(
         f"theta={result['theta']} beta={result['beta']}: "
         f"{result['num_texts']} matching texts, {len(result['spans'])} regions, "
-        f"latency {server['total_ms']:.1f} ms "
-        f"(queued {server['queue_ms']:.1f} ms, "
-        f"batched with {server['batched_with']})"
+        f"latency {server['total_ms']:.1f} ms ({extra})"
     )
     for text_id, start, end in result["spans"][: args.limit]:
         print(f"  text {text_id} tokens {start}..{end}")
@@ -542,6 +600,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--theta", type=float, default=0.8, help="default similarity threshold"
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_fleet = sub.add_parser(
+        "build-fleet",
+        help="split a saved engine into shard engines + shardmap.json",
+    )
+    p_fleet.add_argument("engine_dir", help="saved engine directory")
+    p_fleet.add_argument("out", help="fleet root (shard<i>/ written here)")
+    p_fleet.add_argument("--shards", type=int, default=4)
+    p_fleet.add_argument("--host", default="127.0.0.1")
+    p_fleet.add_argument(
+        "--base-port", type=int, default=8101, help="shard i listens on base+i"
+    )
+    p_fleet.set_defaults(func=_cmd_build_fleet)
+
+    p_shards = sub.add_parser(
+        "serve-shards",
+        help="launch one shard server per shard<i>/ under a fleet root",
+    )
+    p_shards.add_argument("fleet_dir", help="directory holding shard<i>/ engines")
+    p_shards.add_argument("--host", default="127.0.0.1")
+    p_shards.add_argument(
+        "--base-port", type=int, default=8101, help="shard i listens on base+i"
+    )
+    p_shards.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="prefork processes per shard server (1 = single process)",
+    )
+    p_shards.add_argument(
+        "--batch-workers",
+        type=int,
+        default=2,
+        help="batcher threads inside each shard process",
+    )
+    p_shards.set_defaults(func=_cmd_serve_shards)
+
+    p_route = sub.add_parser(
+        "route",
+        help="run the scatter-gather router over a shard map",
+    )
+    p_route.add_argument(
+        "shard_map", help="shardmap.json (or a directory containing one)"
+    )
+    p_route.add_argument("--host", default="127.0.0.1")
+    p_route.add_argument("--port", type=int, default=8080, help="0 = ephemeral")
+    p_route.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=30000.0,
+        help="default end-to-end deadline per request",
+    )
+    p_route.add_argument(
+        "--shard-timeout-ms",
+        type=float,
+        default=None,
+        help="per-shard deadline cap (default: the whole request budget)",
+    )
+    p_route.add_argument(
+        "--max-connections",
+        type=int,
+        default=16,
+        help="pooled keep-alive connections per shard",
+    )
+    p_route.add_argument(
+        "--no-partial",
+        action="store_true",
+        help="fail the whole request when any shard fails (default: answer "
+        "from the healthy shards with partial=true)",
+    )
+    p_route.set_defaults(func=_cmd_route)
 
     p_remote = sub.add_parser(
         "remote-query", help="query a running search service"

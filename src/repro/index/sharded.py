@@ -16,6 +16,7 @@ local (each shard has its own Zipf head), which is what
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -30,6 +31,30 @@ from repro.index.codec import check_codec
 # NOTE: repro.core.search imports repro.index.inverted, whose package
 # __init__ imports this module — so the searcher types are imported
 # lazily inside ShardedSearcher to break the cycle.
+
+
+def shard_ranges(total: int, num_shards: int) -> list[tuple[int, int]]:
+    """``(first_text, count)`` of each shard under ceil-division.
+
+    The one partitioning rule shared by :meth:`ShardedIndex.build` and
+    the fleet builder (:func:`repro.service.router.build_shard_fleet`),
+    so a routed deployment and an in-process sharded searcher agree on
+    which shard owns which text.
+    """
+    if num_shards <= 0:
+        raise InvalidParameterError(
+            f"num_shards must be positive, got {num_shards}"
+        )
+    per_shard = max(1, (total + num_shards - 1) // num_shards)
+    ranges = []
+    start = 0
+    while start < total:
+        count = min(per_shard, total - start)
+        ranges.append((start, count))
+        start += count
+    if not ranges:  # empty corpus: one empty shard keeps the API total
+        ranges.append((0, 0))
+    return ranges
 
 
 @dataclass(frozen=True)
@@ -118,11 +143,8 @@ class ShardedIndex:
             write_index(index, shard_dir, codec=codec)
             return DiskInvertedIndex(shard_dir)
 
-        per_shard = max(1, (total + num_shards - 1) // num_shards)
         shards = []
-        start = 0
-        while start < total:
-            count = min(per_shard, total - start)
+        for start, count in shard_ranges(total, num_shards):
             local = InMemoryCorpus(
                 [np.asarray(corpus[start + offset]) for offset in range(count)]
             )
@@ -131,15 +153,6 @@ class ShardedIndex:
                     first_text=start,
                     count=count,
                     index=materialize(build_shard(local), len(shards)),
-                )
-            )
-            start += count
-        if not shards:  # empty corpus: one empty shard keeps the API total
-            shards.append(
-                Shard(
-                    first_text=0,
-                    count=0,
-                    index=materialize(build_shard(InMemoryCorpus([])), 0),
                 )
             )
         return cls(shards, family, t)
@@ -154,26 +167,77 @@ class ShardedIndex:
 
 
 class ShardedSearcher:
-    """Fan a query out to every shard and merge the (re-numbered) results."""
+    """Fan a query out to every shard and merge the (re-numbered) results.
 
-    def __init__(self, sharded: ShardedIndex, *, long_list_cutoff: int | None = None) -> None:
+    ``workers > 1`` searches the shards concurrently on a thread pool;
+    results are still merged in shard order, so the output is identical
+    to the serial loop (the shard hot path releases the GIL inside the
+    NumPy kernels, which is where the wall-clock win comes from).  Use
+    as a context manager (or call :meth:`close`) to reclaim the pool.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedIndex,
+        *,
+        long_list_cutoff: int | None = None,
+        workers: int = 1,
+    ) -> None:
         from repro.core.search import NearDuplicateSearcher
 
         self.sharded = sharded
         self.t = sharded.t
+        self.workers = max(1, int(workers))
         self._searchers = [
             NearDuplicateSearcher(shard.index, long_list_cutoff=long_list_cutoff)
             for shard in sharded.shards
         ]
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+        if self.workers > 1 and len(self._searchers) > 1:
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=min(self.workers, len(self._searchers)),
+                thread_name_prefix="shard-search",
+            )
 
-    def search(self, query: np.ndarray, theta: float, **kwargs):
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedSearcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- search ---------------------------------------------------------
+    def _search_shards(self, query: np.ndarray, theta: float, **kwargs) -> list:
+        """Every shard's local result, always in shard order."""
+        if self._pool is None:
+            return [
+                searcher.search(query, theta, **kwargs)
+                for searcher in self._searchers
+            ]
+        futures = [
+            self._pool.submit(searcher.search, query, theta, **kwargs)
+            for searcher in self._searchers
+        ]
+        return [future.result() for future in futures]
+
+    def _merge(self, results: list, theta: float):
+        """Re-number per-shard results to global ids and concatenate.
+
+        ``results`` must be in shard order; per-shard matches are
+        already sorted by local text id and shard ranges ascend, so the
+        final sort is a no-op safety net rather than a real shuffle.
+        """
         from repro.core.search import QueryStats, SearchResult
 
         merged_matches = []
         stats = QueryStats()
         beta = k = 0
-        for shard, searcher in zip(self.sharded.shards, self._searchers):
-            result = searcher.search(query, theta, **kwargs)
+        for shard, result in zip(self.sharded.shards, results):
             beta, k = result.beta, result.k
             for match in result.matches:
                 merged_matches.append(
@@ -193,3 +257,29 @@ class ShardedSearcher:
             beta=beta,
             t=self.t,
         )
+
+    def search(self, query: np.ndarray, theta: float, **kwargs):
+        return self._merge(self._search_shards(query, theta, **kwargs), theta)
+
+    def search_batch(self, queries, theta: float, **kwargs) -> list:
+        """One merged result per query, fanning (shard, query) pairs out.
+
+        With a pool this schedules all ``num_shards * len(queries)``
+        searches at once, so shards and queries overlap freely; the
+        output equals ``[self.search(q, theta) for q in queries]``.
+        """
+        if self._pool is None:
+            per_query = [
+                [searcher.search(query, theta, **kwargs) for searcher in self._searchers]
+                for query in queries
+            ]
+        else:
+            futures = [
+                [
+                    self._pool.submit(searcher.search, query, theta, **kwargs)
+                    for searcher in self._searchers
+                ]
+                for query in queries
+            ]
+            per_query = [[future.result() for future in row] for row in futures]
+        return [self._merge(results, theta) for results in per_query]

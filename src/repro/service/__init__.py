@@ -25,7 +25,17 @@ This package is that layer:
   supervisor forks N workers over one shared zero-copy index mapping
   and one listening socket, with crash respawn, graceful drain, and
   shared-memory stats aggregated into a ``cluster`` block of
-  ``/stats``.
+  ``/stats``;
+* :mod:`repro.service.shardmap` — which shard owns which texts
+  (contiguous text-id ranges + a consistent-hash ring for new keys),
+  serialized as ``shardmap.json``;
+* :mod:`repro.service.aioclient` — the asyncio client with pooled
+  keep-alive connections the router fans out through;
+* :mod:`repro.service.router` — the multi-machine deployment shape: a
+  scatter-gather front-end that asks every shard server concurrently,
+  re-numbers text ids by shard offset, merges matches and stats, and
+  answers partially (``"partial": true``) when a shard misses its
+  deadline.
 
 Serving is a pure execution strategy: a served query returns exactly
 what :meth:`~repro.engine.NearDupEngine.search_raw` returns for the
@@ -33,6 +43,7 @@ same query and theta, serialized by
 :func:`~repro.service.protocol.result_to_wire`.
 """
 
+from repro.service.aioclient import AsyncServiceClient
 from repro.service.batcher import MicroBatcher
 from repro.service.client import ServiceClient
 from repro.service.protocol import (
@@ -45,10 +56,19 @@ from repro.service.protocol import (
     result_to_wire,
 )
 from repro.service.prefork import PreforkServer, SharedServiceStats, StatsSlots
+from repro.service.router import (
+    RouterConfig,
+    RouterService,
+    build_shard_fleet,
+    discover_shard_fleet,
+)
 from repro.service.server import SearchService, ServiceConfig, ServiceRunner
-from repro.service.stats import LatencyHistogram, ServiceStats
+from repro.service.shardmap import HashRing, ShardEntry, ShardMap
+from repro.service.stats import LatencyHistogram, RouterStats, ServiceStats
 
 __all__ = [
+    "AsyncServiceClient",
+    "HashRing",
     "LatencyHistogram",
     "MicroBatcher",
     "PreforkServer",
@@ -56,6 +76,9 @@ __all__ = [
     "RemoteError",
     "RequestShedError",
     "RequestTimeoutError",
+    "RouterConfig",
+    "RouterService",
+    "RouterStats",
     "SearchService",
     "ServiceClient",
     "ServiceClosedError",
@@ -63,7 +86,11 @@ __all__ = [
     "ServiceError",
     "ServiceRunner",
     "ServiceStats",
+    "ShardEntry",
+    "ShardMap",
     "SharedServiceStats",
     "StatsSlots",
+    "build_shard_fleet",
+    "discover_shard_fleet",
     "result_to_wire",
 ]

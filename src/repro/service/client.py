@@ -10,13 +10,20 @@ Error responses are raised as typed exceptions
 :class:`~repro.service.protocol.RequestTimeoutError` for 504,
 :class:`~repro.service.protocol.ServiceClosedError` for 503,
 :class:`~repro.service.protocol.RemoteError` otherwise) so callers can
-implement backoff on shed without string-matching.
+implement backoff on shed without string-matching — or let the client
+do it: ``retries=N`` (default 0, off) re-issues a request shed by
+admission control up to N times with jittered exponential backoff.  A
+429 is the one failure that is *safe* to retry blindly — the server
+sheds before planning or executing anything — and the jitter keeps a
+shed fleet from re-converging on the same instant.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
+import time
 from typing import Any, Sequence
 
 import numpy as np
@@ -35,19 +42,71 @@ _ERRORS_BY_STATUS = {
 }
 
 
+def raise_for_response(status: int, decoded: Any) -> None:
+    """Raise the typed error for a non-OK decoded response body.
+
+    Shared by the blocking and asyncio clients so both surface the same
+    exception types for the same wire statuses.
+    """
+    if status == 200 and isinstance(decoded, dict) and decoded.get("ok", False):
+        return
+    if isinstance(decoded, dict):
+        message = decoded.get("error", f"HTTP {status}")
+    else:
+        message = f"HTTP {status}"
+    error_type = _ERRORS_BY_STATUS.get(status, RemoteError)
+    if error_type is RemoteError:
+        raise RemoteError(message, status)
+    raise error_type(message)
+
+
 class ServiceClient:
-    """One keep-alive connection to a running search service."""
+    """One keep-alive connection to a running search service.
+
+    ``retries`` > 0 opts into automatic retry of requests shed with 429
+    (:class:`~repro.service.protocol.RequestShedError` only — other
+    errors always surface immediately): attempt ``i`` sleeps
+    ``backoff_ms * 2**i`` capped at ``max_backoff_ms``, scaled by a
+    uniform jitter in ``[0.5, 1.0)``.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30.0,
+        *,
+        retries: int = 0,
+        backoff_ms: float = 50.0,
+        max_backoff_ms: float = 2000.0,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
+        self.retries = max(0, int(retries))
+        self.backoff_ms = float(backoff_ms)
+        self.max_backoff_ms = float(max_backoff_ms)
+        self._rng = random.Random()
         self._connection: http.client.HTTPConnection | None = None
 
     # -- transport ------------------------------------------------------
     def _request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except RequestShedError:
+                if attempt >= self.retries:
+                    raise
+                delay = min(
+                    self.backoff_ms * (2.0 ** attempt), self.max_backoff_ms
+                )
+                time.sleep(delay * self._rng.uniform(0.5, 1.0) / 1e3)
+                attempt += 1
+
+    def _request_once(
         self, method: str, path: str, body: dict[str, Any] | None = None
     ) -> dict[str, Any]:
         payload = json.dumps(body).encode("utf-8") if body is not None else None
@@ -71,12 +130,7 @@ class ServiceClient:
             raise RemoteError(
                 f"non-JSON response ({response.status}): {exc}", response.status
             )
-        if response.status != 200 or not decoded.get("ok", False):
-            message = decoded.get("error", f"HTTP {response.status}")
-            error_type = _ERRORS_BY_STATUS.get(response.status, RemoteError)
-            if error_type is RemoteError:
-                raise RemoteError(message, response.status)
-            raise error_type(message)
+        raise_for_response(response.status, decoded)
         return decoded
 
     def close(self) -> None:

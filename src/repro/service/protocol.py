@@ -30,11 +30,12 @@ status on the HTTP line (400 malformed, 404 unknown path, 429 shed,
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any
 
 import numpy as np
 
-from repro.core.search import SearchResult
+from repro.core.search import QueryStats, SearchResult
 from repro.exceptions import ReproError
 
 
@@ -118,6 +119,27 @@ def result_to_wire(result: SearchResult) -> dict[str, Any]:
             for span in result.merged_spans()
         ],
     }
+
+
+def stats_to_wire(stats: QueryStats) -> dict[str, Any]:
+    """Serialize per-query stats for the response's ``server`` block.
+
+    Field-driven (like :meth:`QueryStats.merge`), so a counter added to
+    :class:`QueryStats` later crosses the wire automatically.
+    """
+    return dataclasses.asdict(stats)
+
+
+def stats_from_wire(raw: Any) -> QueryStats:
+    """Rebuild :class:`QueryStats` from a ``server.stats`` wire dict.
+
+    Unknown keys are ignored and missing ones default to zero, so a
+    router can merge stats from shard servers one format revision away.
+    """
+    if not isinstance(raw, dict):
+        return QueryStats()
+    known = {spec.name for spec in dataclasses.fields(QueryStats)}
+    return QueryStats(**{key: raw[key] for key in raw.keys() & known})
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,660 @@
+"""Scatter-gather router: one endpoint over a fleet of shard servers.
+
+A corpus too big for one machine is split into contiguous text-id
+shards (:func:`~repro.index.sharded.shard_ranges`), each served by its
+own :class:`~repro.service.server.SearchService`.  The router owns the
+:class:`~repro.service.shardmap.ShardMap` and presents the union as a
+single service speaking the exact same protocol: a ``/search`` request
+fans out to every shard concurrently over pooled keep-alive
+connections (:class:`~repro.service.aioclient.AsyncServiceClient`),
+the per-shard answers come back numbered in each shard's local id
+space, and the router adds each shard's ``first_text`` offset and
+concatenates in shard order — matches are sorted by local id within a
+shard and shard ranges ascend, so the merged list is globally sorted
+without re-sorting, byte-identical to what one in-process
+:class:`~repro.index.sharded.ShardedSearcher` over the same partition
+would serve.
+
+Latency is the point: the fleet answers in ``max`` (slowest shard)
+rather than ``sum`` (a serial loop over shards), so a fan-out of N
+approaches N-fold throughput for shard-bound queries.  The failure
+model follows from fan-out too — any shard can miss the deadline, and
+a router that failed the whole query on one slow shard would multiply
+the fleet's tail.  Instead each shard gets its own deadline carved
+from the request budget, and when ``partial_results`` is on (default)
+the router returns what the healthy shards found with ``"partial":
+true`` and the list of shards that failed, letting the caller decide
+whether a subset of the corpus is good enough.
+
+Queries must be token ids (``"query"``): the router owns no tokenizer,
+and shard engines' tokenizers are not guaranteed to agree, so
+``"text"`` bodies are rejected with 400 rather than silently answered
+against whichever vocabulary a shard happens to have.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import signal
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.service.aioclient import AsyncServiceClient
+from repro.service.protocol import (
+    ProtocolError,
+    RemoteError,
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceError,
+    error_body,
+    parse_flag,
+    parse_theta,
+    parse_timeout,
+    parse_tokens,
+    stats_from_wire,
+    stats_to_wire,
+)
+from repro.service.server import HttpServiceBase
+from repro.service.shardmap import ShardEntry, ShardMap
+from repro.service.stats import RouterStats
+
+logger = logging.getLogger(__name__)
+
+SHARD_MAP_FILE = "shardmap.json"
+
+
+@dataclass
+class RouterConfig:
+    """Tuning knobs of one router instance (see ``docs/SERVICE.md``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080  #: 0 = ephemeral (the bound port lands in ``router.port``)
+    timeout_ms: float = 30000.0  #: default end-to-end budget per request
+    shard_timeout_ms: float | None = None  #: per-shard cap; None = whole budget
+    connect_timeout_ms: float = 5000.0
+    max_connections: int = 16  #: pooled keep-alive connections per shard
+    partial_results: bool = True  #: answer from healthy shards on failure
+    health_timeout_ms: float = 2000.0  #: budget of /health and /stats fan-outs
+    max_body_bytes: int = 8 * 1024 * 1024
+
+
+class RouterService(HttpServiceBase):
+    """The scatter-gather front-end over one :class:`ShardMap`."""
+
+    def __init__(self, shard_map: ShardMap, config: RouterConfig | None = None):
+        super().__init__()
+        self.shard_map = shard_map
+        self.config = config or RouterConfig()
+        self.stats = RouterStats()
+        self._clients: dict[str, AsyncServiceClient] = {}
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        for entry in self.shard_map:
+            self._clients[entry.name] = AsyncServiceClient(
+                entry.host,
+                entry.port,
+                timeout=self.config.timeout_ms / 1e3,
+                connect_timeout=self.config.connect_timeout_ms / 1e3,
+                max_connections=self.config.max_connections,
+            )
+        await self._start_listener()
+        logger.info(
+            "routing %d texts across %d shards on %s:%d",
+            self.shard_map.num_texts,
+            len(self.shard_map),
+            self.config.host,
+            self.port,
+        )
+
+    async def shutdown(self) -> None:
+        await self._close_listener()
+        for client in self._clients.values():
+            await client.close()
+        self._clients.clear()
+
+    # -- scatter-gather core --------------------------------------------
+    def _shard_deadline(self, budget: float) -> float:
+        """Seconds each shard gets, carved from the request budget."""
+        if self.config.shard_timeout_ms is not None:
+            return min(budget, self.config.shard_timeout_ms / 1e3)
+        return budget
+
+    async def _fan_out(
+        self, path: str, body: dict[str, Any], timeout: float
+    ) -> tuple[list[tuple[ShardEntry, dict[str, Any]]], list[dict[str, Any]]]:
+        """Ask every shard; return (successes in shard order, failures).
+
+        Each sub-request runs under the per-shard deadline; a shard
+        that times out, refuses, or errors lands in the failure list
+        (name + error + status) instead of poisoning the gather.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = self._shard_deadline(timeout)
+        shard_body = dict(body)
+        shard_body["timeout_ms"] = deadline * 1e3
+
+        async def ask(entry: ShardEntry):
+            begin = loop.time()
+            response = await self._clients[entry.name].request(
+                "POST", path, shard_body, timeout=deadline
+            )
+            return response, loop.time() - begin
+
+        outcomes = await asyncio.gather(
+            *(ask(entry) for entry in self.shard_map), return_exceptions=True
+        )
+        successes: list[tuple[ShardEntry, dict[str, Any]]] = []
+        failures: list[dict[str, Any]] = []
+        latencies: list[float] = []
+        for entry, outcome in zip(self.shard_map, outcomes):
+            if isinstance(outcome, BaseException):
+                if isinstance(outcome, (asyncio.TimeoutError, TimeoutError)):
+                    reason, code = "shard deadline exceeded", 504
+                elif isinstance(outcome, ServiceError):
+                    reason, code = str(outcome), outcome.status
+                elif isinstance(outcome, OSError):
+                    reason, code = f"shard unreachable: {outcome}", 502
+                else:
+                    raise outcome
+                failures.append(
+                    {"shard": entry.name, "error": reason, "code": code}
+                )
+            else:
+                response, seconds = outcome
+                successes.append((entry, response))
+                latencies.append(seconds)
+        self.stats.record_fanout(latencies, len(failures))
+        if not successes:
+            codes = {failure["code"] for failure in failures}
+            detail = "; ".join(
+                f"{failure['shard']}: {failure['error']}" for failure in failures
+            )
+            if codes == {504}:
+                raise RequestTimeoutError(f"all shards failed ({detail})")
+            raise RemoteError(f"all shards failed ({detail})", 502)
+        if failures and not self.config.partial_results:
+            worst = failures[0]
+            raise RemoteError(
+                f"shard {worst['shard']} failed: {worst['error']}",
+                worst["code"],
+            )
+        return successes, failures
+
+    @staticmethod
+    def _merge_results(
+        shard_results: list[tuple[ShardEntry, dict[str, Any]]],
+    ) -> dict[str, Any]:
+        """Fuse per-shard ``result`` blocks into one global block.
+
+        Text ids are re-numbered by each shard's ``first_text``;
+        concatenation in shard order keeps matches and spans globally
+        sorted (contiguous ascending ranges), so the output matches
+        ``result_to_wire`` of a direct sharded search byte for byte.
+        """
+        matches: list[dict[str, Any]] = []
+        spans: list[list[int]] = []
+        k = beta = t = 0
+        theta = 0.0
+        for entry, result in shard_results:
+            k, theta, beta, t = (
+                result["k"],
+                result["theta"],
+                result["beta"],
+                result["t"],
+            )
+            for match in result["matches"]:
+                matches.append(
+                    {
+                        "text_id": match["text_id"] + entry.first_text,
+                        "rectangles": match["rectangles"],
+                    }
+                )
+            for span in result["spans"]:
+                spans.append([span[0] + entry.first_text, span[1], span[2]])
+        return {
+            "k": k,
+            "theta": theta,
+            "beta": beta,
+            "t": t,
+            "num_texts": len(matches),
+            "matches": matches,
+            "spans": spans,
+        }
+
+    @staticmethod
+    def _merge_stats(stats_blocks: list[Any], texts_matched: int) -> dict[str, Any]:
+        """Fold per-shard ``server.stats`` dicts via ``QueryStats.merge``."""
+        merged = None
+        for block in stats_blocks:
+            shard_stats = stats_from_wire(block)
+            if merged is None:
+                merged = shard_stats
+            else:
+                merged.merge(shard_stats)
+        if merged is None:
+            return {}
+        merged.texts_matched = texts_matched
+        return stats_to_wire(merged)
+
+    # -- routing --------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        try:
+            if path == "/health" and method == "GET":
+                return 200, await self._health()
+            if path == "/stats" and method == "GET":
+                return 200, await self._stats()
+            if path == "/search" and method == "POST":
+                if self._draining:
+                    raise ServiceClosedError("router is draining")
+                return 200, await self._search(self._decode(body))
+            if path == "/batch" and method == "POST":
+                if self._draining:
+                    raise ServiceClosedError("router is draining")
+                return 200, await self._batch(self._decode(body))
+            if path in ("/health", "/stats", "/search", "/batch"):
+                raise ProtocolError(f"{method} not allowed on {path}", status=405)
+            raise ProtocolError(f"unknown path {path!r}", status=404)
+        except Exception as exc:  # noqa: BLE001 - mapped to a JSON error
+            status, payload = error_body(exc)
+            self.stats.record_error()
+            if status >= 500 and not isinstance(exc, ServiceError):
+                logger.exception("routed request failed")
+            return status, payload
+
+    def _validated(self, body: dict[str, Any]) -> tuple[dict[str, Any], float]:
+        """Validate at the router so bad requests never fan out."""
+        if "text" in body:
+            raise ProtocolError(
+                "the router has no tokenizer; send token ids in 'query'"
+            )
+        timeout = parse_timeout(body, self.config.timeout_ms)
+        forward: dict[str, Any] = {}
+        if "theta" in body:
+            forward["theta"] = parse_theta(body, 0.8)
+        if parse_flag(body, "verify"):
+            forward["verify"] = True
+        return forward, timeout
+
+    async def _search(self, body: dict[str, Any]) -> dict[str, Any]:
+        forward, timeout = self._validated(body)
+        parse_tokens(body.get("query"))
+        forward["query"] = body["query"]
+        loop = asyncio.get_running_loop()
+        begin = loop.time()
+        successes, failures = await self._fan_out("/search", forward, timeout)
+        merged = self._merge_results(
+            [(entry, response["result"]) for entry, response in successes]
+        )
+        total = loop.time() - begin
+        self.stats.record_completed(total, partial=bool(failures))
+        payload: dict[str, Any] = {
+            "ok": True,
+            "result": merged,
+            "server": {
+                "shards_asked": len(self.shard_map),
+                "shards_answered": len(successes),
+                "total_ms": 1e3 * total,
+                "stats": self._merge_stats(
+                    [
+                        response["server"].get("stats")
+                        for _, response in successes
+                    ],
+                    merged["num_texts"],
+                ),
+            },
+        }
+        if failures:
+            payload["partial"] = True
+            payload["failed_shards"] = failures
+        return payload
+
+    async def _batch(self, body: dict[str, Any]) -> dict[str, Any]:
+        forward, timeout = self._validated(body)
+        raw = body.get("queries")
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError("'queries' must be a non-empty list")
+        for position, entry in enumerate(raw):
+            parse_tokens(entry, field=f"queries[{position}]")
+        forward["queries"] = raw
+        loop = asyncio.get_running_loop()
+        begin = loop.time()
+        successes, failures = await self._fan_out("/batch", forward, timeout)
+        merged_results = []
+        merged_stats = []
+        for position in range(len(raw)):
+            per_shard = [
+                (entry, response["results"][position])
+                for entry, response in successes
+            ]
+            merged = self._merge_results(per_shard)
+            merged_results.append(merged)
+            merged_stats.append(
+                self._merge_stats(
+                    [
+                        response["server"].get("stats", [None] * len(raw))[position]
+                        for _, response in successes
+                    ],
+                    merged["num_texts"],
+                )
+            )
+        total = loop.time() - begin
+        self.stats.record_completed(total, partial=bool(failures))
+        payload: dict[str, Any] = {
+            "ok": True,
+            "results": merged_results,
+            "server": {
+                "shards_asked": len(self.shard_map),
+                "shards_answered": len(successes),
+                "total_ms": 1e3 * total,
+                "stats": merged_stats,
+            },
+        }
+        if failures:
+            payload["partial"] = True
+            payload["failed_shards"] = failures
+        return payload
+
+    async def _probe_shards(self, ask) -> list[tuple[ShardEntry, Any]]:
+        """Best-effort concurrent GET against every shard (health/stats)."""
+        deadline = self.config.health_timeout_ms / 1e3
+
+        async def one(entry: ShardEntry):
+            return await ask(self._clients[entry.name], deadline)
+
+        outcomes = await asyncio.gather(
+            *(one(entry) for entry in self.shard_map), return_exceptions=True
+        )
+        return list(zip(self.shard_map, outcomes))
+
+    async def _health(self) -> dict[str, Any]:
+        probed = await self._probe_shards(
+            lambda client, deadline: client.health(timeout=deadline)
+        )
+        shards = []
+        healthy = 0
+        for entry, outcome in probed:
+            ok = not isinstance(outcome, BaseException)
+            healthy += ok
+            shards.append(
+                {
+                    "name": entry.name,
+                    "host": entry.host,
+                    "port": entry.port,
+                    "first_text": entry.first_text,
+                    "count": entry.count,
+                    "ok": ok,
+                    "detail": (
+                        {
+                            "status": outcome.get("status"),
+                            "pid": outcome.get("pid"),
+                            "texts": outcome.get("texts"),
+                        }
+                        if ok
+                        else str(outcome)
+                    ),
+                }
+            )
+        return {
+            "ok": True,
+            "role": "router",
+            "status": "draining" if self._draining else "serving",
+            "texts": self.shard_map.num_texts,
+            "shards_healthy": healthy,
+            "shards_total": len(self.shard_map),
+            "shards": shards,
+        }
+
+    async def _stats(self) -> dict[str, Any]:
+        probed = await self._probe_shards(
+            lambda client, deadline: client.stats(timeout=deadline)
+        )
+        per_shard: dict[str, Any] = {}
+        aggregate = {
+            "requests": 0,
+            "completed": 0,
+            "errors": 0,
+            "shed": 0,
+            "timeouts": 0,
+            "lists_loaded": 0,
+            "point_reads": 0,
+        }
+        for entry, outcome in probed:
+            if isinstance(outcome, BaseException):
+                per_shard[entry.name] = {"ok": False, "error": str(outcome)}
+                continue
+            service = outcome.get("service", {})
+            per_shard[entry.name] = {"ok": True, "service": service}
+            for key in aggregate:
+                aggregate[key] += int(service.get(key, 0))
+        pooled = {
+            name: client.pooled_connections
+            for name, client in self._clients.items()
+        }
+        return {
+            "ok": True,
+            "router": self.stats.snapshot(),
+            "aggregate": aggregate,
+            "shards": per_shard,
+            "pooled_connections": pooled,
+            "config": {
+                "timeout_ms": self.config.timeout_ms,
+                "shard_timeout_ms": self.config.shard_timeout_ms,
+                "max_connections": self.config.max_connections,
+                "partial_results": self.config.partial_results,
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Fleet building and serving
+# ----------------------------------------------------------------------
+def build_shard_fleet(
+    engine,
+    root: str | Path,
+    *,
+    num_shards: int = 4,
+    host: str = "127.0.0.1",
+    base_port: int = 8101,
+) -> ShardMap:
+    """Split a built engine into ``num_shards`` saved shard engines.
+
+    Writes ``root/shard<i>/`` (one full saved engine each, loadable by
+    ``repro-cli serve``) plus ``root/shardmap.json``.  The partition is
+    :func:`~repro.index.sharded.shard_ranges` — the same ceil-division
+    ``ShardedIndex.build`` uses — so a router over this fleet and an
+    in-process ``ShardedSearcher`` over the same corpus agree exactly.
+    """
+    import numpy as np
+
+    from repro.corpus.corpus import InMemoryCorpus, infer_vocab_size
+    from repro.engine import NearDupEngine
+    from repro.index.builder import build_memory_index
+    from repro.index.sharded import shard_ranges
+
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    family = engine.index.family
+    t = engine.index.t
+    vocab_size = infer_vocab_size(engine.corpus)
+    entries = []
+    for shard_id, (start, count) in enumerate(
+        shard_ranges(len(engine.corpus), num_shards)
+    ):
+        local = InMemoryCorpus(
+            [np.asarray(engine.corpus[start + offset]) for offset in range(count)]
+        )
+        index = build_memory_index(
+            local, family, t, vocab_size=vocab_size
+        )
+        shard_engine = NearDupEngine(
+            local, index, tokenizer=engine.tokenizer, codec=engine.codec
+        )
+        shard_engine.save(root / f"shard{shard_id}")
+        entries.append(
+            ShardEntry(
+                name=f"shard{shard_id}",
+                host=host,
+                port=base_port + shard_id,
+                first_text=start,
+                count=count,
+            )
+        )
+    shard_map = ShardMap(entries)
+    shard_map.save(root / SHARD_MAP_FILE)
+    return shard_map
+
+
+def discover_shard_fleet(
+    root: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    base_port: int = 8101,
+) -> ShardMap:
+    """A :class:`ShardMap` for a ``root/shard<i>/`` layout.
+
+    Prefers an existing ``root/shardmap.json``; otherwise enumerates
+    the shard directories, reads each saved corpus's length, and
+    assigns ``base_port + i`` — then writes the map for the router.
+    """
+    from repro.corpus.store import DiskCorpus
+    from repro.exceptions import InvalidParameterError
+
+    root = Path(root)
+    map_path = root / SHARD_MAP_FILE
+    if map_path.exists():
+        return ShardMap.load(map_path)
+    entries = []
+    first_text = 0
+    shard_id = 0
+    while (root / f"shard{shard_id}").is_dir():
+        shard_dir = root / f"shard{shard_id}"
+        count = len(DiskCorpus(shard_dir / "corpus"))
+        entries.append(
+            ShardEntry(
+                name=f"shard{shard_id}",
+                host=host,
+                port=base_port + shard_id,
+                first_text=first_text,
+                count=count,
+            )
+        )
+        first_text += count
+        shard_id += 1
+    if not entries:
+        raise InvalidParameterError(f"no shard0/ directory under {root}")
+    shard_map = ShardMap(entries)
+    shard_map.save(map_path)
+    return shard_map
+
+
+def serve_shards(
+    root: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    base_port: int = 8101,
+    workers: int = 2,
+    procs: int = 1,
+    banner: bool = True,
+) -> int:
+    """Blocking entry point of ``repro-cli serve-shards``.
+
+    Launches one shard server child process per ``root/shard<i>/``
+    directory (each child is the ordinary ``serve`` path, so
+    ``procs > 1`` gives every shard its own prefork worker fleet),
+    writes ``shardmap.json``, and supervises until interrupted —
+    Ctrl-C is forwarded so each child drains gracefully.
+    """
+    import multiprocessing
+
+    from repro.service.server import ServiceConfig, serve
+
+    shard_map = discover_shard_fleet(root, host=host, base_port=base_port)
+    root = Path(root)
+    context = multiprocessing.get_context("fork")
+    children: list = []
+    for entry in shard_map:
+        config = ServiceConfig(
+            host=entry.host,
+            port=entry.port,
+            workers=workers,
+            procs=procs,
+        )
+        child = context.Process(
+            target=serve,
+            args=(str(root / entry.name),),
+            kwargs={"config": config, "banner": False},
+            name=f"repro-{entry.name}",
+        )
+        child.start()
+        children.append(child)
+    if banner:
+        ports = ", ".join(str(entry.port) for entry in shard_map)
+        print(
+            f"repro shard fleet: {len(shard_map)} shards "
+            f"({shard_map.num_texts} texts) on {host}:[{ports}]; "
+            f"map at {root / SHARD_MAP_FILE}; Ctrl-C drains and exits"
+        )
+    try:
+        for child in children:
+            child.join()
+    except KeyboardInterrupt:
+        for child in children:
+            if child.pid is not None and child.is_alive():
+                try:
+                    import os
+
+                    os.kill(child.pid, signal.SIGINT)
+                except ProcessLookupError:
+                    pass
+        for child in children:
+            child.join()
+    return 0
+
+
+async def _route_until_cancelled(router: RouterService, banner: bool) -> None:
+    await router.start()
+    if banner:
+        print(
+            f"repro router: {len(router.shard_map)} shards / "
+            f"{router.shard_map.num_texts} texts on "
+            f"{router.config.host}:{router.port}; Ctrl-C drains and exits"
+        )
+    try:
+        await router.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await router.shutdown()
+
+
+def route(
+    shard_map_path: str | Path,
+    *,
+    config: RouterConfig | None = None,
+    banner: bool = True,
+) -> int:
+    """Blocking entry point of ``repro-cli route``.
+
+    Loads ``shardmap.json`` (or a directory containing one) and serves
+    the scatter-gather front-end until interrupted.
+    """
+    path = Path(shard_map_path)
+    if path.is_dir():
+        path = path / SHARD_MAP_FILE
+    shard_map = ShardMap.load(path)
+    router = RouterService(shard_map, config)
+    try:
+        asyncio.run(_route_until_cancelled(router, banner))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def main() -> None:  # pragma: no cover - exercised via the CLI
+    sys.exit(route(sys.argv[1]))

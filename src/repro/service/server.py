@@ -39,6 +39,7 @@ from repro.service.protocol import (
     parse_timeout,
     parse_tokens,
     result_to_wire,
+    stats_to_wire,
 )
 from repro.service.stats import ServiceStats
 
@@ -51,6 +52,7 @@ _REASONS = {
     405: "Method Not Allowed",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -77,52 +79,27 @@ class ServiceConfig:
     max_body_bytes: int = 8 * 1024 * 1024
 
 
-class SearchService:
-    """The served engine: routes requests into the micro-batcher."""
+class HttpServiceBase:
+    """Minimal asyncio HTTP/1.1 plumbing shared by front-end services.
 
-    def __init__(
-        self,
-        engine: NearDupEngine,
-        config: ServiceConfig | None = None,
-        *,
-        stats: ServiceStats | None = None,
-    ):
-        self.engine = engine
-        self.config = config or ServiceConfig()
-        # Prefork workers inject a shared-memory-backed stats block so
-        # the supervisor's cluster view sees every worker's counters.
-        self.stats = stats or ServiceStats()
-        #: Optional cluster aggregation hook (set by the prefork
-        #: worker); when present, ``/stats`` adds a ``cluster`` block.
-        self.cluster: Callable[[], dict[str, Any]] | None = None
-        self.searcher = engine.cached_searcher(cache_bytes=self.config.cache_bytes)
-        self.batcher = MicroBatcher(
-            self.searcher,
-            max_batch=self.config.max_batch,
-            linger_ms=self.config.linger_ms,
-            max_queue=self.config.max_queue,
-            workers=self.config.workers,
-            stats=self.stats,
-        )
+    Subclasses (the search service, the shard router) implement
+    ``_route(method, path, body) -> (status, payload)`` and reuse the
+    connection handling: request-line/header/body parsing with bounded
+    sizes, keep-alive, JSON responses, and protocol-error mapping.  A
+    subclass's ``config`` must carry ``host``, ``port``, and
+    ``max_body_bytes``.
+    """
+
+    config: Any
+
+    def __init__(self) -> None:
         self._server: asyncio.Server | None = None
         self._draining = False
-        self.warmed_lists = 0
         self.port: int | None = None
 
     # -- lifecycle ------------------------------------------------------
-    async def start(self, *, sock: socket.socket | None = None) -> None:
-        """Warm the cache, start the batcher, and bind the socket.
-
-        ``sock`` lets a prefork supervisor pass one already-bound
-        listening socket shared by every forked worker (a shared accept
-        loop); with ``config.reuse_port`` each worker instead binds its
-        own ``SO_REUSEPORT`` socket and the kernel spreads accepts.
-        """
-        if self.config.warmup_lists > 0:
-            self.warmed_lists = self.engine.warmup(
-                self.searcher, max_lists=self.config.warmup_lists
-            )
-        await self.batcher.start()
+    async def _start_listener(self, *, sock: socket.socket | None = None) -> None:
+        """Bind (or adopt ``sock``) and record the live port."""
         if sock is not None:
             self._server = await asyncio.start_server(
                 self._handle_connection, sock=sock
@@ -132,29 +109,25 @@ class SearchService:
                 self._handle_connection,
                 self.config.host,
                 self.config.port,
-                reuse_port=self.config.reuse_port or None,
+                reuse_port=getattr(self.config, "reuse_port", False) or None,
             )
         self.port = self._server.sockets[0].getsockname()[1]
-        logger.info(
-            "serving %d texts / %d postings on %s:%d (%d lists warm)",
-            self.engine.num_texts,
-            self.engine.index.num_postings,
-            self.config.host,
-            self.port,
-            self.warmed_lists,
-        )
 
     async def serve_forever(self) -> None:
         assert self._server is not None
         await self._server.serve_forever()
 
-    async def shutdown(self) -> None:
-        """Graceful drain: refuse new work, finish everything admitted."""
+    async def _close_listener(self) -> None:
         self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        await self.batcher.close(drain=True)
+
+    # -- routing hook ---------------------------------------------------
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        raise NotImplementedError
 
     # -- HTTP plumbing --------------------------------------------------
     async def _handle_connection(
@@ -187,6 +160,11 @@ class SearchService:
             BrokenPipeError,
             asyncio.LimitOverrunError,
         ):
+            pass
+        except asyncio.CancelledError:
+            # Event-loop teardown cancels idle keep-alive handlers;
+            # finish normally (closing the socket below) instead of
+            # letting the protocol callback log the cancellation.
             pass
         finally:
             writer.close()
@@ -246,6 +224,76 @@ class SearchService:
         )
         writer.write(head.encode("latin-1") + body)
 
+    @staticmethod
+    def _decode(body: bytes) -> dict[str, Any]:
+        try:
+            decoded = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"body is not valid JSON: {exc}")
+        if not isinstance(decoded, dict):
+            raise ProtocolError("body must be a JSON object")
+        return decoded
+
+
+class SearchService(HttpServiceBase):
+    """The served engine: routes requests into the micro-batcher."""
+
+    def __init__(
+        self,
+        engine: NearDupEngine,
+        config: ServiceConfig | None = None,
+        *,
+        stats: ServiceStats | None = None,
+    ):
+        super().__init__()
+        self.engine = engine
+        self.config = config or ServiceConfig()
+        # Prefork workers inject a shared-memory-backed stats block so
+        # the supervisor's cluster view sees every worker's counters.
+        self.stats = stats or ServiceStats()
+        #: Optional cluster aggregation hook (set by the prefork
+        #: worker); when present, ``/stats`` adds a ``cluster`` block.
+        self.cluster: Callable[[], dict[str, Any]] | None = None
+        self.searcher = engine.cached_searcher(cache_bytes=self.config.cache_bytes)
+        self.batcher = MicroBatcher(
+            self.searcher,
+            max_batch=self.config.max_batch,
+            linger_ms=self.config.linger_ms,
+            max_queue=self.config.max_queue,
+            workers=self.config.workers,
+            stats=self.stats,
+        )
+        self.warmed_lists = 0
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self, *, sock: socket.socket | None = None) -> None:
+        """Warm the cache, start the batcher, and bind the socket.
+
+        ``sock`` lets a prefork supervisor pass one already-bound
+        listening socket shared by every forked worker (a shared accept
+        loop); with ``config.reuse_port`` each worker instead binds its
+        own ``SO_REUSEPORT`` socket and the kernel spreads accepts.
+        """
+        if self.config.warmup_lists > 0:
+            self.warmed_lists = self.engine.warmup(
+                self.searcher, max_lists=self.config.warmup_lists
+            )
+        await self.batcher.start()
+        await self._start_listener(sock=sock)
+        logger.info(
+            "serving %d texts / %d postings on %s:%d (%d lists warm)",
+            self.engine.num_texts,
+            self.engine.index.num_postings,
+            self.config.host,
+            self.port,
+            self.warmed_lists,
+        )
+
+    async def shutdown(self) -> None:
+        """Graceful drain: refuse new work, finish everything admitted."""
+        await self._close_listener()
+        await self.batcher.close(drain=True)
+
     # -- routing --------------------------------------------------------
     async def _route(
         self, method: str, path: str, body: bytes
@@ -280,16 +328,6 @@ class SearchService:
                 logger.exception("request failed")
             return status, payload
 
-    @staticmethod
-    def _decode(body: bytes) -> dict[str, Any]:
-        try:
-            decoded = json.loads(body.decode("utf-8")) if body else {}
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise ProtocolError(f"body is not valid JSON: {exc}")
-        if not isinstance(decoded, dict):
-            raise ProtocolError("body must be a JSON object")
-        return decoded
-
     # -- endpoints ------------------------------------------------------
     def _query_tokens(self, body: dict[str, Any]):
         if "text" in body:
@@ -321,6 +359,7 @@ class SearchService:
                 "batched_with": batched_with,
                 "queue_ms": 1e3 * queue_wait,
                 "total_ms": 1e3 * total,
+                "stats": stats_to_wire(result.stats),
             },
         }
 
@@ -350,6 +389,7 @@ class SearchService:
                 "batched_with": len(queries),
                 "unique_queries": batch.stats.unique_queries,
                 "total_ms": 1e3 * total,
+                "stats": [stats_to_wire(result.stats) for result in batch.results],
             },
         }
 
@@ -391,16 +431,28 @@ class SearchService:
 # Embedding helpers
 # ----------------------------------------------------------------------
 class ServiceRunner:
-    """Run a :class:`SearchService` on a background thread.
+    """Run a service on a background thread.
 
     Tests and benchmarks need a live server inside one process: the
     runner owns a thread with its own event loop, starts the service on
     it, exposes ``host``/``port``, and tears everything down through
-    the same graceful-drain path the CLI uses.
+    the same graceful-drain path the CLI uses.  The default service is
+    a :class:`SearchService` over ``engine``; pass ``service=`` to run
+    any other :class:`HttpServiceBase` (e.g. the shard router) — it
+    must expose async ``start()``/``shutdown()``.
     """
 
-    def __init__(self, engine: NearDupEngine, config: ServiceConfig | None = None):
-        self.service = SearchService(engine, config)
+    def __init__(
+        self,
+        engine: NearDupEngine | None = None,
+        config: ServiceConfig | None = None,
+        *,
+        service: HttpServiceBase | None = None,
+    ):
+        if service is None:
+            assert engine is not None, "pass an engine or a service"
+            service = SearchService(engine, config)
+        self.service = service
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None

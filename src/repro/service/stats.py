@@ -162,3 +162,62 @@ class ServiceStats:
                 "latency": self.latency.to_dict(),
                 "queue_wait": self.queue_wait.to_dict(),
             }
+
+
+class RouterStats:
+    """Counters behind the router's ``/stats`` endpoint.
+
+    The router's health question is different from a shard's: not "is
+    the batcher coalescing" but "how wide is the fan-out spread" —
+    end-to-end latency is the *max* over shards, so the gap between the
+    per-shard and end-to-end histograms is exactly the price of the
+    slowest replica.  Mutated only from the router's event loop, but a
+    lock keeps ``snapshot`` safe from other threads (tests, runners).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started = time.monotonic()
+        self.requests = 0
+        self.completed = 0
+        self.partial = 0
+        self.errors = 0
+        self.fanout_requests = 0  #: per-shard sub-requests issued
+        self.fanout_failures = 0  #: sub-requests that timed out / failed
+        self.latency = LatencyHistogram()  #: end-to-end (max over shards)
+        self.shard_latency = LatencyHistogram()  #: every per-shard exchange
+
+    def record_fanout(self, shard_seconds: list[float], failures: int) -> None:
+        """Fold one scatter-gather round in (one entry per shard asked)."""
+        with self._lock:
+            self.fanout_requests += len(shard_seconds) + failures
+            self.fanout_failures += failures
+            for seconds in shard_seconds:
+                self.shard_latency.observe(seconds)
+
+    def record_completed(self, seconds: float, *, partial: bool) -> None:
+        with self._lock:
+            self.requests += 1
+            self.completed += 1
+            if partial:
+                self.partial += 1
+            self.latency.observe(seconds)
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.requests += 1
+            self.errors += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "uptime_seconds": time.monotonic() - self.started,
+                "requests": self.requests,
+                "completed": self.completed,
+                "partial": self.partial,
+                "errors": self.errors,
+                "fanout_requests": self.fanout_requests,
+                "fanout_failures": self.fanout_failures,
+                "latency": self.latency.to_dict(),
+                "shard_latency": self.shard_latency.to_dict(),
+            }

@@ -502,3 +502,119 @@ class TestWarmup:
         searcher = engine.cached_searcher(cache_bytes=4 * 1024 * 1024)
         loaded = engine.warmup(searcher, max_lists=1000, max_bytes=1)
         assert loaded == 0
+
+
+# ----------------------------------------------------------------------
+# Client-side retry on shed (scripted server, no engine)
+# ----------------------------------------------------------------------
+class ScriptedShedServer:
+    """An HTTP server that sheds the first N requests with 429.
+
+    Runs the real wire format through the real client, so the retry
+    loop is tested against exactly what a loaded service emits —
+    without racing a real batcher into a full queue.
+    """
+
+    def __init__(self, shed_first: int, *, status_after: int = 200):
+        import http.server
+
+        server = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_POST(self) -> None:
+                length = int(self.headers.get("Content-Length", "0"))
+                self.rfile.read(length)
+                server.attempts += 1
+                if server.attempts <= server.shed_first:
+                    body = json.dumps(
+                        {"ok": False, "error": "queue full", "code": 429}
+                    ).encode()
+                    self.send_response(429)
+                elif server.status_after == 200:
+                    body = json.dumps({"ok": True, "result": {}}).encode()
+                    self.send_response(200)
+                else:
+                    body = json.dumps(
+                        {
+                            "ok": False,
+                            "error": "scripted failure",
+                            "code": server.status_after,
+                        }
+                    ).encode()
+                    self.send_response(server.status_after)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # quiet
+                pass
+
+        self.attempts = 0
+        self.shed_first = shed_first
+        self.status_after = status_after
+        self.httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.port = self.httpd.server_address[1]
+        self.thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.thread.join(5)
+
+    def __enter__(self) -> "ScriptedShedServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TestClientRetry:
+    def test_default_is_no_retry(self):
+        with ScriptedShedServer(shed_first=1) as server:
+            with ServiceClient("127.0.0.1", server.port) as probe:
+                with pytest.raises(RequestShedError):
+                    probe.search([1, 2, 3], 0.8)
+            assert server.attempts == 1
+
+    def test_retries_until_success(self):
+        with ScriptedShedServer(shed_first=2) as server:
+            with ServiceClient(
+                "127.0.0.1", server.port, retries=3, backoff_ms=1.0
+            ) as probe:
+                response = probe.search([1, 2, 3], 0.8)
+            assert response["ok"] is True
+            assert server.attempts == 3  # 2 sheds + 1 success
+
+    def test_retry_budget_exhausted_reraises(self):
+        with ScriptedShedServer(shed_first=10) as server:
+            with ServiceClient(
+                "127.0.0.1", server.port, retries=2, backoff_ms=1.0
+            ) as probe:
+                with pytest.raises(RequestShedError):
+                    probe.search([1, 2, 3], 0.8)
+            assert server.attempts == 3  # the first try + 2 retries
+
+    def test_only_shed_is_retried(self):
+        with ScriptedShedServer(shed_first=0, status_after=503) as server:
+            with ServiceClient(
+                "127.0.0.1", server.port, retries=5, backoff_ms=1.0
+            ) as probe:
+                with pytest.raises(ServiceClosedError):
+                    probe.search([1, 2, 3], 0.8)
+            assert server.attempts == 1
+
+    def test_backoff_grows_and_is_capped(self):
+        client = ServiceClient(
+            "127.0.0.1", 1, retries=4, backoff_ms=10.0, max_backoff_ms=25.0
+        )
+        delays = [
+            min(client.backoff_ms * (2.0**attempt), client.max_backoff_ms)
+            for attempt in range(4)
+        ]
+        assert delays == [10.0, 20.0, 25.0, 25.0]

@@ -1,0 +1,184 @@
+"""CI smoke test of the scatter-gather tier, end to end through the CLI.
+
+Builds a tiny engine, splits it into a 2-shard fleet
+(``build_shard_fleet``), launches ``repro-cli serve-shards`` and
+``repro-cli route`` as real child processes, waits for the router to
+see both shards healthy, and asserts:
+
+* routed ``/search`` results are byte-identical to a direct in-process
+  :class:`ShardedSearcher` over the same partition (several queries and
+  thetas, including the re-numbered global text ids);
+* ``/batch`` through the router matches direct results too;
+* router ``/stats`` aggregates both shards;
+* both children drain cleanly (exit 0) on SIGINT.
+
+Run: ``PYTHONPATH=src python tools/router_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.corpus.synthetic import synthweb
+from repro.engine import NearDupEngine
+from repro.index.sharded import ShardedIndex, ShardedSearcher
+from repro.service import ServiceClient, ShardMap, build_shard_fleet, result_to_wire
+
+NUM_SHARDS = 2
+
+
+def free_ports(count: int) -> list[int]:
+    """Distinct currently-free ports (bound briefly, then released)."""
+    sockets = [socket.socket() for _ in range(count)]
+    try:
+        for sock in sockets:
+            sock.bind(("127.0.0.1", 0))
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def wait_for(predicate, what: str, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value is not None:
+            return value
+        time.sleep(0.1)
+    raise SystemExit(f"timed out waiting for {what}")
+
+
+def shutdown(child: subprocess.Popen, name: str) -> None:
+    child.send_signal(signal.SIGINT)
+    try:
+        exit_code = child.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        child.kill()
+        raise SystemExit(f"{name} did not drain within 30 s of SIGINT")
+    assert exit_code == 0, f"{name} exited {exit_code}, expected 0"
+
+
+def main() -> int:
+    data = synthweb(
+        num_texts=80,
+        mean_length=120,
+        vocab_size=512,
+        duplicate_rate=0.2,
+        span_length=48,
+        mutation_rate=0.04,
+        seed=7,
+    )
+    engine = NearDupEngine.from_corpus(data.corpus, k=8, t=20, vocab_size=512)
+    root = Path(tempfile.mkdtemp(prefix="router_smoke_"))
+    shard_port_a, shard_port_b, router_port = free_ports(3)
+
+    # build_shard_fleet assigns base_port + i; rewrite the map with the
+    # two independently-reserved ports instead.
+    shard_map = build_shard_fleet(
+        engine, root, num_shards=NUM_SHARDS, base_port=shard_port_a
+    )
+    from repro.service import ShardEntry
+
+    entries = [
+        ShardEntry(entry.name, entry.host, port, entry.first_text, entry.count)
+        for entry, port in zip(shard_map, (shard_port_a, shard_port_b))
+    ]
+    ShardMap(entries).save(root / "shardmap.json")
+    print(f"fleet: {[(e.name, e.port, e.first_text, e.count) for e in entries]}")
+
+    shards = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve-shards", str(root)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    router = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "route",
+            str(root / "shardmap.json"), "--port", str(router_port),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    try:
+        client = ServiceClient("127.0.0.1", router_port, timeout=5)
+
+        def healthy():
+            for child, name in ((shards, "serve-shards"), (router, "route")):
+                if child.poll() is not None:
+                    output = child.stdout.read().decode(errors="replace")
+                    raise SystemExit(f"{name} died during startup:\n{output}")
+            try:
+                health = client.health()
+            except OSError:
+                return None
+            return health if health["shards_healthy"] == NUM_SHARDS else None
+
+        health = wait_for(healthy, "both shards healthy behind the router")
+        assert health["role"] == "router"
+        assert health["texts"] == engine.num_texts
+        print(
+            f"health: {health['shards_healthy']}/{health['shards_total']} "
+            f"shards, {health['texts']} texts"
+        )
+
+        direct = ShardedSearcher(
+            ShardedIndex.build(
+                data.corpus,
+                engine.index.family,
+                engine.index.t,
+                num_shards=NUM_SHARDS,
+                vocab_size=512,
+            )
+        )
+        checked = 0
+        for text_id in (0, 40, 79):  # texts owned by both shards
+            query = np.asarray(data.corpus[text_id])[:40]
+            for theta in (0.6, 0.8):
+                served = client.search(query, theta)
+                assert served["ok"] is True and "partial" not in served
+                want = result_to_wire(direct.search(query, theta))
+                assert json.dumps(served["result"], sort_keys=True) == json.dumps(
+                    want, sort_keys=True
+                ), f"routed result differs from direct (text {text_id}, theta {theta})"
+                checked += 1
+        print(f"search: {checked} routed results byte-identical to direct")
+
+        batch_queries = [np.asarray(data.corpus[i])[:32] for i in (5, 60)]
+        served_batch = client.batch(batch_queries, 0.7)
+        for position, query in enumerate(batch_queries):
+            want = result_to_wire(direct.search(query, 0.7))
+            got = served_batch["results"][position]
+            assert json.dumps(got, sort_keys=True) == json.dumps(
+                want, sort_keys=True
+            ), f"routed batch result {position} differs from direct"
+        print("batch: routed results byte-identical to direct")
+
+        stats = client.stats()
+        assert stats["router"]["completed"] >= checked
+        assert set(stats["shards"]) == {"shard0", "shard1"}
+        assert stats["aggregate"]["completed"] >= checked * NUM_SHARDS
+        print(
+            f"stats: router completed {stats['router']['completed']}, "
+            f"fleet completed {stats['aggregate']['completed']}, "
+            f"fan-out p50 {stats['router']['shard_latency']['p50_ms']:.1f} ms"
+        )
+        client.close()
+    finally:
+        shutdown(router, "route")
+        shutdown(shards, "serve-shards")
+    print("clean shutdown (exit 0 for router and fleet)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
