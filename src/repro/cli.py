@@ -226,16 +226,22 @@ def _cmd_batch_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    from repro.index.validate import validate_index
+    from repro.index.lsm import manifest_exists
+    from repro.index.validate import validate_index, validate_live_index
 
-    index = DiskInvertedIndex(args.index)
-    corpus = DiskCorpus(args.corpus) if args.corpus else None
-    report = validate_index(index, corpus, max_lists_per_func=args.max_lists)
+    if manifest_exists(args.index):
+        report = validate_live_index(args.index, max_lists_per_func=args.max_lists)
+        kind = "live index"
+    else:
+        index = DiskInvertedIndex(args.index)
+        corpus = DiskCorpus(args.corpus) if args.corpus else None
+        report = validate_index(index, corpus, max_lists_per_func=args.max_lists)
+        kind = "index"
     print(
         f"checked {report.lists_checked} lists / {report.postings_checked} postings"
     )
     if report.ok:
-        print("index OK")
+        print(f"{kind} OK")
         return 0
     for error in report.errors:
         print(f"ERROR: {error}", file=sys.stderr)
@@ -253,6 +259,88 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         f"BPE vocab {report.vocab_size} -> {report.corpus_dir} "
         f"(tokenizer: {report.tokenizer_path})"
     )
+    return 0
+
+
+def _cmd_live_ingest(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.hashing import HashFamily
+    from repro.index.lsm import LiveIndex, LiveIndexConfig, manifest_exists
+
+    config = LiveIndexConfig(
+        seal_threshold_postings=args.seal_postings,
+        codec=args.codec,
+        ack_policy=args.ack_policy,
+        fsync_batch=args.fsync_batch,
+        compact_fanout=args.fanout,
+        background_compaction=not args.no_compaction,
+        dedupe=args.dedupe,
+    )
+    if manifest_exists(args.root):
+        live = LiveIndex(args.root, config=config)
+    else:
+        live = LiveIndex(
+            args.root,
+            family=HashFamily(k=args.k, seed=args.seed),
+            t=args.t,
+            vocab_size=args.vocab,
+            config=config,
+        )
+    corpus = DiskCorpus(args.corpus)
+    begin = time.perf_counter()
+    appended = deduped = tokens = 0
+    with live:
+        batch: list = []
+        for text in corpus:
+            batch.append(text)
+            if len(batch) >= args.batch:
+                ids = live.append_texts(batch)
+                appended += sum(1 for i in ids if i is not None)
+                deduped += sum(1 for i in ids if i is None)
+                tokens += sum(int(t.size) for t in batch)
+                batch.clear()
+        if batch:
+            ids = live.append_texts(batch)
+            appended += sum(1 for i in ids if i is not None)
+            deduped += sum(1 for i in ids if i is None)
+            tokens += sum(int(t.size) for t in batch)
+        live.flush()
+        elapsed = time.perf_counter() - begin
+        status = live.status()
+    rate = appended / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"appended {appended} texts ({tokens} tokens, {deduped} deduped) "
+        f"in {elapsed:.2f}s ({rate:.0f} texts/s, ack={args.ack_policy})"
+    )
+    print(
+        f"live index: {status['next_text_id']} texts, "
+        f"{len(status['runs'])} sealed runs, "
+        f"{status['memtable_postings']} memtable postings, "
+        f"{status['seals']} seals, {status['compactions']} compactions"
+    )
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.index.lsm import LiveIndex, LiveIndexConfig
+
+    config = LiveIndexConfig(
+        background_compaction=False, compact_fanout=args.fanout
+    )
+    with LiveIndex(args.root, config=config) as live:
+        before = live.runs
+        if args.all:
+            merged = live.compact(all_runs=True)
+        else:
+            merged = False
+            while live.compact():
+                merged = True
+        after = live.runs
+    if merged:
+        print(f"compacted {len(before)} runs -> {len(after)}: {', '.join(after)}")
+    else:
+        print(f"nothing to compact ({len(before)} runs within policy)")
     return 0
 
 
@@ -509,8 +597,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.set_defaults(func=_cmd_batch_query)
 
-    p_val = sub.add_parser("validate", help="check an index's structural invariants")
-    p_val.add_argument("index", help="index directory")
+    p_val = sub.add_parser(
+        "validate",
+        help="check an index's (or live index root's) structural invariants",
+    )
+    p_val.add_argument("index", help="index directory or live index root")
     p_val.add_argument("--corpus", default=None, help="corpus directory (deep checks)")
     p_val.add_argument("--max-lists", type=int, default=None, help="sample cap per function")
     p_val.set_defaults(func=_cmd_validate)
@@ -521,6 +612,66 @@ def build_parser() -> argparse.ArgumentParser:
     p_ingest.add_argument("--pattern", default="*.txt")
     p_ingest.add_argument("--vocab", type=int, default=4096)
     p_ingest.set_defaults(func=_cmd_ingest)
+
+    p_live = sub.add_parser(
+        "live-ingest",
+        help="stream a tokenized corpus into a WAL-backed live index root",
+    )
+    p_live.add_argument("root", help="live index root (created if missing)")
+    p_live.add_argument("corpus", help="tokenized corpus directory to append")
+    p_live.add_argument("--k", type=int, default=32, help="hash functions (new roots)")
+    p_live.add_argument("--t", type=int, default=25, help="length threshold (new roots)")
+    p_live.add_argument("--vocab", type=int, default=4096, help="vocab size (new roots)")
+    p_live.add_argument("--seed", type=int, default=0, help="hash seed (new roots)")
+    p_live.add_argument(
+        "--seal-postings",
+        type=int,
+        default=1_000_000,
+        help="memtable postings that trigger sealing a run",
+    )
+    p_live.add_argument(
+        "--ack-policy",
+        choices=("always", "batch", "none"),
+        default="always",
+        help="WAL durability per acknowledged append",
+    )
+    p_live.add_argument(
+        "--fsync-batch",
+        type=int,
+        default=32,
+        help="appends between fsyncs under --ack-policy batch",
+    )
+    p_live.add_argument("--codec", choices=("raw", "packed"), default="packed")
+    p_live.add_argument(
+        "--fanout", type=int, default=4, help="runs per tiered compaction"
+    )
+    p_live.add_argument(
+        "--no-compaction",
+        action="store_true",
+        help="disable the background compaction thread",
+    )
+    p_live.add_argument(
+        "--dedupe",
+        action="store_true",
+        help="Bloom-prefilter exact duplicates before the WAL (lossy: "
+        "~fp-rate of distinct texts may be skipped)",
+    )
+    p_live.add_argument(
+        "--batch", type=int, default=64, help="texts per append batch"
+    )
+    p_live.set_defaults(func=_cmd_live_ingest)
+
+    p_compact = sub.add_parser(
+        "compact", help="run compaction on a live index root"
+    )
+    p_compact.add_argument("root", help="live index root")
+    p_compact.add_argument(
+        "--all", action="store_true", help="merge every run into one"
+    )
+    p_compact.add_argument(
+        "--fanout", type=int, default=4, help="runs per tiered merge"
+    )
+    p_compact.set_defaults(func=_cmd_compact)
 
     p_dedup = sub.add_parser("dedup", help="find near-duplicate clusters in a corpus")
     p_dedup.add_argument("index", help="index directory")
@@ -537,8 +688,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "engine_dir",
-        help="engine directory (NearDupEngine.save) or a bare index "
-        "directory (then pass --corpus)",
+        help="engine directory (NearDupEngine.save), a live index root "
+        "(serves with POST /ingest enabled), or a bare index directory "
+        "(then pass --corpus)",
     )
     p_serve.add_argument(
         "--corpus",

@@ -29,6 +29,7 @@ from repro.corpus.store import DiskCorpus, write_corpus
 from repro.exceptions import InvalidParameterError
 from repro.index.builder import DEFAULT_BATCH_TEXTS, build_memory_index
 from repro.index.codec import check_codec
+from repro.index.lsm import LiveIndex, LiveIndexConfig, LiveSearcher, manifest_exists
 from repro.index.storage import DiskInvertedIndex, write_index
 from repro.tokenizer.bpe import BPETokenizer
 
@@ -86,18 +87,30 @@ class NearDupEngine:
 
     def __init__(
         self,
-        corpus: Corpus,
+        corpus: Corpus | None,
         index,
         *,
         tokenizer: BPETokenizer | None = None,
         codec: str = "raw",
+        backend: str = "static",
     ) -> None:
+        if backend not in ("static", "live"):
+            raise InvalidParameterError(
+                f"backend must be 'static' or 'live', got {backend!r}"
+            )
+        if corpus is None and backend != "live":
+            raise InvalidParameterError("a static engine requires a corpus")
         self.corpus = corpus
         self.index = index
         self.tokenizer = tokenizer
+        #: ``static`` (immutable index) or ``live`` (streaming LSM index).
+        self.backend = backend
         #: Payload codec :meth:`save` writes (``raw`` or ``packed``).
         self.codec = check_codec(codec)
-        self.searcher = NearDuplicateSearcher(index, corpus=corpus)
+        if backend == "live":
+            self.searcher = LiveSearcher(index, corpus=corpus)
+        else:
+            self.searcher = NearDuplicateSearcher(index, corpus=corpus)
 
     # ------------------------------------------------------------------
     # Construction
@@ -167,6 +180,71 @@ class NearDupEngine:
             batch_texts=batch_texts,
         )
         return cls(corpus, index, tokenizer=tokenizer, codec=codec)
+
+    @classmethod
+    def live(
+        cls,
+        root: str | Path,
+        *,
+        k: int = 32,
+        t: int = 25,
+        vocab_size: int = 4096,
+        seed: int = 0,
+        tokenizer: BPETokenizer | None = None,
+        config: LiveIndexConfig | None = None,
+    ) -> "NearDupEngine":
+        """Open (or create) a streaming engine over an LSM live index.
+
+        A live engine accepts :meth:`append_texts` while answering
+        queries; appends are WAL-durable and the visible index advances
+        through sealed runs and background compaction (see
+        :mod:`repro.index.lsm`).  When ``root`` already holds a live
+        index, ``k``/``t``/``vocab_size``/``seed`` are validated against
+        it rather than applied.
+        """
+        root = Path(root)
+        if manifest_exists(root):
+            live_index = LiveIndex(root, config=config)
+        else:
+            live_index = LiveIndex(
+                root,
+                family=HashFamily(k=k, seed=seed),
+                t=t,
+                vocab_size=vocab_size,
+                config=config,
+            )
+        codec = live_index.manifest.codec
+        return cls(
+            None, live_index, tokenizer=tokenizer, codec=codec, backend="live"
+        )
+
+    # ------------------------------------------------------------------
+    # Streaming ingest (live backend)
+    # ------------------------------------------------------------------
+    @property
+    def live_index(self) -> LiveIndex:
+        """The underlying :class:`LiveIndex` (live backend only)."""
+        if self.backend != "live":
+            raise InvalidParameterError("engine was not opened with backend='live'")
+        return self.index
+
+    def append_texts(
+        self, texts: Sequence[str | Sequence[int] | np.ndarray]
+    ) -> list[int | None]:
+        """Ingest a batch into a live engine; returns assigned text ids
+        (``None`` marks a text the dedup prefilter skipped).  Durable
+        under the live index's ``ack_policy`` when this returns."""
+        live_index = self.live_index
+        return live_index.append_texts([self._as_tokens(text) for text in texts])
+
+    def append_text(self, text: str | Sequence[int] | np.ndarray) -> int | None:
+        """Ingest one text into a live engine; returns its id."""
+        return self.append_texts([text])[0]
+
+    def close(self) -> None:
+        """Release live-backend resources (no-op for static engines)."""
+        if self.backend == "live":
+            self.index.close()
 
     # ------------------------------------------------------------------
     # Search
@@ -264,6 +342,12 @@ class NearDupEngine:
         """
         from repro.index.cache import CachedIndexReader
 
+        if self.backend == "live":
+            # The live searcher rebuilds its cache per generation, so
+            # mutations never serve stale lists.
+            return LiveSearcher(
+                self.index, cache_bytes=cache_bytes, corpus=self.corpus
+            )
         reader = CachedIndexReader(self.index, capacity_bytes=cache_bytes)
         return NearDuplicateSearcher(reader, corpus=self.corpus)
 
@@ -337,7 +421,7 @@ class NearDupEngine:
         hits = []
         for span in result.merged_spans():
             snippet = None
-            if self.tokenizer is not None:
+            if self.tokenizer is not None and self.corpus is not None:
                 tokens = np.asarray(self.corpus[span.text_id])[
                     span.start : span.start + min(span.length, snippet_tokens)
                 ]
@@ -357,6 +441,11 @@ class NearDupEngine:
     # ------------------------------------------------------------------
     def save(self, directory: str | Path) -> Path:
         """Persist corpus, index, and tokenizer as one directory."""
+        if self.backend == "live":
+            raise InvalidParameterError(
+                "a live engine persists itself through its root directory; "
+                "save() applies only to static engines"
+            )
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         write_corpus(self.corpus, directory / "corpus")
@@ -393,10 +482,14 @@ class NearDupEngine:
     # ------------------------------------------------------------------
     @property
     def num_texts(self) -> int:
+        if self.corpus is None:
+            return int(self.index.num_texts)
         return len(self.corpus)
 
     @property
     def total_tokens(self) -> int:
+        if self.corpus is None:
+            return int(self.index.total_tokens)
         return self.corpus.total_tokens
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -30,6 +30,17 @@ from repro.index.external import (
     build_external_index,
 )
 from repro.index.incremental import IncrementalIndex
+from repro.index.lsm import (
+    BloomPrefilter,
+    LiveIndex,
+    LiveIndexConfig,
+    LiveSearcher,
+    Manifest,
+    Memtable,
+    UnionIndexReader,
+    WriteAheadLog,
+    manifest_exists,
+)
 from repro.index.merge import merge_disk_indexes
 from repro.index.inverted import (
     InvertedIndexReader,
@@ -79,6 +90,15 @@ __all__ = [
     "DiskInvertedIndex",
     "ExternalBuildConfig",
     "IncrementalIndex",
+    "BloomPrefilter",
+    "LiveIndex",
+    "LiveIndexConfig",
+    "LiveSearcher",
+    "Manifest",
+    "Memtable",
+    "UnionIndexReader",
+    "WriteAheadLog",
+    "manifest_exists",
     "PrefixPlan",
     "Shard",
     "ShardedIndex",

@@ -195,6 +195,7 @@ def build_memory_index(
     index = MemoryInvertedIndex.from_postings(
         family, t, merge_per_func_chunks(per_func_chunks)
     )
+    index.num_texts = texts_indexed
     merge_seconds = time.perf_counter() - begin
     logger.info(
         "built in-memory index: %d texts, %d postings, k=%d, t=%d "

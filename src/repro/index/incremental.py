@@ -11,6 +11,11 @@ This follows the classic main+delta design of log-structured search
 indexes; correctness is trivial because compact windows of different
 texts never interact — the union of the two indexes' lists is exactly
 the list an offline build over the union corpus would produce.
+
+The delta buffer is a :class:`~repro.index.lsm.memtable.Memtable`, the
+same write buffer the WAL-backed live index
+(:mod:`repro.index.lsm.live`) seals into on-disk runs — this class is
+the single-level, in-memory-only specialisation of that design.
 """
 
 from __future__ import annotations
@@ -19,8 +24,8 @@ import numpy as np
 
 from repro.core.hashing import HashFamily
 from repro.exceptions import InvalidParameterError
-from repro.index.builder import generate_corpus_postings
 from repro.index.inverted import IOStats, MemoryInvertedIndex, POSTING_DTYPE
+from repro.index.lsm.memtable import Memtable
 
 
 class IncrementalIndex:
@@ -50,23 +55,28 @@ class IncrementalIndex:
         self.t: int = main.t
         self._main = main
         self._vocab_size = int(vocab_size)
-        self._vocab_hashes = self.family.hash_vocabulary(self._vocab_size)
         self._merge_threshold = int(merge_threshold)
         self._next_text_id = self._infer_next_text_id(main)
-        self._delta_chunks: list[list[tuple[np.ndarray, np.ndarray]]] = []
-        self._delta: MemoryInvertedIndex | None = None
-        self._delta_postings = 0
+        self._memtable = Memtable(self.family, self.t, self._vocab_size)
         self.io_stats: IOStats = main.io_stats
         self.merges = 0
 
     @staticmethod
     def _infer_next_text_id(index) -> int:
-        """Largest text id present in the index, plus one.
+        """First unassigned text id of an existing index.
 
-        Scanning hash function 0 suffices: every indexed text has at
-        least one window under *every* function.  (Texts shorter than
-        ``t`` have no windows anywhere and therefore no reserved id.)
+        Indexes written since the ``num_texts`` metadata key landed
+        answer in O(1); legacy indexes fall back to scanning hash
+        function 0's lists for the largest text id (function 0
+        suffices: every indexed text has at least one window under
+        *every* function, and texts shorter than ``t`` have no windows
+        anywhere and therefore no reserved id — the scan can only
+        under-count ids of such trailing window-less texts, which the
+        metadata path gets exact).
         """
+        num_texts = getattr(index, "num_texts", None)
+        if num_texts is not None:
+            return int(num_texts)
         top = -1
         for _, postings in _iter_all_lists(index, func=0):
             if postings.size:
@@ -82,54 +92,17 @@ class IncrementalIndex:
 
     def append_texts(self, texts: list[np.ndarray]) -> list[int]:
         """Index a batch of new texts; returns their assigned text ids."""
-        ids = []
         batch = []
         for tokens in texts:
-            tokens = np.asarray(tokens)
-            if tokens.size and int(tokens.max()) >= self._vocab_size:
-                raise InvalidParameterError(
-                    f"token id {int(tokens.max())} outside vocab {self._vocab_size}"
-                )
-            text_id = self._next_text_id
-            self._next_text_id += 1
-            ids.append(text_id)
-            batch.append((text_id, tokens))
-        per_func = generate_corpus_postings(
-            batch, self.family, self.t, self._vocab_hashes
-        )
-        self._delta_chunks.append(per_func)
-        self._delta_postings += sum(p.size for _, p in per_func)
-        self._delta = None  # rebuilt lazily on next read
-        if self._delta_postings >= self._merge_threshold:
+            batch.append((self._next_text_id + len(batch), tokens))
+        self._memtable.add_texts(batch)
+        self._next_text_id += len(batch)
+        if self._memtable.postings >= self._merge_threshold:
             self.consolidate()
-        return ids
+        return [text_id for text_id, _ in batch]
 
     def _delta_index(self) -> MemoryInvertedIndex | None:
-        if not self._delta_chunks:
-            return None
-        if self._delta is None:
-            per_func: list[tuple[list[np.ndarray], list[np.ndarray]]] = [
-                ([], []) for _ in range(self.family.k)
-            ]
-            for chunk in self._delta_chunks:
-                for func, (minhashes, postings) in enumerate(chunk):
-                    if postings.size:
-                        per_func[func][0].append(minhashes)
-                        per_func[func][1].append(postings)
-            merged = []
-            for minhash_chunks, posting_chunks in per_func:
-                if minhash_chunks:
-                    merged.append(
-                        (np.concatenate(minhash_chunks), np.concatenate(posting_chunks))
-                    )
-                else:
-                    merged.append(
-                        (np.empty(0, dtype=np.uint32), np.empty(0, dtype=POSTING_DTYPE))
-                    )
-            self._delta = MemoryInvertedIndex.from_postings(
-                self.family, self.t, merged
-            )
-        return self._delta
+        return self._memtable.index()
 
     def consolidate(self) -> None:
         """Merge the delta into a fresh in-memory main index."""
@@ -155,10 +128,9 @@ class IncrementalIndex:
                     (np.empty(0, dtype=np.uint32), np.empty(0, dtype=POSTING_DTYPE))
                 )
         self._main = MemoryInvertedIndex.from_postings(self.family, self.t, per_func)
+        self._main.num_texts = self._next_text_id
         self.io_stats = self._main.io_stats
-        self._delta_chunks.clear()
-        self._delta = None
-        self._delta_postings = 0
+        self._memtable.clear()
         self.merges += 1
 
     # ------------------------------------------------------------------
@@ -224,7 +196,7 @@ class IncrementalIndex:
     # ------------------------------------------------------------------
     @property
     def num_postings(self) -> int:
-        return int(self._main.num_postings) + self._delta_postings
+        return int(self._main.num_postings) + self._memtable.postings
 
     @property
     def nbytes(self) -> int:
@@ -239,7 +211,7 @@ class IncrementalIndex:
 
     @property
     def delta_postings(self) -> int:
-        return self._delta_postings
+        return self._memtable.postings
 
 
 def _iter_all_lists(index, func: int):

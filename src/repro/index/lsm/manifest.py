@@ -1,0 +1,139 @@
+"""Atomically-committed manifest of a live-index root.
+
+The manifest is the single commit point of every structural transition
+(seal, compaction): readers and recovery trust *only* what it lists.
+It is a small JSON file written to a temp path, fsynced, and renamed
+into place with ``os.replace`` — the same protocol as the index meta
+file of :mod:`repro.index.storage` — so at every instant the root
+holds exactly one complete manifest.
+
+Schema (``MANIFEST.json``)::
+
+    {
+      "format_version": 1,
+      "generation":   <int, bumped on every committed transition>,
+      "family":       <HashFamily.to_dict()>,
+      "t":            <int>,
+      "vocab_size":   <int>,
+      "codec":        "raw" | "packed",   # codec of sealed runs
+      "runs":         ["run-000001", ...],  # ascending text-id order
+      "next_text_id": <int, first id not yet covered by a sealed run>,
+      "total_tokens": <int, tokens across all sealed texts>,
+      "wal_seq":      <int, sequence number of the active WAL segment>,
+      "run_seq":      <int, next run directory sequence number>
+    }
+
+``next_text_id`` doubles as the replay fence: WAL records whose ids
+fall below it were already sealed into a run and are skipped on
+recovery (they can only exist in the crash window between a manifest
+commit and the old segment's deletion).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.hashing import HashFamily
+from repro.exceptions import IndexFormatError
+
+MANIFEST_FILE = "MANIFEST.json"
+MANIFEST_FORMAT_VERSION = 1
+
+
+@dataclass
+class Manifest:
+    """In-memory image of one committed manifest generation."""
+
+    family: HashFamily
+    t: int
+    vocab_size: int
+    codec: str = "packed"
+    generation: int = 0
+    runs: list[str] = field(default_factory=list)
+    next_text_id: int = 0
+    total_tokens: int = 0
+    wal_seq: int = 0
+    run_seq: int = 0
+
+    @classmethod
+    def load(cls, root: str | Path) -> "Manifest":
+        path = Path(root) / MANIFEST_FILE
+        try:
+            raw = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise IndexFormatError(f"missing {MANIFEST_FILE} in {root}")
+        except ValueError as exc:
+            raise IndexFormatError(f"{path} is not valid JSON: {exc}")
+        version = raw.get("format_version")
+        if version != MANIFEST_FORMAT_VERSION:
+            raise IndexFormatError(
+                f"unsupported manifest format version {version!r}"
+            )
+        try:
+            return cls(
+                family=HashFamily.from_dict(raw["family"]),
+                t=int(raw["t"]),
+                vocab_size=int(raw["vocab_size"]),
+                codec=str(raw["codec"]),
+                generation=int(raw["generation"]),
+                runs=[str(name) for name in raw["runs"]],
+                next_text_id=int(raw["next_text_id"]),
+                total_tokens=int(raw.get("total_tokens", 0)),
+                wal_seq=int(raw["wal_seq"]),
+                run_seq=int(raw["run_seq"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IndexFormatError(f"{path} is missing or mistypes a field: {exc}")
+
+    def commit(self, root: str | Path) -> None:
+        """Atomically publish this image as the root's manifest.
+
+        Bumps ``generation`` first, so every committed manifest carries
+        a strictly increasing generation number.
+        """
+        root = Path(root)
+        self.generation += 1
+        payload = json.dumps(
+            {
+                "format_version": MANIFEST_FORMAT_VERSION,
+                "generation": self.generation,
+                "family": self.family.to_dict(),
+                "t": self.t,
+                "vocab_size": self.vocab_size,
+                "codec": self.codec,
+                "runs": list(self.runs),
+                "next_text_id": self.next_text_id,
+                "total_tokens": self.total_tokens,
+                "wal_seq": self.wal_seq,
+                "run_seq": self.run_seq,
+            }
+        )
+        temp_path = root / (MANIFEST_FILE + ".tmp")
+        with open(temp_path, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, root / MANIFEST_FILE)
+        _fsync_directory(root)
+
+
+def manifest_exists(root: str | Path) -> bool:
+    """Whether ``root`` holds a committed live-index manifest."""
+    return (Path(root) / MANIFEST_FILE).exists()
+
+
+def _fsync_directory(root: Path) -> None:
+    """Best-effort fsync of the directory entry after ``os.replace``."""
+    try:
+        fd = os.open(root, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)

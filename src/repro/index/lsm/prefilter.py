@@ -1,0 +1,162 @@
+"""Bounded-memory exact-duplicate prefilter for streaming ingest.
+
+Training-corpus streams repeat themselves (re-crawled pages, mirrored
+dumps); indexing an exact byte-identical duplicate buys nothing — the
+near-duplicate search would only report it against its twin.  Following
+LSHBloom's observation that a probabilistic membership sketch is enough
+to gate streaming dedup at internet scale, the live index can consult a
+classic Bloom filter over a 16-byte ``blake2b`` digest of each text's
+token bytes *before* the text ever reaches the WAL or the window
+builder.
+
+Properties:
+
+* memory is fixed up front: ``bits(capacity, fp_rate)`` bits for the
+  target capacity, regardless of stream length;
+* a **negative** answer is exact — a genuinely new text is never
+  dropped;
+* a **positive** answer is wrong with probability ~``fp_rate`` (at
+  capacity), so with the prefilter enabled an ~``fp_rate`` fraction of
+  *distinct* texts may be skipped as presumed duplicates.  That is why
+  it is **off by default**: enable it on ingest pipelines that prefer
+  bounded re-ingest cost over perfect recall of near-capacity streams.
+
+Double hashing (Kirsch–Mitzenmacher) derives the ``h`` probe positions
+from the two 64-bit halves of the digest, so each text is hashed once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import IndexFormatError, InvalidParameterError
+
+_SAVE_FORMAT = 1
+
+
+def optimal_bits(capacity: int, fp_rate: float) -> int:
+    """Bloom size in bits for ``capacity`` keys at ``fp_rate``."""
+    return max(64, int(math.ceil(-capacity * math.log(fp_rate) / (math.log(2) ** 2))))
+
+
+def optimal_hashes(bits: int, capacity: int) -> int:
+    """Probe count minimising the false-positive rate."""
+    return max(1, int(round(bits / capacity * math.log(2))))
+
+
+class BloomPrefilter:
+    """Fixed-size Bloom filter keyed by a text digest.
+
+    Parameters
+    ----------
+    capacity:
+        Expected number of distinct texts; the false-positive rate is
+        calibrated at this fill level and degrades gracefully past it.
+    fp_rate:
+        Target false-positive probability at capacity.
+    """
+
+    def __init__(self, capacity: int = 1_000_000, fp_rate: float = 1e-4) -> None:
+        if capacity < 1:
+            raise InvalidParameterError("capacity must be >= 1")
+        if not (0.0 < fp_rate < 1.0):
+            raise InvalidParameterError("fp_rate must be in (0, 1)")
+        self.capacity = int(capacity)
+        self.fp_rate = float(fp_rate)
+        self.num_bits = optimal_bits(self.capacity, self.fp_rate)
+        self.num_hashes = optimal_hashes(self.num_bits, self.capacity)
+        self._bits = np.zeros((self.num_bits + 63) // 64, dtype=np.uint64)
+        self.added = 0
+
+    # -- hashing --------------------------------------------------------
+    @staticmethod
+    def digest(tokens: np.ndarray) -> tuple[int, int]:
+        """Two independent 64-bit hashes of one text's token bytes."""
+        raw = hashlib.blake2b(
+            np.ascontiguousarray(tokens, dtype="<u4").tobytes(), digest_size=16
+        ).digest()
+        halves = np.frombuffer(raw, dtype="<u8")
+        return int(halves[0]), int(halves[1])
+
+    def _positions(self, h1: int, h2: int) -> np.ndarray:
+        # Wrap-around in uint64 is intentional (double hashing only
+        # needs the low bits to stay well-mixed).
+        with np.errstate(over="ignore"):
+            probes = (
+                np.uint64(h1)
+                + np.arange(self.num_hashes, dtype=np.uint64) * np.uint64(h2 | 1)
+            ) % np.uint64(self.num_bits)
+        return probes
+
+    # -- membership -----------------------------------------------------
+    def __contains__(self, tokens: np.ndarray) -> bool:
+        h1, h2 = self.digest(np.asarray(tokens))
+        positions = self._positions(h1, h2)
+        words = self._bits[positions >> np.uint64(6)]
+        masks = np.uint64(1) << (positions & np.uint64(63))
+        return bool(np.all(words & masks))
+
+    def seen_or_add(self, tokens: np.ndarray) -> bool:
+        """Test-and-set in one pass: ``True`` iff the text was (probably)
+        seen before; a new text is recorded."""
+        h1, h2 = self.digest(np.asarray(tokens))
+        positions = self._positions(h1, h2)
+        word_index = (positions >> np.uint64(6)).astype(np.int64)
+        masks = np.uint64(1) << (positions & np.uint64(63))
+        seen = bool(np.all(self._bits[word_index] & masks))
+        if not seen:
+            np.bitwise_or.at(self._bits, word_index, masks)
+            self.added += 1
+        return seen
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the filter (``.npz``); best-effort sidecar of a seal."""
+        np.savez_compressed(
+            Path(path),
+            format=np.asarray([_SAVE_FORMAT]),
+            capacity=np.asarray([self.capacity]),
+            fp_rate=np.asarray([self.fp_rate]),
+            added=np.asarray([self.added]),
+            bits=self._bits,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BloomPrefilter":
+        try:
+            with np.load(Path(path)) as archive:
+                if int(archive["format"][0]) != _SAVE_FORMAT:
+                    raise IndexFormatError(
+                        f"unsupported prefilter format {int(archive['format'][0])}"
+                    )
+                prefilter = cls(
+                    capacity=int(archive["capacity"][0]),
+                    fp_rate=float(archive["fp_rate"][0]),
+                )
+                bits = archive["bits"]
+                if bits.shape != prefilter._bits.shape:
+                    raise IndexFormatError("prefilter bit array has wrong size")
+                prefilter._bits = bits.astype(np.uint64)
+                prefilter.added = int(archive["added"][0])
+                return prefilter
+        except (OSError, ValueError, KeyError) as exc:
+            raise IndexFormatError(f"prefilter file unreadable: {exc}")
+
+    # -- introspection --------------------------------------------------
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set (saturation indicator)."""
+        set_bits = int(np.bitwise_count(self._bits).sum()) if hasattr(
+            np, "bitwise_count"
+        ) else int(np.unpackbits(self._bits.view(np.uint8)).sum())
+        return set_bits / self.num_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BloomPrefilter(capacity={self.capacity}, fp_rate={self.fp_rate}, "
+            f"added={self.added})"
+        )

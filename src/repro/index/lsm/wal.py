@@ -1,0 +1,243 @@
+"""Write-ahead log for the live index.
+
+Every accepted append batch is written here *before* it is
+acknowledged, so a crash between the ack and the next memtable seal
+loses nothing: reopening the live index replays the log and rebuilds
+the memtable exactly.  The format is deliberately dumb — a magic
+header, then length-prefixed CRC-checked records:
+
+======  =====================================================
+bytes   field
+======  =====================================================
+8       file magic ``b"RPWAL001"``
+------  per record ----------------------------------------------
+4       payload length (``uint32`` little-endian)
+4       ``zlib.crc32`` of the payload (``uint32`` little-endian)
+n       payload
+======  =====================================================
+
+The payload of one record (one acknowledged append batch):
+
+======  =====================================================
+8       ``first_text_id`` (``uint64``) of the batch
+4       text count ``n`` (``uint32``)
+4*n     per-text token counts (``uint32``)
+4*sum   all token ids, concatenated (``uint32``)
+======  =====================================================
+
+Recovery scans records sequentially and stops at the first torn or
+corrupt one (short header, short payload, CRC mismatch); everything
+before that point is replayed and the file is truncated to it, so a
+crash mid-write can only ever lose the *unacknowledged* tail record.
+
+Durability of the ack is governed by ``ack_policy``:
+
+``always``
+    ``fsync`` before every ack — an acknowledged append survives power
+    loss (the default, and what the crash-recovery smoke test proves);
+``batch``
+    flush to the OS on every append, ``fsync`` every
+    ``fsync_batch`` appends (and on seal/close) — an OS crash may lose
+    the last few acks, a process crash loses nothing;
+``none``
+    flush to the OS only — cheapest, same process-crash guarantee.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import IndexFormatError, InvalidParameterError
+
+WAL_MAGIC = b"RPWAL001"
+
+#: Supported ack durability policies (see the module docs).
+ACK_POLICIES = ("always", "batch", "none")
+
+_HEADER_BYTES = 8  # per-record: uint32 length + uint32 crc
+#: Sanity cap on one record's payload; a "length" beyond this is
+#: treated as tail corruption rather than honoured.
+_MAX_RECORD_BYTES = 1 << 30
+
+
+def encode_record(first_text_id: int, texts: list[np.ndarray]) -> bytes:
+    """Serialize one append batch into a WAL record payload."""
+    lengths = np.asarray([text.size for text in texts], dtype=np.uint32)
+    parts = [
+        np.asarray([first_text_id], dtype="<u8").tobytes(),
+        np.asarray([len(texts)], dtype="<u4").tobytes(),
+        lengths.astype("<u4").tobytes(),
+    ]
+    if texts:
+        tokens = np.concatenate(
+            [np.asarray(text, dtype=np.uint32) for text in texts]
+        )
+        parts.append(tokens.astype("<u4").tobytes())
+    return b"".join(parts)
+
+
+def decode_record(payload: bytes) -> tuple[int, list[np.ndarray]]:
+    """Inverse of :func:`encode_record`."""
+    if len(payload) < 12:
+        raise IndexFormatError("WAL record payload shorter than its header")
+    first_text_id = int(np.frombuffer(payload[:8], dtype="<u8")[0])
+    count = int(np.frombuffer(payload[8:12], dtype="<u4")[0])
+    lengths_end = 12 + 4 * count
+    if lengths_end > len(payload):
+        raise IndexFormatError("WAL record payload truncated in lengths")
+    lengths = np.frombuffer(payload[12:lengths_end], dtype="<u4").astype(np.int64)
+    total = int(lengths.sum())
+    if lengths_end + 4 * total != len(payload):
+        raise IndexFormatError("WAL record payload size does not match lengths")
+    tokens = np.frombuffer(payload[lengths_end:], dtype="<u4").astype(np.uint32)
+    texts = []
+    cursor = 0
+    for length in lengths.tolist():
+        texts.append(tokens[cursor : cursor + length])
+        cursor += length
+    return first_text_id, texts
+
+
+def scan_wal(path: str | Path) -> tuple[list[tuple[int, list[np.ndarray]]], int, str | None]:
+    """Read every valid record of a WAL file (read-only).
+
+    Returns ``(records, valid_end, tail_error)``: the decoded records,
+    the byte offset where the valid prefix ends, and a description of
+    the torn/corrupt tail (``None`` when the file ends cleanly).  A
+    missing or bad magic raises :class:`IndexFormatError` — that is a
+    wrong *file*, not a torn tail.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < len(WAL_MAGIC) or data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise IndexFormatError(f"{path} is not a WAL file (bad magic)")
+    records: list[tuple[int, list[np.ndarray]]] = []
+    offset = len(WAL_MAGIC)
+    tail_error: str | None = None
+    while offset < len(data):
+        if offset + _HEADER_BYTES > len(data):
+            tail_error = "torn record header"
+            break
+        length, crc = np.frombuffer(
+            data[offset : offset + _HEADER_BYTES], dtype="<u4"
+        ).tolist()
+        length, crc = int(length), int(crc)
+        if length > _MAX_RECORD_BYTES:
+            tail_error = f"implausible record length {length}"
+            break
+        payload = data[offset + _HEADER_BYTES : offset + _HEADER_BYTES + length]
+        if len(payload) < length:
+            tail_error = "torn record payload"
+            break
+        if zlib.crc32(payload) != crc:
+            tail_error = "record checksum mismatch"
+            break
+        try:
+            records.append(decode_record(payload))
+        except IndexFormatError as exc:
+            tail_error = str(exc)
+            break
+        offset += _HEADER_BYTES + length
+    return records, offset, tail_error
+
+
+class WriteAheadLog:
+    """One open WAL segment: recover-on-open, then append-only.
+
+    Opening an existing file replays its valid prefix into
+    ``self.recovered`` and truncates any torn tail; opening a missing
+    file creates it with the magic header.  Appends are acknowledged
+    according to ``ack_policy`` (see the module docs).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        ack_policy: str = "always",
+        fsync_batch: int = 32,
+    ) -> None:
+        if ack_policy not in ACK_POLICIES:
+            raise InvalidParameterError(
+                f"ack_policy must be one of {ACK_POLICIES}, got {ack_policy!r}"
+            )
+        if fsync_batch < 1:
+            raise InvalidParameterError("fsync_batch must be >= 1")
+        self.path = Path(path)
+        self.ack_policy = ack_policy
+        self.fsync_batch = int(fsync_batch)
+        self.recovered: list[tuple[int, list[np.ndarray]]] = []
+        self.truncated_bytes = 0
+        self.records_written = 0
+        self.bytes_written = 0
+        self.syncs = 0
+        self._unsynced = 0
+        if self.path.exists():
+            records, valid_end, tail_error = scan_wal(self.path)
+            self.recovered = records
+            size = self.path.stat().st_size
+            if tail_error is not None and valid_end < size:
+                self.truncated_bytes = size - valid_end
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(valid_end)
+            self._file = open(self.path, "ab")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "wb")
+            self._file.write(WAL_MAGIC)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    # -- appending ------------------------------------------------------
+    def append(self, first_text_id: int, texts: list[np.ndarray]) -> None:
+        """Log one append batch; returns once the batch is *acknowledgeable*
+        under the configured policy."""
+        payload = encode_record(first_text_id, texts)
+        header = np.asarray(
+            [len(payload), zlib.crc32(payload)], dtype="<u4"
+        ).tobytes()
+        self._file.write(header + payload)
+        self._file.flush()
+        self.records_written += 1
+        self.bytes_written += len(header) + len(payload)
+        if self.ack_policy == "always":
+            os.fsync(self._file.fileno())
+            self.syncs += 1
+        elif self.ack_policy == "batch":
+            self._unsynced += 1
+            if self._unsynced >= self.fsync_batch:
+                self.sync()
+
+    def sync(self) -> None:
+        """Flush and ``fsync`` the log (a durability barrier)."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.syncs += 1
+        self._unsynced = 0
+
+    def close(self, *, sync: bool = True) -> None:
+        if self._file.closed:
+            return
+        if sync:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        self._file.close()
+
+    # -- introspection --------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Current on-disk size of the segment."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WriteAheadLog({str(self.path)!r}, ack_policy={self.ack_policy!r}, "
+            f"records={self.records_written})"
+        )

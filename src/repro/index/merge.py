@@ -72,7 +72,17 @@ def merge_disk_indexes(
     if len(text_offsets) != len(readers):
         raise InvalidParameterError("one text offset per source index is required")
 
-    writer = _IndexWriter(destination, family, t, codec=codec)
+    # The merged id space ends where the last partition's ends; when
+    # every source carries num_texts metadata this is exact even for
+    # texts that produced no windows.
+    merged_num_texts: int | None = max(
+        (offset + _num_texts(reader) for reader, offset in zip(readers, text_offsets)),
+        default=None,
+    )
+
+    writer = _IndexWriter(
+        destination, family, t, codec=codec, num_texts=merged_num_texts
+    )
     for func in range(family.k):
         # Union of this function's keys across all partitions.
         all_keys = np.unique(
@@ -100,7 +110,15 @@ def merge_disk_indexes(
 
 
 def _num_texts(reader: DiskInvertedIndex) -> int:
-    """Texts in a partition: max text id over function 0's lists, plus 1."""
+    """Size of a partition's text-id space.
+
+    The metadata key (written since ``num_texts`` landed in the
+    format) answers in O(1); legacy indexes fall back to scanning
+    function 0's lists for the max text id.
+    """
+    recorded = reader.num_texts
+    if recorded is not None:
+        return recorded
     top = -1
     for minhash in reader._keys[0]:
         postings = reader.load_list(0, int(minhash))

@@ -129,6 +129,7 @@ def build_memory_index_parallel(
     index = MemoryInvertedIndex.from_postings(
         family, t, merge_per_func_chunks(per_func_chunks)
     )
+    index.num_texts = texts_indexed
     merge_seconds = time.perf_counter() - begin
     if stats is not None:
         stats.windows_generated += index.num_postings

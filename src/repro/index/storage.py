@@ -108,11 +108,13 @@ class _IndexWriter:
         zonemap_min_list: int = DEFAULT_ZONEMAP_MIN_LIST,
         codec: str = "raw",
         dir_format: str = "sidecar",
+        num_texts: int | None = None,
     ) -> None:
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
         self._family = family
         self._t = int(t)
+        self._num_texts = None if num_texts is None else int(num_texts)
         self._zonemap_step = int(zonemap_step)
         self._zonemap_min_list = int(zonemap_min_list)
         self._codec = check_codec(codec)
@@ -247,6 +249,8 @@ class _IndexWriter:
             "family": self._family.to_dict(),
             "directory": self._dir_format,
         }
+        if self._num_texts is not None:
+            meta["num_texts"] = self._num_texts
         if self._codec == "packed":
             meta["codec"] = self._codec
             meta["payload_bytes"] = self._payload_bytes
@@ -264,8 +268,17 @@ def write_index(
     zonemap_min_list: int = DEFAULT_ZONEMAP_MIN_LIST,
     codec: str = "raw",
     dir_format: str = "sidecar",
+    num_texts: int | None = None,
 ) -> Path:
-    """Persist an in-memory index to ``directory``; returns the path."""
+    """Persist an in-memory index to ``directory``; returns the path.
+
+    ``num_texts`` records the size of the text-id space in the metadata
+    (defaults to the index's own ``num_texts`` attribute when the
+    builder set one); readers expose it so appenders can resume id
+    assignment without scanning posting lists.
+    """
+    if num_texts is None:
+        num_texts = getattr(index, "num_texts", None)
     writer = _IndexWriter(
         directory,
         index.family,
@@ -274,6 +287,7 @@ def write_index(
         zonemap_min_list,
         codec,
         dir_format,
+        num_texts=num_texts,
     )
     for func in range(index.family.k):
         for minhash, postings in index.iter_lists(func):
@@ -376,6 +390,8 @@ class DiskInvertedIndex:
         self.family = HashFamily.from_dict(meta["family"])
         self.t = int(meta["t"])
         self._num_postings = int(meta["num_postings"])
+        raw_num_texts = meta.get("num_texts")
+        self._num_texts = None if raw_num_texts is None else int(raw_num_texts)
         self._zonemap_step = int(meta["zonemap_step"])
         # Stat the payload exactly once; a vanished or unreadable file
         # surfaces as a format error, not a raw FileNotFoundError.
@@ -747,6 +763,15 @@ class DiskInvertedIndex:
     @property
     def num_postings(self) -> int:
         return self._num_postings
+
+    @property
+    def num_texts(self) -> int | None:
+        """Size of the text-id space, or ``None`` for legacy metadata.
+
+        Indexes written before the key existed fall back to scanning
+        (see :meth:`repro.index.incremental.IncrementalIndex`).
+        """
+        return self._num_texts
 
     @property
     def nbytes(self) -> int:

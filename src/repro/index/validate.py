@@ -27,7 +27,16 @@ Checked invariants:
    non-overlapping sections whose byte sizes match their dtype/shape)
    and carries every array the reader needs per hash function, with
    matching lengths (``keys == offsets == counts``, the zone-map
-   triple, the block mini-directory).
+   triple, the block mini-directory);
+9. (live-index roots, :func:`validate_live_index`) the LSM structure is
+   sound: the manifest parses and every run it lists exists, is fully
+   committed, matches the manifest's hash family / ``t`` / codec, and
+   passes invariants (1)-(8); run text-id ranges are disjoint and
+   ascending in manifest order and stay below the manifest's
+   ``next_text_id`` (the WAL replay fence); no stray ``run-*`` or
+   ``wal-*`` entries sit outside the manifest; and the active WAL
+   scans cleanly — no torn tail, records fenced correctly and
+   contiguous in text id.
 """
 
 from __future__ import annotations
@@ -311,3 +320,132 @@ def _validate_block_directory(index, report: ValidationReport, max_lists_per_fun
                     f"func {func} list {minhash}: blocks extend past the "
                     "payload end"
                 )
+
+
+def validate_live_index(
+    root,
+    *,
+    max_lists_per_func: int | None = None,
+) -> ValidationReport:
+    """Invariant (9): validate an LSM live-index root end to end.
+
+    Checks the manifest, every sealed run (structurally, via
+    :func:`validate_index`, plus cross-run text-range discipline), the
+    directory contents (no stray runs or WAL segments), and the active
+    WAL segment (clean tail, replay-fence and contiguity of record
+    ids).  Works on a root that is not currently open; opening it
+    elsewhere concurrently may race seals and report transient strays.
+    """
+    from pathlib import Path
+
+    from repro.exceptions import IndexFormatError
+    from repro.index.lsm.manifest import MANIFEST_FILE, Manifest
+    from repro.index.lsm.wal import scan_wal
+    from repro.index.storage import DiskInvertedIndex
+
+    report = ValidationReport()
+    root = Path(root)
+    try:
+        manifest = Manifest.load(root)
+    except IndexFormatError as exc:
+        report._fail(f"manifest: {exc}")
+        return report
+
+    # Directory discipline: everything run-/wal-like must be accounted for.
+    wal_file = f"wal-{manifest.wal_seq:06d}.log"
+    referenced = set(manifest.runs)
+    for entry in sorted(root.iterdir()):
+        if entry.is_dir() and entry.name.startswith("run-"):
+            if entry.name not in referenced:
+                report._fail(f"stray run directory {entry.name} not in manifest")
+        elif entry.name.startswith("wal-") and entry.name.endswith(".log"):
+            if entry.name != wal_file:
+                report._fail(
+                    f"stale WAL segment {entry.name} (active is {wal_file})"
+                )
+
+    # Per-run structure + cross-run text-range discipline.
+    previous_hi = -1
+    for name in manifest.runs:
+        run_dir = root / name
+        if not run_dir.is_dir():
+            report._fail(f"run {name}: directory missing")
+            continue
+        try:
+            reader = DiskInvertedIndex(run_dir)
+        except IndexFormatError as exc:
+            report._fail(f"run {name}: {exc}")
+            continue
+        if reader.family != manifest.family:
+            report._fail(f"run {name}: hash family differs from manifest")
+        if reader.t != manifest.t:
+            report._fail(f"run {name}: t={reader.t} differs from manifest t={manifest.t}")
+        if reader.codec != manifest.codec:
+            report._fail(
+                f"run {name}: codec {reader.codec!r} differs from manifest "
+                f"{manifest.codec!r}"
+            )
+        sub_report = validate_index(
+            reader, max_lists_per_func=max_lists_per_func
+        )
+        report.lists_checked += sub_report.lists_checked
+        report.postings_checked += sub_report.postings_checked
+        for error in sub_report.errors:
+            report._fail(f"run {name}: {error}")
+
+        lo, hi = _run_text_range(reader)
+        if lo is None:
+            continue  # empty run: no range to check
+        if lo <= previous_hi:
+            report._fail(
+                f"run {name}: text range [{lo}, {hi}] overlaps or precedes "
+                f"an earlier run (previous max id {previous_hi})"
+            )
+        if hi >= manifest.next_text_id:
+            report._fail(
+                f"run {name}: max text id {hi} at or above the manifest's "
+                f"next_text_id {manifest.next_text_id} (broken replay fence)"
+            )
+        previous_hi = max(previous_hi, hi)
+
+    # Active WAL: clean tail, fenced + contiguous records.
+    wal_path = root / wal_file
+    if not wal_path.exists():
+        report._fail(f"active WAL segment {wal_file} is missing")
+        return report
+    try:
+        records, _, tail_error = scan_wal(wal_path)
+    except IndexFormatError as exc:
+        report._fail(f"WAL {wal_file}: {exc}")
+        return report
+    if tail_error is not None:
+        report._fail(f"WAL {wal_file}: torn tail not truncated ({tail_error})")
+    expected_next = manifest.next_text_id
+    for position, (first_text_id, texts) in enumerate(records):
+        if first_text_id < manifest.next_text_id:
+            report._fail(
+                f"WAL {wal_file} record {position}: first text id "
+                f"{first_text_id} below the replay fence "
+                f"{manifest.next_text_id}"
+            )
+            continue
+        if first_text_id != expected_next:
+            report._fail(
+                f"WAL {wal_file} record {position}: first text id "
+                f"{first_text_id} not contiguous (expected {expected_next})"
+            )
+        expected_next = first_text_id + len(texts)
+    return report
+
+
+def _run_text_range(reader) -> tuple[int | None, int | None]:
+    """(min, max) text id of a run, from function 0's lists."""
+    lo: int | None = None
+    hi: int | None = None
+    for _, postings in _iter_lists(reader, 0):
+        if postings.size:
+            texts = postings["text"]
+            first, last = int(texts.min()), int(texts.max())
+            lo = first if lo is None else min(lo, first)
+            hi = last if hi is None else max(hi, last)
+    return lo, hi

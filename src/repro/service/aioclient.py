@@ -200,6 +200,13 @@ class AsyncServiceClient:
         """``POST /batch`` with an already-built wire body."""
         return await self.request("POST", "/batch", body, timeout=timeout)
 
+    async def ingest(
+        self, body: dict[str, Any], *, timeout: float | None = None
+    ) -> dict[str, Any]:
+        """``POST /ingest`` with an already-built wire body
+        (``{"texts": [...]}``); not idempotent — never auto-retried."""
+        return await self.request("POST", "/ingest", body, timeout=timeout)
+
     async def health(self, *, timeout: float | None = None) -> dict[str, Any]:
         return await self.request("GET", "/health", timeout=timeout)
 

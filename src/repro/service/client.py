@@ -15,7 +15,12 @@ do it: ``retries=N`` (default 0, off) re-issues a request shed by
 admission control up to N times with jittered exponential backoff.  A
 429 is the one failure that is *safe* to retry blindly — the server
 sheds before planning or executing anything — and the jitter keeps a
-shed fleet from re-converging on the same instant.
+shed fleet from re-converging on the same instant.  Under the same
+budget, idempotent requests (search, batch, health, stats) also retry
+``ConnectionResetError``/``BrokenPipeError`` — a keep-alive connection
+a restarting or drained server closed under the client; non-idempotent
+``/ingest`` never does (the server may have committed the append
+before the connection died, and a replay would assign fresh ids).
 """
 
 from __future__ import annotations
@@ -91,13 +96,30 @@ class ServiceClient:
 
     # -- transport ------------------------------------------------------
     def _request(
-        self, method: str, path: str, body: dict[str, Any] | None = None
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        *,
+        idempotent: bool = True,
     ) -> dict[str, Any]:
         attempt = 0
         while True:
             try:
                 return self._request_once(method, path, body)
-            except RequestShedError:
+            except (
+                RequestShedError,
+                ConnectionResetError,
+                BrokenPipeError,
+            ) as exc:
+                # A shed (429) is always safe to retry: the server
+                # refused before doing anything.  A reset/broken pipe is
+                # ambiguous — the server may have executed the request
+                # before the connection died — so it is retried only for
+                # idempotent requests (search/batch/health/stats, never
+                # ingest, which would assign fresh text ids on replay).
+                if not idempotent and not isinstance(exc, RequestShedError):
+                    raise
                 if attempt >= self.retries:
                     raise
                 delay = min(
@@ -193,6 +215,26 @@ class ServiceClient:
         if timeout_ms is not None:
             body["timeout_ms"] = float(timeout_ms)
         return self._request("POST", "/batch", body)
+
+    def ingest(
+        self, texts: Sequence[str | Sequence[int] | np.ndarray]
+    ) -> dict[str, Any]:
+        """Append a batch to a live-served index; returns assigned ids.
+
+        String entries are tokenized server-side.  The request is *not*
+        idempotent (a replay would assign fresh ids), so connection
+        failures are never auto-retried — only a 429 shed, which the
+        server raises before touching the WAL, is.
+        """
+        wire: list[Any] = []
+        for text in texts:
+            if isinstance(text, str):
+                wire.append(text)
+            else:
+                wire.append([int(token) for token in np.asarray(text).tolist()])
+        return self._request(
+            "POST", "/ingest", {"texts": wire}, idempotent=False
+        )
 
     def health(self) -> dict[str, Any]:
         return self._request("GET", "/health")

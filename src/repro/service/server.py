@@ -293,6 +293,12 @@ class SearchService(HttpServiceBase):
         """Graceful drain: refuse new work, finish everything admitted."""
         await self._close_listener()
         await self.batcher.close(drain=True)
+        if getattr(self.engine, "backend", "static") == "live":
+            # Final WAL fsync + compactor join so nothing acknowledged
+            # is left riding on the page cache.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.engine.close
+            )
 
     # -- routing --------------------------------------------------------
     async def _route(
@@ -311,7 +317,11 @@ class SearchService(HttpServiceBase):
                 if self._draining:
                     raise ServiceClosedError("service is draining")
                 return 200, await self._batch(self._decode(body))
-            if path in ("/health", "/stats", "/search", "/batch"):
+            if path == "/ingest" and method == "POST":
+                if self._draining:
+                    raise ServiceClosedError("service is draining")
+                return 200, await self._ingest(self._decode(body))
+            if path in ("/health", "/stats", "/search", "/batch", "/ingest"):
                 raise ProtocolError(f"{method} not allowed on {path}", status=405)
             raise ProtocolError(f"unknown path {path!r}", status=404)
         except (asyncio.TimeoutError, TimeoutError):
@@ -393,6 +403,50 @@ class SearchService(HttpServiceBase):
             },
         }
 
+    async def _ingest(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Durable streaming append (live engines only).
+
+        Not idempotent: replaying the same request assigns fresh text
+        ids, so clients must not auto-retry it on ambiguous transport
+        failures (see :meth:`repro.service.client.ServiceClient.ingest`).
+        """
+        if getattr(self.engine, "backend", "static") != "live":
+            raise ProtocolError(
+                "this engine is static; /ingest requires serving a live "
+                "index root (repro-cli serve <live-root>)"
+            )
+        raw = body.get("texts")
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError("'texts' must be a non-empty list")
+        texts = []
+        for position, entry in enumerate(raw):
+            if isinstance(entry, str):
+                if self.engine.tokenizer is None:
+                    raise ProtocolError(
+                        "this engine has no tokenizer; send token ids in "
+                        f"'texts[{position}]'"
+                    )
+                texts.append(self.engine.tokenizer.encode(entry))
+            else:
+                texts.append(parse_tokens(entry, field=f"texts[{position}]"))
+        loop = asyncio.get_running_loop()
+        begin = loop.time()
+        # The live index serialises appends internally; run on the
+        # default executor so the event loop keeps serving queries
+        # while the WAL fsyncs.
+        ids = await loop.run_in_executor(None, self.engine.append_texts, texts)
+        total = loop.time() - begin
+        live = self.engine.live_index
+        return {
+            "ok": True,
+            "ids": ids,
+            "accepted": sum(1 for text_id in ids if text_id is not None),
+            "deduped": sum(1 for text_id in ids if text_id is None),
+            "next_text_id": live.num_texts,
+            "generation": live.manifest.generation,
+            "server": {"total_ms": 1e3 * total},
+        }
+
     def _health_payload(self) -> dict[str, Any]:
         return {
             "ok": True,
@@ -402,6 +456,7 @@ class SearchService(HttpServiceBase):
             "postings": self.engine.index.num_postings,
             "k": self.engine.index.family.k,
             "t": self.engine.index.t,
+            "backend": getattr(self.engine, "backend", "static"),
         }
 
     def _stats_payload(self) -> dict[str, Any]:
@@ -422,6 +477,8 @@ class SearchService(HttpServiceBase):
                 "cache_bytes": self.config.cache_bytes,
             },
         }
+        if getattr(self.engine, "backend", "static") == "live":
+            payload["live"] = self.engine.live_index.status()
         if self.cluster is not None:
             payload["cluster"] = self.cluster()
         return payload
@@ -554,19 +611,23 @@ def load_served_engine(
 ) -> NearDupEngine:
     """Open what ``serve`` was pointed at.
 
-    Accepts either a full saved-engine directory
-    (:meth:`NearDupEngine.save`) or a bare index directory from
+    Accepts a full saved-engine directory (:meth:`NearDupEngine.save`),
+    a live-index root (``MANIFEST.json``; served with streaming
+    ``/ingest`` enabled), or a bare index directory from
     ``repro-cli build`` paired with its corpus via ``corpus_dir``.
     """
     from pathlib import Path
 
     from repro.corpus.store import DiskCorpus
     from repro.exceptions import InvalidParameterError
+    from repro.index.lsm import manifest_exists
     from repro.index.storage import DiskInvertedIndex
 
     path = Path(directory)
     if (path / "engine.meta.json").exists():
         return NearDupEngine.load(path)
+    if manifest_exists(path):
+        return NearDupEngine.live(path)
     if corpus_dir is None:
         raise InvalidParameterError(
             f"{directory} is a bare index directory; pass its corpus via --corpus"
@@ -591,6 +652,13 @@ def serve(
     """
     engine = load_served_engine(index_dir, corpus_dir)
     if config is not None and config.procs > 1:
+        if getattr(engine, "backend", "static") == "live":
+            from repro.exceptions import InvalidParameterError
+
+            raise InvalidParameterError(
+                "a live index has a single writer (its WAL); serve it with "
+                "procs=1"
+            )
         from repro.service.prefork import PreforkServer
 
         return PreforkServer(engine, config).run_forever(banner=banner)

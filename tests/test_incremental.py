@@ -84,6 +84,28 @@ class TestAppend:
                 assert np.all(np.diff(texts) >= 0)
 
 
+class TestNextTextIdInference:
+    def test_uses_recorded_num_texts(self, setup):
+        initial, extra, family, main = setup
+        assert main.num_texts == len(initial)
+        inc = IncrementalIndex(main, VOCAB)
+        assert inc._next_text_id == len(initial)
+
+    def test_recorded_beats_posting_scan(self, setup):
+        # num_texts counts *all* texts, including trailing ones too
+        # short to own postings — a posting scan would miss them.
+        initial, extra, family, main = setup
+        main.num_texts = len(initial) + 3
+        inc = IncrementalIndex(main, VOCAB)
+        assert inc._next_text_id == len(initial) + 3
+
+    def test_legacy_fallback_scans_postings(self, setup):
+        initial, extra, family, main = setup
+        main.num_texts = None
+        inc = IncrementalIndex(main, VOCAB)
+        assert inc._next_text_id == len(initial)
+
+
 class TestConsolidation:
     def test_threshold_triggers_merge(self, setup):
         initial, extra, family, main = setup

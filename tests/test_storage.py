@@ -62,6 +62,25 @@ class TestRoundTrip:
             for minhash, postings in memory.iter_lists(func):
                 assert np.array_equal(restored.load_list(func, minhash), postings)
 
+    def test_num_texts_recorded(self, saved):
+        memory, disk, _ = saved
+        assert memory.num_texts == 120
+        assert disk.num_texts == 120
+
+    def test_num_texts_absent_in_legacy_meta(self, saved):
+        # An index written before the key existed reads back as None.
+        _, _, directory = saved
+        meta_path = directory / "index.meta.json"
+        meta = json.loads(meta_path.read_text())
+        recorded = meta.pop("num_texts")
+        assert recorded == 120
+        meta_path.write_text(json.dumps(meta))
+        try:
+            assert DiskInvertedIndex(directory).num_texts is None
+        finally:
+            meta["num_texts"] = recorded
+            meta_path.write_text(json.dumps(meta))
+
 
 class TestTextWindowReads:
     def test_matches_full_list_filter(self, saved):
