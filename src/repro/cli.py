@@ -407,9 +407,11 @@ def _cmd_build_fleet(args: argparse.Namespace) -> int:
         num_shards=args.shards,
         host=args.host,
         base_port=args.base_port,
+        replicas_per_shard=args.replicas,
     )
     print(
-        f"wrote {len(shard_map)} shard engines ({shard_map.num_texts} texts) "
+        f"wrote {len(shard_map)} shard engines ({shard_map.num_texts} texts, "
+        f"{shard_map.num_replicas} replica endpoints) "
         f"and shardmap.json under {args.out}"
     )
     return 0
@@ -424,6 +426,7 @@ def _cmd_serve_shards(args: argparse.Namespace) -> int:
         base_port=args.base_port,
         workers=args.batch_workers,
         procs=args.workers,
+        replicas=args.replicas,
     )
 
 
@@ -437,6 +440,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
         shard_timeout_ms=args.shard_timeout_ms,
         max_connections=args.max_connections,
         partial_results=not args.no_partial,
+        policy=args.policy,
+        hedge_after_ms=args.hedge_after_ms,
     )
     return route(args.shard_map, config=config)
 
@@ -762,7 +767,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--shards", type=int, default=4)
     p_fleet.add_argument("--host", default="127.0.0.1")
     p_fleet.add_argument(
-        "--base-port", type=int, default=8101, help="shard i listens on base+i"
+        "--base-port",
+        type=int,
+        default=8101,
+        help="replica r of shard i listens on base + i*replicas + r",
+    )
+    p_fleet.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="replica endpoints per shard in the emitted shardmap.json "
+        "(they all serve the same shard<i>/ directory)",
     )
     p_fleet.set_defaults(func=_cmd_build_fleet)
 
@@ -773,7 +788,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_shards.add_argument("fleet_dir", help="directory holding shard<i>/ engines")
     p_shards.add_argument("--host", default="127.0.0.1")
     p_shards.add_argument(
-        "--base-port", type=int, default=8101, help="shard i listens on base+i"
+        "--base-port",
+        type=int,
+        default=8101,
+        help="replica r of shard i listens on base + i*replicas + r",
+    )
+    p_shards.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="server processes per shard (the shard map is grown to match)",
     )
     p_shards.add_argument(
         "--workers",
@@ -821,6 +845,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fail the whole request when any shard fails (default: answer "
         "from the healthy shards with partial=true)",
+    )
+    p_route.add_argument(
+        "--policy",
+        default="pick-first",
+        choices=["pick-first", "round-robin", "power-of-two"],
+        help="replica selection policy within each shard",
+    )
+    p_route.add_argument(
+        "--hedge-after-ms",
+        type=float,
+        default=None,
+        help="hedge sub-requests still unanswered after this many ms "
+        "(0 = auto from each shard's observed p95; default: hedging off)",
     )
     p_route.set_defaults(func=_cmd_route)
 

@@ -27,15 +27,22 @@ This package is that layer:
   shared-memory stats aggregated into a ``cluster`` block of
   ``/stats``;
 * :mod:`repro.service.shardmap` — which shard owns which texts
-  (contiguous text-id ranges + a consistent-hash ring for new keys),
-  serialized as ``shardmap.json``;
+  (contiguous text-id ranges + a consistent-hash ring for new keys)
+  and which replica endpoints serve each shard, serialized as
+  ``shardmap.json`` (format 2; format-1 single-endpoint maps still
+  load);
 * :mod:`repro.service.aioclient` — the asyncio client with pooled
   keep-alive connections the router fans out through;
+* :mod:`repro.service.replicas` — per-replica health (EWMA latency,
+  circuit breaker with half-open probing) and the selection policies
+  (``pick-first``, ``round-robin``, ``power-of-two``) plus the
+  p95-derived hedge-delay bookkeeping;
 * :mod:`repro.service.router` — the multi-machine deployment shape: a
-  scatter-gather front-end that asks every shard server concurrently,
-  re-numbers text ids by shard offset, merges matches and stats, and
-  answers partially (``"partial": true``) when a shard misses its
-  deadline.
+  scatter-gather front-end that asks every shard server concurrently
+  (balancing each sub-request across the shard's replicas, failing
+  over and optionally hedging the slow tail), re-numbers text ids by
+  shard offset, merges matches and stats, and answers partially
+  (``"partial": true``) when a shard misses its deadline.
 
 Serving is a pure execution strategy: a served query returns exactly
 what :meth:`~repro.engine.NearDupEngine.search_raw` returns for the
@@ -56,6 +63,7 @@ from repro.service.protocol import (
     result_to_wire,
 )
 from repro.service.prefork import PreforkServer, SharedServiceStats, StatsSlots
+from repro.service.replicas import POLICIES, ReplicaSet, ReplicaState
 from repro.service.router import (
     RouterConfig,
     RouterService,
@@ -63,10 +71,17 @@ from repro.service.router import (
     discover_shard_fleet,
 )
 from repro.service.server import SearchService, ServiceConfig, ServiceRunner
-from repro.service.shardmap import HashRing, ShardEntry, ShardMap
+from repro.service.shardmap import (
+    HashRing,
+    Replica,
+    ShardEntry,
+    ShardMap,
+    with_added_replicas,
+)
 from repro.service.stats import LatencyHistogram, RouterStats, ServiceStats
 
 __all__ = [
+    "POLICIES",
     "AsyncServiceClient",
     "HashRing",
     "LatencyHistogram",
@@ -74,6 +89,9 @@ __all__ = [
     "PreforkServer",
     "ProtocolError",
     "RemoteError",
+    "Replica",
+    "ReplicaSet",
+    "ReplicaState",
     "RequestShedError",
     "RequestTimeoutError",
     "RouterConfig",
@@ -93,4 +111,5 @@ __all__ = [
     "build_shard_fleet",
     "discover_shard_fleet",
     "result_to_wire",
+    "with_added_replicas",
 ]

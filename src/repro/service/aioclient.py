@@ -8,6 +8,17 @@ with per-request connections a TCP handshake per shard per request.
 their connection to a free list so the steady state is N keep-alive
 sockets per shard, reused forever.
 
+A pooled socket can go stale: a server restart, drain, or idle-timeout
+closes it *between* our requests, and ``is_closing()`` cannot see a
+FIN the event loop has not processed — the death only surfaces when
+the next exchange fails.  That failure is unambiguous exactly when no
+response byte has arrived yet **and** the connection came from the
+pool: the request provably never reached a working server, so
+idempotent requests transparently retry once on a fresh connection.
+Non-idempotent ``/ingest`` never does (the server may have committed
+the append before the connection died), and a fresh connection's
+failure is a real error, not staleness.
+
 Error mapping mirrors the blocking :class:`~repro.service.client.ServiceClient`:
 non-200 / ``ok: false`` responses raise the same typed exceptions
 (:class:`~repro.service.protocol.RequestShedError`,
@@ -26,6 +37,10 @@ from typing import Any
 from repro.service.protocol import RemoteError
 
 _MAX_HEADERS = 64
+
+#: Transport failures that can mean "the pooled socket was already
+#: dead" when they strike before any response byte.
+_STALE_ERRORS = (ConnectionResetError, BrokenPipeError, ConnectionAbortedError)
 
 
 class AsyncServiceClient:
@@ -56,6 +71,11 @@ class AsyncServiceClient:
         self._free: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
         self._semaphore = asyncio.Semaphore(self.max_connections)
         self._closed = False
+        # Pool telemetry (surfaced per replica in the router's /stats).
+        self.opened = 0  #: fresh TCP connections established
+        self.reused = 0  #: requests served over a pooled connection
+        self.discarded = 0  #: connections closed instead of repooled
+        self.stale_retries = 0  #: exchanges replayed on a fresh socket
 
     # -- pool -----------------------------------------------------------
     @property
@@ -63,18 +83,35 @@ class AsyncServiceClient:
         """Idle keep-alive connections currently in the free list."""
         return len(self._free)
 
-    async def _acquire(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    def pool_stats(self) -> dict[str, int]:
+        """Counter snapshot: opened / reused / discarded / stale retries."""
+        return {
+            "pooled": len(self._free),
+            "opened": self.opened,
+            "reused": self.reused,
+            "discarded": self.discarded,
+            "stale_retries": self.stale_retries,
+        }
+
+    async def _acquire(
+        self,
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter, bool]:
+        """``(reader, writer, pooled)`` — pooled tells retry policy."""
         while self._free:
             reader, writer = self._free.pop()
             if writer.is_closing():
+                self.discarded += 1
                 continue
-            return reader, writer
-        return await asyncio.wait_for(
+            self.reused += 1
+            return reader, writer, True
+        reader, writer = await asyncio.wait_for(
             asyncio.open_connection(self.host, self.port), self.connect_timeout
         )
+        self.opened += 1
+        return reader, writer, False
 
-    @staticmethod
-    def _discard(writer: asyncio.StreamWriter) -> None:
+    def _discard(self, writer: asyncio.StreamWriter) -> None:
+        self.discarded += 1
         try:
             writer.close()
         except Exception:  # pragma: no cover - best-effort close
@@ -105,17 +142,26 @@ class AsyncServiceClient:
         body: dict[str, Any] | None = None,
         *,
         timeout: float | None = None,
+        idempotent: bool = True,
     ) -> dict[str, Any]:
         """One request/response exchange under a deadline (seconds).
 
         Raises :class:`asyncio.TimeoutError` past the deadline and the
-        typed service errors on error responses.
+        typed service errors on error responses.  ``idempotent=False``
+        (ingest) disables the stale-pooled-connection replay.
         """
         limit = self.timeout if timeout is None else float(timeout)
-        return await asyncio.wait_for(self._request(method, path, body), limit)
+        return await asyncio.wait_for(
+            self._request(method, path, body, idempotent=idempotent), limit
+        )
 
     async def _request(
-        self, method: str, path: str, body: dict[str, Any] | None
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None,
+        *,
+        idempotent: bool = True,
     ) -> dict[str, Any]:
         payload = json.dumps(body).encode("utf-8") if body is not None else b""
         head = (
@@ -129,22 +175,41 @@ class AsyncServiceClient:
                 f"Content-Length: {len(payload)}\r\n"
             )
         head += "\r\n"
+        wire = head.encode("latin-1") + payload
         async with self._semaphore:
-            reader, writer = await self._acquire()
-            completed = False
-            try:
-                writer.write(head.encode("latin-1") + payload)
-                await writer.drain()
-                status, keep_alive, raw = await self._read_response(reader)
-                completed = True
-            finally:
-                # Cancellation (the caller's deadline) or any transport
-                # error lands here with completed=False: the connection
-                # is mid-exchange and must never be reused.
-                if completed and keep_alive and not self._closed:
-                    self._free.append((reader, writer))
-                else:
-                    self._discard(writer)
+            while True:
+                reader, writer, pooled = await self._acquire()
+                completed = False
+                try:
+                    writer.write(wire)
+                    await writer.drain()
+                    status, keep_alive, raw = await self._read_response(reader)
+                    completed = True
+                except _STALE_ERRORS:
+                    # _read_response raises ConnectionResetError only
+                    # before the first response byte; write/drain
+                    # failures are pre-response by definition.  On a
+                    # *pooled* connection that means the server had
+                    # already hung up and the request never ran — a
+                    # fresh socket replays it safely (idempotent
+                    # requests only: a committed /ingest must not
+                    # replay).  A fresh connection failing the same way
+                    # is a live server error and surfaces; that also
+                    # bounds the loop, since the pool only drains.
+                    if not (pooled and idempotent):
+                        raise
+                finally:
+                    # Cancellation (the caller's deadline) or any
+                    # transport error lands here with completed=False:
+                    # the connection is mid-exchange and must never be
+                    # reused.
+                    if completed and keep_alive and not self._closed:
+                        self._free.append((reader, writer))
+                    else:
+                        self._discard(writer)
+                if completed:
+                    break
+                self.stale_retries += 1
         return self._decode(status, raw)
 
     @staticmethod
@@ -205,7 +270,9 @@ class AsyncServiceClient:
     ) -> dict[str, Any]:
         """``POST /ingest`` with an already-built wire body
         (``{"texts": [...]}``); not idempotent — never auto-retried."""
-        return await self.request("POST", "/ingest", body, timeout=timeout)
+        return await self.request(
+            "POST", "/ingest", body, timeout=timeout, idempotent=False
+        )
 
     async def health(self, *, timeout: float | None = None) -> dict[str, Any]:
         return await self.request("GET", "/health", timeout=timeout)

@@ -173,6 +173,29 @@ def parse_timeout(body: dict[str, Any], default_ms: float) -> float:
     return float(timeout_ms) / 1e3
 
 
+def parse_policy(value: Any) -> str:
+    """Validate a replica-selection policy name (router config / CLI)."""
+    from repro.service.replicas import POLICIES
+
+    if not isinstance(value, str) or value not in POLICIES:
+        raise ProtocolError(
+            f"unknown routing policy {value!r}; choose from {list(POLICIES)}"
+        )
+    return value
+
+
+def parse_hedge_after_ms(value: Any) -> float | None:
+    """Validate a hedge delay: ``None`` off, ``0`` auto (p95), ``>0`` fixed."""
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or value < 0:
+        raise ProtocolError(
+            f"'hedge_after_ms' must be >= 0 (0 = auto from the shard's "
+            f"observed p95), got {value!r}"
+        )
+    return float(value)
+
+
 def parse_flag(body: dict[str, Any], name: str) -> bool:
     value = body.get(name, False)
     if not isinstance(value, bool):

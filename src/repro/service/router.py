@@ -17,14 +17,36 @@ would serve.
 
 Latency is the point: the fleet answers in ``max`` (slowest shard)
 rather than ``sum`` (a serial loop over shards), so a fan-out of N
-approaches N-fold throughput for shard-bound queries.  The failure
-model follows from fan-out too — any shard can miss the deadline, and
-a router that failed the whole query on one slow shard would multiply
-the fleet's tail.  Instead each shard gets its own deadline carved
-from the request budget, and when ``partial_results`` is on (default)
-the router returns what the healthy shards found with ``"partial":
-true`` and the list of shards that failed, letting the caller decide
-whether a subset of the corpus is good enough.
+approaches N-fold throughput for shard-bound queries.  But ``max``
+also means one slow or dead copy stalls *every* query — so each shard
+may list several **replicas** (format-2 shard maps), identical copies
+the router balances across:
+
+* every replica gets health tracking — an EWMA of observed latency and
+  a consecutive-failure circuit breaker with half-open probing
+  (:mod:`repro.service.replicas`);
+* each sub-request picks a replica by policy (``pick-first``,
+  ``round-robin``, or ``power-of-two`` on in-flight count x EWMA);
+* a failed pick **fails over** to the next untried replica inside the
+  same shard deadline;
+* with hedging enabled, a sub-request still unanswered after the
+  shard's hedge delay (fixed, or auto-derived from its observed p95)
+  is *also* sent to a second replica, the first answer wins, and the
+  loser is cancelled.  Hedging applies only to idempotent ``/search``
+  and ``/batch`` fan-outs; non-idempotent ingest stays pinned to the
+  shard's primary (writer) replica.
+
+Replicas of one shard serve identical data, so none of this changes
+the bytes of a routed ``result`` — which replica answered, whether a
+hedge won, and which policy chose are all invisible to the caller.
+
+The failure model follows from fan-out too — any shard can miss the
+deadline, and a router that failed the whole query on one slow shard
+would multiply the fleet's tail.  Instead each shard gets its own
+deadline carved from the request budget, and when ``partial_results``
+is on (default) the router returns what the healthy shards found with
+``"partial": true`` and the list of shards that failed, letting the
+caller decide whether a subset of the corpus is good enough.
 
 Queries must be token ids (``"query"``): the router owns no tokenizer,
 and shard engines' tokenizers are not guaranteed to agree, so
@@ -36,6 +58,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import random
 import signal
 import sys
 from dataclasses import dataclass
@@ -51,19 +74,30 @@ from repro.service.protocol import (
     ServiceError,
     error_body,
     parse_flag,
+    parse_hedge_after_ms,
+    parse_policy,
     parse_theta,
     parse_timeout,
     parse_tokens,
     stats_from_wire,
     stats_to_wire,
 )
+from repro.service.replicas import ReplicaSet, ReplicaState
 from repro.service.server import HttpServiceBase
-from repro.service.shardmap import ShardEntry, ShardMap
+from repro.service.shardmap import (
+    Replica,
+    ShardEntry,
+    ShardMap,
+    with_added_replicas,
+)
 from repro.service.stats import RouterStats
 
 logger = logging.getLogger(__name__)
 
 SHARD_MAP_FILE = "shardmap.json"
+
+#: Fan-out paths safe to hedge and fail over (idempotent reads).
+_IDEMPOTENT_PATHS = frozenset({"/search", "/batch"})
 
 
 @dataclass
@@ -75,10 +109,16 @@ class RouterConfig:
     timeout_ms: float = 30000.0  #: default end-to-end budget per request
     shard_timeout_ms: float | None = None  #: per-shard cap; None = whole budget
     connect_timeout_ms: float = 5000.0
-    max_connections: int = 16  #: pooled keep-alive connections per shard
+    max_connections: int = 16  #: pooled keep-alive connections per replica
     partial_results: bool = True  #: answer from healthy shards on failure
     health_timeout_ms: float = 2000.0  #: budget of /health and /stats fan-outs
     max_body_bytes: int = 8 * 1024 * 1024
+    policy: str = "pick-first"  #: replica selection (see replicas.POLICIES)
+    hedge_after_ms: float | None = None  #: None off; 0 auto (p95); >0 fixed
+    breaker_failures: int = 3  #: consecutive failures that open a breaker
+    breaker_cooldown_ms: float = 2000.0  #: open time before half-open probing
+    ewma_alpha: float = 0.2  #: latency EWMA smoothing per replica
+    policy_seed: int | None = None  #: seed the power-of-two rng (tests/bench)
 
 
 class RouterService(HttpServiceBase):
@@ -88,33 +128,191 @@ class RouterService(HttpServiceBase):
         super().__init__()
         self.shard_map = shard_map
         self.config = config or RouterConfig()
+        parse_policy(self.config.policy)
+        parse_hedge_after_ms(self.config.hedge_after_ms)
         self.stats = RouterStats()
-        self._clients: dict[str, AsyncServiceClient] = {}
+        self._replicas: dict[str, ReplicaSet] = {}
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
+        config = self.config
         for entry in self.shard_map:
-            self._clients[entry.name] = AsyncServiceClient(
-                entry.host,
-                entry.port,
-                timeout=self.config.timeout_ms / 1e3,
-                connect_timeout=self.config.connect_timeout_ms / 1e3,
-                max_connections=self.config.max_connections,
+            states = []
+            for replica in entry.replicas:
+                state = ReplicaState(
+                    replica,
+                    failure_threshold=config.breaker_failures,
+                    cooldown_s=config.breaker_cooldown_ms / 1e3,
+                    ewma_alpha=config.ewma_alpha,
+                )
+                state.client = AsyncServiceClient(
+                    replica.host,
+                    replica.port,
+                    timeout=config.timeout_ms / 1e3,
+                    connect_timeout=config.connect_timeout_ms / 1e3,
+                    max_connections=config.max_connections,
+                )
+                states.append(state)
+            rng = (
+                random.Random(config.policy_seed)
+                if config.policy_seed is not None
+                else random.Random()
+            )
+            self._replicas[entry.name] = ReplicaSet(
+                states, policy=config.policy, rng=rng
             )
         await self._start_listener()
         logger.info(
-            "routing %d texts across %d shards on %s:%d",
+            "routing %d texts across %d shards (%d replicas, policy=%s, "
+            "hedge=%s) on %s:%d",
             self.shard_map.num_texts,
             len(self.shard_map),
-            self.config.host,
+            self.shard_map.num_replicas,
+            config.policy,
+            config.hedge_after_ms,
+            config.host,
             self.port,
         )
 
     async def shutdown(self) -> None:
         await self._close_listener()
-        for client in self._clients.values():
-            await client.close()
-        self._clients.clear()
+        for replica_set in self._replicas.values():
+            for state in replica_set.replicas:
+                await state.client.close()
+        self._replicas.clear()
+
+    # -- replica orchestration ------------------------------------------
+    @staticmethod
+    def _retryable(exc: BaseException) -> bool:
+        """Whether another replica might answer where this one failed.
+
+        Transport errors, deadlines, sheds, and 5xx are replica-local;
+        4xx protocol errors are request-shaped and identical everywhere.
+        """
+        if isinstance(exc, (asyncio.TimeoutError, TimeoutError, OSError)):
+            return True
+        if isinstance(exc, ServiceError):
+            return exc.status in (429, 500, 502, 503, 504)
+        return False
+
+    async def _ask_replica(
+        self,
+        replica_set: ReplicaSet,
+        state: ReplicaState,
+        path: str,
+        body: dict[str, Any],
+        deadline: float,
+    ) -> tuple[dict[str, Any], float]:
+        """One exchange with one replica, with health bookkeeping."""
+        loop = asyncio.get_running_loop()
+        state.on_pick()
+        begin = loop.time()
+        try:
+            response = await state.client.request(
+                "POST", path, body, timeout=deadline
+            )
+        except asyncio.CancelledError:
+            state.on_cancelled(loop.time() - begin)
+            raise
+        except Exception as exc:
+            if state.on_failure(breaker=self._retryable(exc)):
+                self.stats.record_breaker_trip()
+            raise
+        seconds = loop.time() - begin
+        state.on_success(seconds)
+        replica_set.record_latency(seconds)
+        return response, seconds
+
+    async def _ask_shard(
+        self,
+        entry: ShardEntry,
+        path: str,
+        body: dict[str, Any],
+        deadline: float,
+    ) -> tuple[dict[str, Any], float]:
+        """One shard's answer, via whichever replica delivers it first.
+
+        Picks a replica by policy; on a retryable failure fails over to
+        the next untried replica; with hedging enabled, fires the same
+        request at a second replica once the hedge delay passes and
+        races them, cancelling the loser.  The caller bounds the whole
+        dance with the shard deadline (``asyncio.wait_for``).
+        """
+        replica_set = self._replicas[entry.name]
+        first = replica_set.pick()
+        assert first is not None  # non-empty set, nothing excluded
+        tasks: dict[asyncio.Task, ReplicaState] = {
+            asyncio.ensure_future(
+                self._ask_replica(replica_set, first, path, body, deadline)
+            ): first
+        }
+        tried = [first]
+        hedge_targets: set[int] = set()
+        hedgeable = (
+            self.config.hedge_after_ms is not None
+            and path in _IDEMPOTENT_PATHS
+            and len(replica_set) > 1
+        )
+        hedged = False
+        errors: list[BaseException] = []
+        try:
+            while True:
+                timeout = None
+                if hedgeable and not hedged and len(tried) < len(replica_set):
+                    timeout = replica_set.hedge_delay(self.config.hedge_after_ms)
+                done, _pending = await asyncio.wait(
+                    tasks.keys(),
+                    timeout=timeout,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not done:
+                    # Hedge delay elapsed with the pick still in flight.
+                    hedged = True
+                    backup = replica_set.pick(exclude=tried)
+                    if backup is None:
+                        continue
+                    tried.append(backup)
+                    backup.hedges += 1
+                    hedge_targets.add(id(backup))
+                    self.stats.record_hedge_fired()
+                    tasks[
+                        asyncio.ensure_future(
+                            self._ask_replica(
+                                replica_set, backup, path, body, deadline
+                            )
+                        )
+                    ] = backup
+                    continue
+                for task in done:
+                    state = tasks.pop(task)
+                    exc = task.exception()
+                    if exc is None:
+                        if id(state) in hedge_targets:
+                            state.hedge_wins += 1
+                            self.stats.record_hedge_win()
+                        return task.result()
+                    errors.append(exc)
+                    if not self._retryable(exc):
+                        raise exc
+                if tasks:
+                    continue  # a raced attempt is still in flight
+                # Every attempt so far failed: fail over if a replica
+                # remains (the breaker may exclude known-bad ones).
+                nxt = replica_set.pick(exclude=tried)
+                if nxt is None or path not in _IDEMPOTENT_PATHS:
+                    raise errors[0]
+                tried.append(nxt)
+                self.stats.record_failover()
+                tasks[
+                    asyncio.ensure_future(
+                        self._ask_replica(replica_set, nxt, path, body, deadline)
+                    )
+                ] = nxt
+        finally:
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks.keys(), return_exceptions=True)
 
     # -- scatter-gather core --------------------------------------------
     def _shard_deadline(self, budget: float) -> float:
@@ -129,8 +327,9 @@ class RouterService(HttpServiceBase):
         """Ask every shard; return (successes in shard order, failures).
 
         Each sub-request runs under the per-shard deadline; a shard
-        that times out, refuses, or errors lands in the failure list
-        (name + error + status) instead of poisoning the gather.
+        whose replicas all time out, refuse, or error lands in the
+        failure list (name + error + status) instead of poisoning the
+        gather.
         """
         loop = asyncio.get_running_loop()
         deadline = self._shard_deadline(timeout)
@@ -139,8 +338,8 @@ class RouterService(HttpServiceBase):
 
         async def ask(entry: ShardEntry):
             begin = loop.time()
-            response = await self._clients[entry.name].request(
-                "POST", path, shard_body, timeout=deadline
+            response, _ = await asyncio.wait_for(
+                self._ask_shard(entry, path, shard_body, deadline), deadline
             )
             return response, loop.time() - begin
 
@@ -360,27 +559,52 @@ class RouterService(HttpServiceBase):
             payload["failed_shards"] = failures
         return payload
 
-    async def _probe_shards(self, ask) -> list[tuple[ShardEntry, Any]]:
-        """Best-effort concurrent GET against every shard (health/stats)."""
+    async def _probe_replicas(
+        self, ask
+    ) -> list[tuple[ShardEntry, list[tuple[ReplicaState, Any]]]]:
+        """Best-effort concurrent GET against every replica of every shard."""
         deadline = self.config.health_timeout_ms / 1e3
-
-        async def one(entry: ShardEntry):
-            return await ask(self._clients[entry.name], deadline)
-
+        flat: list[tuple[ShardEntry, ReplicaState]] = [
+            (entry, state)
+            for entry in self.shard_map
+            for state in self._replicas[entry.name].replicas
+        ]
         outcomes = await asyncio.gather(
-            *(one(entry) for entry in self.shard_map), return_exceptions=True
+            *(ask(state.client, deadline) for _, state in flat),
+            return_exceptions=True,
         )
-        return list(zip(self.shard_map, outcomes))
+        grouped: dict[str, list[tuple[ReplicaState, Any]]] = {}
+        for (entry, state), outcome in zip(flat, outcomes):
+            grouped.setdefault(entry.name, []).append((state, outcome))
+        return [(entry, grouped[entry.name]) for entry in self.shard_map]
 
     async def _health(self) -> dict[str, Any]:
-        probed = await self._probe_shards(
+        probed = await self._probe_replicas(
             lambda client, deadline: client.health(timeout=deadline)
         )
         shards = []
         healthy = 0
-        for entry, outcome in probed:
-            ok = not isinstance(outcome, BaseException)
-            healthy += ok
+        for entry, replica_outcomes in probed:
+            replicas = []
+            first_ok_detail = None
+            for state, outcome in replica_outcomes:
+                ok = not isinstance(outcome, BaseException)
+                detail = (
+                    {
+                        "status": outcome.get("status"),
+                        "pid": outcome.get("pid"),
+                        "texts": outcome.get("texts"),
+                    }
+                    if ok
+                    else str(outcome)
+                )
+                if ok and first_ok_detail is None:
+                    first_ok_detail = detail
+                replicas.append(
+                    {"endpoint": state.endpoint, "ok": ok, "detail": detail}
+                )
+            shard_ok = first_ok_detail is not None
+            healthy += shard_ok
             shards.append(
                 {
                     "name": entry.name,
@@ -388,16 +612,15 @@ class RouterService(HttpServiceBase):
                     "port": entry.port,
                     "first_text": entry.first_text,
                     "count": entry.count,
-                    "ok": ok,
+                    "ok": shard_ok,
+                    "replicas_healthy": sum(r["ok"] for r in replicas),
+                    "replicas_total": len(replicas),
                     "detail": (
-                        {
-                            "status": outcome.get("status"),
-                            "pid": outcome.get("pid"),
-                            "texts": outcome.get("texts"),
-                        }
-                        if ok
-                        else str(outcome)
+                        first_ok_detail
+                        if shard_ok
+                        else replicas[0]["detail"]
                     ),
+                    "replicas": replicas,
                 }
             )
         return {
@@ -407,11 +630,12 @@ class RouterService(HttpServiceBase):
             "texts": self.shard_map.num_texts,
             "shards_healthy": healthy,
             "shards_total": len(self.shard_map),
+            "replicas_total": self.shard_map.num_replicas,
             "shards": shards,
         }
 
     async def _stats(self) -> dict[str, Any]:
-        probed = await self._probe_shards(
+        probed = await self._probe_replicas(
             lambda client, deadline: client.stats(timeout=deadline)
         )
         per_shard: dict[str, Any] = {}
@@ -424,29 +648,60 @@ class RouterService(HttpServiceBase):
             "lists_loaded": 0,
             "point_reads": 0,
         }
-        for entry, outcome in probed:
-            if isinstance(outcome, BaseException):
-                per_shard[entry.name] = {"ok": False, "error": str(outcome)}
-                continue
-            service = outcome.get("service", {})
-            per_shard[entry.name] = {"ok": True, "service": service}
-            for key in aggregate:
-                aggregate[key] += int(service.get(key, 0))
+        for entry, replica_outcomes in probed:
+            replicas: dict[str, Any] = {}
+            shard_service = None
+            for state, outcome in replica_outcomes:
+                if isinstance(outcome, BaseException):
+                    replicas[state.endpoint] = {
+                        "ok": False,
+                        "error": str(outcome),
+                    }
+                    continue
+                service = outcome.get("service", {})
+                replicas[state.endpoint] = {"ok": True, "service": service}
+                if shard_service is None:
+                    shard_service = service
+                for key in aggregate:
+                    aggregate[key] += int(service.get(key, 0))
+            block: dict[str, Any] = {
+                "ok": shard_service is not None,
+                "replicas": replicas,
+            }
+            if shard_service is not None:
+                block["service"] = shard_service
+            else:
+                block["error"] = next(iter(replicas.values())).get(
+                    "error", "no replica answered"
+                )
+            per_shard[entry.name] = block
+        routing = {
+            name: replica_set.snapshot()
+            for name, replica_set in self._replicas.items()
+        }
         pooled = {
-            name: client.pooled_connections
-            for name, client in self._clients.items()
+            name: {
+                state.endpoint: state.client.pooled_connections
+                for state in replica_set.replicas
+            }
+            for name, replica_set in self._replicas.items()
         }
         return {
             "ok": True,
             "router": self.stats.snapshot(),
             "aggregate": aggregate,
             "shards": per_shard,
+            "routing": routing,
             "pooled_connections": pooled,
             "config": {
                 "timeout_ms": self.config.timeout_ms,
                 "shard_timeout_ms": self.config.shard_timeout_ms,
                 "max_connections": self.config.max_connections,
                 "partial_results": self.config.partial_results,
+                "policy": self.config.policy,
+                "hedge_after_ms": self.config.hedge_after_ms,
+                "breaker_failures": self.config.breaker_failures,
+                "breaker_cooldown_ms": self.config.breaker_cooldown_ms,
             },
         }
 
@@ -461,6 +716,7 @@ def build_shard_fleet(
     num_shards: int = 4,
     host: str = "127.0.0.1",
     base_port: int = 8101,
+    replicas_per_shard: int = 1,
 ) -> ShardMap:
     """Split a built engine into ``num_shards`` saved shard engines.
 
@@ -469,14 +725,24 @@ def build_shard_fleet(
     :func:`~repro.index.sharded.shard_ranges` — the same ceil-division
     ``ShardedIndex.build`` uses — so a router over this fleet and an
     in-process ``ShardedSearcher`` over the same corpus agree exactly.
+
+    ``replicas_per_shard > 1`` emits a format-2 map listing that many
+    endpoints per shard (replica ``r`` of shard ``i`` on ``base_port +
+    i * replicas_per_shard + r``); every replica serves the *same*
+    ``shard<i>/`` directory, so no extra index copies are written.
     """
     import numpy as np
 
     from repro.corpus.corpus import InMemoryCorpus, infer_vocab_size
     from repro.engine import NearDupEngine
+    from repro.exceptions import InvalidParameterError
     from repro.index.builder import build_memory_index
     from repro.index.sharded import shard_ranges
 
+    if replicas_per_shard <= 0:
+        raise InvalidParameterError(
+            f"replicas_per_shard must be positive, got {replicas_per_shard}"
+        )
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
     family = engine.index.family
@@ -499,10 +765,12 @@ def build_shard_fleet(
         entries.append(
             ShardEntry(
                 name=f"shard{shard_id}",
-                host=host,
-                port=base_port + shard_id,
                 first_text=start,
                 count=count,
+                replicas=tuple(
+                    Replica(host, base_port + shard_id * replicas_per_shard + r)
+                    for r in range(replicas_per_shard)
+                ),
             )
         )
     shard_map = ShardMap(entries)
@@ -515,12 +783,16 @@ def discover_shard_fleet(
     *,
     host: str = "127.0.0.1",
     base_port: int = 8101,
+    replicas_per_shard: int = 1,
 ) -> ShardMap:
     """A :class:`ShardMap` for a ``root/shard<i>/`` layout.
 
     Prefers an existing ``root/shardmap.json``; otherwise enumerates
     the shard directories, reads each saved corpus's length, and
-    assigns ``base_port + i`` — then writes the map for the router.
+    assigns deterministic ports — then writes the map for the router.
+    When ``replicas_per_shard`` asks for more replicas than the map
+    has, the map is grown in place (existing endpoints keep their
+    ports) and re-saved.
     """
     from repro.corpus.store import DiskCorpus
     from repro.exceptions import InvalidParameterError
@@ -528,7 +800,15 @@ def discover_shard_fleet(
     root = Path(root)
     map_path = root / SHARD_MAP_FILE
     if map_path.exists():
-        return ShardMap.load(map_path)
+        shard_map = ShardMap.load(map_path)
+        if any(
+            len(entry.replicas) < replicas_per_shard for entry in shard_map
+        ):
+            shard_map = with_added_replicas(
+                shard_map, replicas_per_shard, base_port=base_port
+            )
+            shard_map.save(map_path)
+        return shard_map
     entries = []
     first_text = 0
     shard_id = 0
@@ -538,10 +818,14 @@ def discover_shard_fleet(
         entries.append(
             ShardEntry(
                 name=f"shard{shard_id}",
-                host=host,
-                port=base_port + shard_id,
                 first_text=first_text,
                 count=count,
+                replicas=tuple(
+                    Replica(
+                        host, base_port + shard_id * replicas_per_shard + r
+                    )
+                    for r in range(replicas_per_shard)
+                ),
             )
         )
         first_text += count
@@ -560,43 +844,54 @@ def serve_shards(
     base_port: int = 8101,
     workers: int = 2,
     procs: int = 1,
+    replicas: int = 1,
     banner: bool = True,
 ) -> int:
     """Blocking entry point of ``repro-cli serve-shards``.
 
-    Launches one shard server child process per ``root/shard<i>/``
-    directory (each child is the ordinary ``serve`` path, so
-    ``procs > 1`` gives every shard its own prefork worker fleet),
-    writes ``shardmap.json``, and supervises until interrupted —
-    Ctrl-C is forwarded so each child drains gracefully.
+    Launches one server child process per **replica endpoint** in the
+    shard map (each child is the ordinary ``serve`` path, so ``procs >
+    1`` gives every replica its own prefork worker fleet); replicas of
+    one shard all serve the same ``root/shard<i>/`` directory.  Writes
+    ``shardmap.json`` (growing it when ``replicas`` asks for more
+    endpoints than it lists) and supervises until interrupted — Ctrl-C
+    is forwarded so each child drains gracefully.
     """
     import multiprocessing
 
     from repro.service.server import ServiceConfig, serve
 
-    shard_map = discover_shard_fleet(root, host=host, base_port=base_port)
+    shard_map = discover_shard_fleet(
+        root, host=host, base_port=base_port, replicas_per_shard=replicas
+    )
     root = Path(root)
     context = multiprocessing.get_context("fork")
     children: list = []
     for entry in shard_map:
-        config = ServiceConfig(
-            host=entry.host,
-            port=entry.port,
-            workers=workers,
-            procs=procs,
-        )
-        child = context.Process(
-            target=serve,
-            args=(str(root / entry.name),),
-            kwargs={"config": config, "banner": False},
-            name=f"repro-{entry.name}",
-        )
-        child.start()
-        children.append(child)
+        for replica in entry.replicas:
+            config = ServiceConfig(
+                host=replica.host,
+                port=replica.port,
+                workers=workers,
+                procs=procs,
+            )
+            child = context.Process(
+                target=serve,
+                args=(str(root / entry.name),),
+                kwargs={"config": config, "banner": False},
+                name=f"repro-{entry.name}-{replica.port}",
+            )
+            child.start()
+            children.append(child)
     if banner:
-        ports = ", ".join(str(entry.port) for entry in shard_map)
+        ports = ", ".join(
+            str(replica.port)
+            for entry in shard_map
+            for replica in entry.replicas
+        )
         print(
-            f"repro shard fleet: {len(shard_map)} shards "
+            f"repro shard fleet: {len(shard_map)} shards x "
+            f"{shard_map.num_replicas} replica endpoints "
             f"({shard_map.num_texts} texts) on {host}:[{ports}]; "
             f"map at {root / SHARD_MAP_FILE}; Ctrl-C drains and exits"
         )
@@ -622,8 +917,12 @@ async def _route_until_cancelled(router: RouterService, banner: bool) -> None:
     if banner:
         print(
             f"repro router: {len(router.shard_map)} shards / "
+            f"{router.shard_map.num_replicas} replicas / "
             f"{router.shard_map.num_texts} texts on "
-            f"{router.config.host}:{router.port}; Ctrl-C drains and exits"
+            f"{router.config.host}:{router.port} "
+            f"(policy={router.config.policy}, "
+            f"hedge_after_ms={router.config.hedge_after_ms}); "
+            "Ctrl-C drains and exits"
         )
     try:
         await router.serve_forever()

@@ -184,6 +184,10 @@ class RouterStats:
         self.errors = 0
         self.fanout_requests = 0  #: per-shard sub-requests issued
         self.fanout_failures = 0  #: sub-requests that timed out / failed
+        self.hedges_fired = 0  #: backup sub-requests sent past the hedge delay
+        self.hedge_wins = 0  #: hedges whose answer beat the primary's
+        self.failovers = 0  #: sub-requests replayed on another replica
+        self.breaker_trips = 0  #: replica breakers opened (incl. re-opens)
         self.latency = LatencyHistogram()  #: end-to-end (max over shards)
         self.shard_latency = LatencyHistogram()  #: every per-shard exchange
 
@@ -194,6 +198,23 @@ class RouterStats:
             self.fanout_failures += failures
             for seconds in shard_seconds:
                 self.shard_latency.observe(seconds)
+
+    def record_hedge_fired(self) -> None:
+        with self._lock:
+            self.hedges_fired += 1
+
+    def record_hedge_win(self) -> None:
+        """A hedge's answer was the one used (the primary lost the race)."""
+        with self._lock:
+            self.hedge_wins += 1
+
+    def record_failover(self) -> None:
+        with self._lock:
+            self.failovers += 1
+
+    def record_breaker_trip(self) -> None:
+        with self._lock:
+            self.breaker_trips += 1
 
     def record_completed(self, seconds: float, *, partial: bool) -> None:
         with self._lock:
@@ -218,6 +239,10 @@ class RouterStats:
                 "errors": self.errors,
                 "fanout_requests": self.fanout_requests,
                 "fanout_failures": self.fanout_failures,
+                "hedges_fired": self.hedges_fired,
+                "hedge_wins": self.hedge_wins,
+                "failovers": self.failovers,
+                "breaker_trips": self.breaker_trips,
                 "latency": self.latency.to_dict(),
                 "shard_latency": self.shard_latency.to_dict(),
             }

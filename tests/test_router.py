@@ -378,8 +378,9 @@ class TestRouterEndpoints:
 
         def pooled_total() -> int:
             return sum(
-                client.pooled_connections
-                for client in router._clients.values()
+                state.client.pooled_connections
+                for replica_set in router._replicas.values()
+                for state in replica_set.replicas
             )
 
         with ServiceClient(fleet["runner"].host, fleet["runner"].port) as probe:
