@@ -1,0 +1,453 @@
+"""Multi-tier read-cache benchmark: block tier, TinyLFU, single-flight.
+
+ISSUE 10 acceptance benchmark.  Four sections:
+
+**Decoded-block tier** — a point-read-heavy Zipf query mix against a
+packed on-disk index, repeated for several passes, with the decoded-
+block cache off and then on.  The tier serves repeat zone-map point
+reads from decoded arrays, so ``IOStats.decoded_bytes`` collapses to
+the cold pass.  Gate (always binding): total decoded bytes reduced by
+``>= 3x`` across the passes.
+
+**TinyLFU vs LRU** — one scan-polluted access trace (a Zipf-hot list
+set interleaved with a stream of one-shot lists) replayed against a
+list cache sized to the hot set, under ``policy="lru"`` and
+``policy="tinylfu"``.  LRU lets every one-shot list flush a hot entry;
+the TinyLFU frequency gate turns those scans away.  Gate (always
+binding): TinyLFU hit rate strictly above LRU's.
+
+**Single-flight misses** — 4 threads replay a shared key set through
+(a) a cache that holds its lock across the inner read (the pre-tier
+behaviour) and (b) the single-flight ``CachedIndexReader``, over a
+sleep-injected inner reader (10 ms per cold load, so the section
+measures lock structure, not numpy).  Gate: single-flight ``>= 1.5x``
+qps; when the ratio falls short on a host with < 4 CPUs the gate is
+recorded as skipped with the measured ratio (thread overlap of
+*compute* needs cores; overlap of injected I/O usually passes anyway).
+
+**Byte-identity** — every tier/policy combination (list policy x block
+tier x result tier) must return exactly the uncached searcher's
+matches on the same query mix.  Always binding.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_cache.py [--quick]``
+Writes ``BENCH_cache.json`` next to the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.corpus.corpus import InMemoryCorpus
+from repro.index.blockcache import DecodedBlockCache
+from repro.index.builder import build_memory_index
+from repro.index.cache import CachedIndexReader
+from repro.index.cachepolicy import CACHE_POLICIES
+from repro.index.inverted import IOStats, POSTING_BYTES, POSTING_DTYPE
+from repro.index.storage import DiskInvertedIndex, write_index
+from repro.query.resultcache import CachingSearcher
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_cache.json"
+
+VOCAB = 512
+T = 25
+FAMILY = HashFamily(k=8, seed=17)
+WINDOW = 48
+
+
+def make_corpus(num_texts: int, seed: int = 23) -> InMemoryCorpus:
+    """Synthetic web-ish corpus with heavy cross-text duplication, so
+    the index grows long Zipf-head lists that force zone-map point
+    reads on the fused path."""
+    rng = np.random.default_rng(seed)
+    motifs = [
+        rng.integers(0, VOCAB, size=80, dtype=np.uint32) for _ in range(12)
+    ]
+    texts = []
+    for _ in range(num_texts):
+        parts = [
+            rng.integers(0, VOCAB, size=int(rng.integers(30, 90)), dtype=np.uint32)
+        ]
+        for _ in range(int(rng.integers(1, 4))):
+            motif = motifs[int(rng.zipf(1.6)) % len(motifs)]
+            parts.append(motif)
+        texts.append(np.concatenate(parts))
+    return InMemoryCorpus(texts)
+
+
+def make_queries(corpus: InMemoryCorpus, count: int, seed: int = 41):
+    """Zipf-skewed query mix: most queries re-probe a few hot texts."""
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(count):
+        text_id = int(rng.zipf(1.4)) % len(corpus)
+        tokens = np.asarray(corpus[text_id], dtype=np.uint32)
+        start = int(rng.integers(max(1, tokens.size - WINDOW)))
+        queries.append(tokens[start : start + WINDOW])
+    return queries
+
+
+def canon(result):
+    return (
+        result.k,
+        result.theta,
+        result.beta,
+        result.t,
+        [(match.text_id, match.rectangles) for match in result.matches],
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 1: decoded-block tier
+# ----------------------------------------------------------------------
+def bench_block_tier(index_dir: Path, queries, passes: int, theta: float):
+    def run(block_cache: DecodedBlockCache | None):
+        index = DiskInvertedIndex(index_dir)
+        if block_cache is not None:
+            index.enable_block_cache(block_cache)
+        searcher = NearDuplicateSearcher(index)
+        begin = time.perf_counter()
+        for _ in range(passes):
+            for query in queries:
+                searcher.search(query, theta)
+        seconds = time.perf_counter() - begin
+        return index.io_stats.decoded_bytes, seconds
+
+    decoded_off, seconds_off = run(None)
+    cache = DecodedBlockCache(64 << 20)
+    decoded_on, seconds_on = run(cache)
+    ratio = decoded_off / max(decoded_on, 1)
+    stats = cache.stats()
+    print(
+        f"block tier: decoded {decoded_off} -> {decoded_on} bytes over "
+        f"{passes} passes ({ratio:.1f}x less decode work, "
+        f"hit rate {stats.hit_rate:.0%}, "
+        f"{seconds_off:.2f}s -> {seconds_on:.2f}s)"
+    )
+    return {
+        "passes": passes,
+        "decoded_bytes_off": int(decoded_off),
+        "decoded_bytes_on": int(decoded_on),
+        "decoded_reduction": ratio,
+        "seconds_off": seconds_off,
+        "seconds_on": seconds_on,
+        "block_cache": stats.to_dict(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Section 2: TinyLFU vs LRU on a scan-polluted trace
+# ----------------------------------------------------------------------
+def build_trace(index, hot_lists: int, scan_lists: int, rounds: int, seed: int = 7):
+    """(func, minhash) accesses: hot set re-touched every round, with a
+    rolling window of one-shot scan keys polluting each round."""
+    keyed = []
+    for func in range(index.family.k):
+        for minhash in np.asarray(index.list_keys(func)):
+            keyed.append((func, int(minhash)))
+    keyed.sort(key=lambda key: -index.list_length(*key))
+    hot = keyed[:hot_lists]
+    scans = keyed[hot_lists : hot_lists + scan_lists]
+    rng = np.random.default_rng(seed)
+    trace = []
+    for round_no in range(rounds):
+        order = list(hot)
+        rng.shuffle(order)
+        trace.extend(order)
+        lo = (round_no * len(scans) // rounds) % max(len(scans), 1)
+        trace.extend(scans[lo : lo + max(1, len(scans) // rounds)])
+    hot_bytes = sum(index.list_length(*key) * POSTING_BYTES for key in hot)
+    return trace, hot, hot_bytes
+
+
+def bench_admission(index, hot_lists: int, scan_lists: int, rounds: int):
+    trace, hot, hot_bytes = build_trace(index, hot_lists, scan_lists, rounds)
+    capacity = max(int(hot_bytes * 1.3), 4096)
+    rows = {}
+    for policy in CACHE_POLICIES:
+        reader = CachedIndexReader(index, capacity_bytes=capacity, policy=policy)
+        for func, minhash in trace:
+            reader.load_list(func, minhash)
+        stats = reader.stats()
+        rows[policy] = stats.to_dict()
+        print(
+            f"admission {policy:>8}: hit rate {stats.hit_rate:.3f} "
+            f"({stats.hits}/{stats.hits + stats.misses}, "
+            f"{stats.evictions} evictions, "
+            f"{stats.admission_rejections} rejections)"
+        )
+    return {
+        "hot_lists": len(hot),
+        "scan_lists": scan_lists,
+        "rounds": rounds,
+        "capacity_bytes": capacity,
+        "accesses": len(trace),
+        "policies": rows,
+    }
+
+
+# ----------------------------------------------------------------------
+# Section 3: single-flight vs lock-held-across-read
+# ----------------------------------------------------------------------
+class _SleepReader:
+    """Inner reader with injected I/O latency per cold load."""
+
+    def __init__(self, delay: float):
+        self.family = FAMILY
+        self.t = T
+        self.io_stats = IOStats()
+        self.delay = delay
+
+    def load_list(self, func: int, minhash: int) -> np.ndarray:
+        time.sleep(self.delay)
+        postings = np.zeros(8, dtype=POSTING_DTYPE)
+        postings["text"] = minhash
+        return postings
+
+    def list_length(self, func: int, minhash: int) -> int:
+        return 8
+
+
+class _SerializedCache:
+    """The pre-tier structure: one lock held across the inner read, no
+    miss coalescing — concurrent misses fully serialize."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self._lists: dict = {}
+        self._lock = threading.Lock()
+
+    def load_list(self, func: int, minhash: int) -> np.ndarray:
+        with self._lock:
+            key = (func, minhash)
+            cached = self._lists.get(key)
+            if cached is not None:
+                return cached
+            postings = self.inner.load_list(func, minhash)
+            self._lists[key] = postings
+            return postings
+
+
+def _drive(cache, keys, threads: int, seed: int = 3) -> float:
+    rng = np.random.default_rng(seed)
+    orders = []
+    for _ in range(threads):
+        order = list(keys)
+        rng.shuffle(order)
+        orders.append(order)
+    barrier = threading.Barrier(threads)
+
+    def worker(order):
+        barrier.wait()
+        for func, minhash in order:
+            cache.load_list(func, minhash)
+
+    pool = [
+        threading.Thread(target=worker, args=(order,)) for order in orders
+    ]
+    begin = time.perf_counter()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    return time.perf_counter() - begin
+
+
+def bench_singleflight(distinct_keys: int, threads: int, delay: float):
+    keys = [(func, minhash) for func in range(4) for minhash in range(distinct_keys // 4)]
+    serialized_seconds = _drive(_SerializedCache(_SleepReader(delay)), keys, threads)
+    reader = CachedIndexReader(_SleepReader(delay), capacity_bytes=32 << 20)
+    singleflight_seconds = _drive(reader, keys, threads)
+    loads = len(keys) * threads
+    ratio = serialized_seconds / max(singleflight_seconds, 1e-9)
+    stats = reader.stats()
+    print(
+        f"single-flight: serialized {loads / serialized_seconds:.0f} loads/s, "
+        f"single-flight {loads / singleflight_seconds:.0f} loads/s "
+        f"({ratio:.2f}x, {stats.singleflight_waits} waits coalesced)"
+    )
+    return {
+        "distinct_keys": len(keys),
+        "threads": threads,
+        "inner_delay_ms": 1e3 * delay,
+        "serialized_seconds": serialized_seconds,
+        "singleflight_seconds": singleflight_seconds,
+        "qps_ratio": ratio,
+        "singleflight_waits": stats.singleflight_waits,
+        "misses": stats.misses,
+    }
+
+
+# ----------------------------------------------------------------------
+# Section 4: byte-identity across every configuration
+# ----------------------------------------------------------------------
+def bench_identity(index_dir: Path, queries, theta: float):
+    baseline_searcher = NearDuplicateSearcher(DiskInvertedIndex(index_dir))
+    baseline = [canon(baseline_searcher.search(query, theta)) for query in queries]
+    checked = []
+    identical = True
+    for policy in CACHE_POLICIES:
+        for block_bytes in (0, 16 << 20):
+            for result_tier in (False, True):
+                index = DiskInvertedIndex(index_dir)
+                if block_bytes:
+                    index.enable_block_cache(
+                        DecodedBlockCache(block_bytes, policy=policy)
+                    )
+                reader = CachedIndexReader(
+                    index, capacity_bytes=8 << 20, policy=policy
+                )
+                searcher = NearDuplicateSearcher(reader)
+                if result_tier:
+                    searcher = CachingSearcher(searcher)
+                name = (
+                    f"{policy}+block={bool(block_bytes)}+result={result_tier}"
+                )
+                ok = True
+                for _ in range(2):  # second pass exercises warm paths
+                    got = [canon(searcher.search(query, theta)) for query in queries]
+                    ok = ok and got == baseline
+                checked.append({"config": name, "identical": ok})
+                identical = identical and ok
+    print(
+        f"identity: {len(checked)} configurations "
+        f"{'all byte-identical' if identical else 'DIVERGED'}"
+    )
+    return {"configurations": checked, "identical": identical}
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny scale for CI smoke"
+    )
+    parser.add_argument("--texts", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--theta", type=float, default=0.8)
+    parser.add_argument("--output", default=str(OUTPUT))
+    args = parser.parse_args(argv)
+
+    num_texts = args.texts or (250 if args.quick else 1200)
+    num_queries = args.queries or (30 if args.quick else 150)
+    passes = 3 if args.quick else 5
+    cpu_count = os.cpu_count() or 1
+
+    corpus = make_corpus(num_texts)
+    index = build_memory_index(corpus, FAMILY, T, vocab_size=VOCAB)
+    queries = make_queries(corpus, num_queries)
+    base = Path(tempfile.mkdtemp(prefix="bench_cache_"))
+    try:
+        index_dir = base / "index"
+        write_index(index, index_dir, codec="packed")
+        block = bench_block_tier(index_dir, queries, passes, args.theta)
+        admission = bench_admission(
+            index,
+            hot_lists=12 if args.quick else 24,
+            scan_lists=120 if args.quick else 400,
+            rounds=10 if args.quick else 25,
+        )
+        singleflight = bench_singleflight(
+            distinct_keys=16 if args.quick else 48,
+            threads=4,
+            delay=0.01,
+        )
+        identity = bench_identity(index_dir, queries[: 12 if args.quick else 40],
+                                  args.theta)
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+    payload = {
+        "benchmark": "bench_cache",
+        "quick": args.quick,
+        "texts": num_texts,
+        "queries": num_queries,
+        "theta": args.theta,
+        "cpu_count": cpu_count,
+        "block_tier": block,
+        "admission": admission,
+        "singleflight": singleflight,
+        "identity": identity,
+    }
+
+    failures = []
+    gates: dict = {}
+
+    # Byte-identity binds at every scale: caching is a pure optimization.
+    gates["results_identical"] = {"pass": identity["identical"]}
+    if not identity["identical"]:
+        failures.append("a cached configuration diverged from uncached search")
+
+    reduction = block["decoded_reduction"]
+    ok_block = reduction >= 3.0
+    gates["decoded_bytes_reduction"] = {
+        "ratio": reduction, "required": 3.0, "pass": ok_block,
+    }
+    if not ok_block:
+        failures.append(
+            f"block tier reduced decode work only {reduction:.2f}x (< 3x)"
+        )
+
+    lru_rate = admission["policies"]["lru"]["hit_rate"]
+    lfu_rate = admission["policies"]["tinylfu"]["hit_rate"]
+    ok_lfu = lfu_rate > lru_rate
+    gates["tinylfu_beats_lru"] = {
+        "lru_hit_rate": lru_rate,
+        "tinylfu_hit_rate": lfu_rate,
+        "pass": ok_lfu,
+    }
+    if not ok_lfu:
+        failures.append(
+            f"tinylfu hit rate {lfu_rate:.3f} not above lru {lru_rate:.3f}"
+        )
+
+    ratio = singleflight["qps_ratio"]
+    if ratio >= 1.5:
+        gates["singleflight_qps"] = {
+            "ratio": ratio, "required": 1.5, "pass": True,
+        }
+    elif cpu_count < 4:
+        gates["singleflight_qps"] = {
+            "ratio": ratio,
+            "required": 1.5,
+            "skipped": (
+                f"host has {cpu_count} cpu(s) for 4 threads; injected-I/O "
+                "overlap fell short and the residual measures the "
+                "scheduler, not the lock structure"
+            ),
+        }
+        print(
+            f"single-flight gate skipped: cpu_count={cpu_count} < 4 "
+            f"(measured ratio {ratio:.2f})"
+        )
+    else:
+        gates["singleflight_qps"] = {
+            "ratio": ratio, "required": 1.5, "pass": False,
+        }
+        failures.append(f"single-flight qps ratio {ratio:.2f} < 1.5")
+
+    payload["gates"] = gates
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -331,25 +331,72 @@ class NearDupEngine:
     # Serving hooks
     # ------------------------------------------------------------------
     def cached_searcher(
-        self, *, cache_bytes: int = 32 * 1024 * 1024
+        self,
+        *,
+        cache_bytes: int = 32 * 1024 * 1024,
+        cache_policy: str = "lru",
+        block_cache_bytes: int = 0,
+        result_cache: bool | None = None,
+        result_entries: int = 1024,
     ) -> NearDuplicateSearcher:
-        """A searcher whose reader is a thread-safe LRU list cache.
+        """A searcher backed by the multi-tier read cache.
 
         The online service (and any other long-lived caller answering
         many queries) searches through one of these instead of
-        ``engine.searcher`` so repeat reads of Zipf-head lists are
-        served from memory.  Each call builds a fresh cache.
+        ``engine.searcher``.  Tiers, outermost first:
+
+        - *result cache* (``result_cache=True``): exact memoization of
+          whole ``SearchResult``s, invalidated by the backend
+          generation.  Defaults on for the live backend (where the
+          generation gate gives it a correctness story) and off for
+          static indexes.
+        - *list cache*: the :class:`~repro.index.cache.CachedIndexReader`
+          whole-list tier, with ``cache_policy`` choosing ``lru`` or
+          scan-resistant ``tinylfu`` admission.
+        - *decoded-block cache* (``block_cache_bytes > 0``): decoded
+          posting blocks below the list tier, serving zone-map point
+          reads without re-running the packed codec (packed payloads
+          only; a no-op for raw/in-memory indexes).
+
+        Each call builds fresh caches.
         """
         from repro.index.cache import CachedIndexReader
 
         if self.backend == "live":
             # The live searcher rebuilds its cache per generation, so
             # mutations never serve stale lists.
-            return LiveSearcher(
-                self.index, cache_bytes=cache_bytes, corpus=self.corpus
+            searcher = LiveSearcher(
+                self.index,
+                cache_bytes=cache_bytes,
+                cache_policy=cache_policy,
+                block_cache_bytes=block_cache_bytes,
+                corpus=self.corpus,
             )
-        reader = CachedIndexReader(self.index, capacity_bytes=cache_bytes)
-        return NearDuplicateSearcher(reader, corpus=self.corpus)
+            if result_cache or result_cache is None:
+                from repro.query.resultcache import CachingSearcher
+
+                live_index = self.index
+                searcher = CachingSearcher(
+                    searcher,
+                    max_entries=result_entries,
+                    generation_fn=lambda: live_index.generation,
+                )
+            return searcher
+        if block_cache_bytes > 0 and hasattr(self.index, "enable_block_cache"):
+            from repro.index.blockcache import DecodedBlockCache
+
+            self.index.enable_block_cache(
+                DecodedBlockCache(int(block_cache_bytes), policy=cache_policy)
+            )
+        reader = CachedIndexReader(
+            self.index, capacity_bytes=cache_bytes, policy=cache_policy
+        )
+        searcher = NearDuplicateSearcher(reader, corpus=self.corpus)
+        if result_cache:
+            from repro.query.resultcache import CachingSearcher
+
+            searcher = CachingSearcher(searcher, max_entries=result_entries)
+        return searcher
 
     def warmup(
         self,

@@ -1,29 +1,44 @@
-"""LRU caching of inverted lists across queries.
+"""Policy-switchable caching of inverted lists across queries.
 
 The paper's evaluation measures cold-cache query latency, but a
 deployed memorization evaluation (Section 5) issues *many* queries
 against the same index — and Zipf skew means the same long lists are
-touched over and over.  This wrapper adds a bounded LRU cache in front
+touched over and over.  This wrapper adds a bounded list cache in front
 of any :class:`~repro.index.inverted.InvertedIndexReader`, eliminating
 repeat I/O for the hot lists while preserving the reader interface
 (including I/O accounting: cache hits cost zero bytes).
 
+Two residency policies (see :mod:`repro.index.cachepolicy`):
+
+* ``policy="lru"`` — the classic bounded LRU;
+* ``policy="tinylfu"`` — W-TinyLFU admission: a 4-bit count-min
+  frequency sketch gates graduation from a small LRU window into a
+  segmented-LRU main region, so one-shot giant lists from long-tail
+  queries cannot flush the Zipf-head working set.
+
+Cold misses are **single-flight**: the lock is *not* held across the
+inner read, and concurrent misses for the same key coalesce onto one
+loader through a per-key in-flight future — N threads asking for the
+same cold list cost one inner read, and misses for *different* keys
+overlap their I/O instead of serializing behind one lock.
+
 Batch executors (:mod:`repro.query`) additionally *pin* the lists a
 whole query batch is known to touch: a pinned list is loaded once and
-exempt from LRU eviction until :meth:`CachedIndexReader.unpin_all`, so
-a list loaded for the batch's third query is guaranteed still warm for
-its eighty-seventh.
+exempt from eviction until :meth:`CachedIndexReader.unpin_all`, so a
+list loaded for the batch's third query is guaranteed still warm for
+its eighty-seventh.  Pins bypass the TinyLFU frequency gate — pinning
+is a planner contract, not a popularity bet.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
+from repro.index.cachepolicy import make_policy
 from repro.index.inverted import IOStats, POSTING_BYTES, POSTING_DTYPE, extract_texts
 
 
@@ -39,6 +54,9 @@ class CacheStats:
     pinned_bytes: int
     cached_lists: int = 0
     pinned_lists: int = 0
+    admission_rejections: int = 0
+    singleflight_waits: int = 0
+    policy: str = "lru"
 
     @property
     def hit_rate(self) -> float:
@@ -57,11 +75,25 @@ class CacheStats:
             "pinned_bytes": self.pinned_bytes,
             "cached_lists": self.cached_lists,
             "pinned_lists": self.pinned_lists,
+            "admission_rejections": self.admission_rejections,
+            "singleflight_waits": self.singleflight_waits,
+            "policy": self.policy,
         }
 
 
+class _Flight:
+    """One in-flight cold load; waiters block on the event."""
+
+    __slots__ = ("event", "postings", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.postings: np.ndarray | None = None
+        self.error: BaseException | None = None
+
+
 class CachedIndexReader:
-    """LRU list cache over an inverted-index reader.
+    """Policy-switchable list cache over an inverted-index reader.
 
     Parameters
     ----------
@@ -70,20 +102,31 @@ class CachedIndexReader:
     capacity_bytes:
         Cache budget.  A cached list is charged 16 bytes per posting;
         single lists larger than the whole budget bypass the cache.
+    policy:
+        ``"lru"`` (default) or ``"tinylfu"`` (frequency-gated
+        admission; see :mod:`repro.index.cachepolicy`).
 
-    Only full-list reads are cached; zone-map point reads
-    (:meth:`load_text_windows`) stay uncached — they are already small,
-    and caching them would duplicate fragments of the same list.
+    Only full-list reads are cached here; zone-map point reads
+    (:meth:`load_text_windows`) are served from a cached full list when
+    one is resident and otherwise fall through to the inner reader —
+    the decoded-block tier (:mod:`repro.index.blockcache`), attached to
+    the inner :class:`~repro.index.storage.DiskInvertedIndex`, is what
+    makes the *fallthrough* cheap for the packed codec.
 
     The reader is thread-safe: one instance may be shared by the batch
     executor's thread mode and the online service's worker pool.  A
-    single reentrant lock guards the LRU dict, the byte counters, and
-    the pin set; cache hits only pay a dict lookup under the lock, and
-    misses serialize the inner read (callers that want parallel cold
-    I/O keep using one cache per worker, as the batch executor does).
+    single lock guards the residency metadata; cache hits only pay a
+    dict lookup under the lock, and cold misses release it around the
+    inner read (single-flight per key, parallel across keys).
     """
 
-    def __init__(self, inner, capacity_bytes: int = 32 * 1024 * 1024) -> None:
+    def __init__(
+        self,
+        inner,
+        capacity_bytes: int = 32 * 1024 * 1024,
+        *,
+        policy: str = "lru",
+    ) -> None:
         if capacity_bytes <= 0:
             raise InvalidParameterError("capacity_bytes must be positive")
         self.inner = inner
@@ -91,13 +134,22 @@ class CachedIndexReader:
         self.t = inner.t
         self.io_stats: IOStats = inner.io_stats
         self._capacity = int(capacity_bytes)
-        self._used = 0
-        self._lists: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        self._lists: dict[tuple[int, int], np.ndarray] = {}
         self._pinned: set[tuple[int, int]] = set()
+        self._policy = make_policy(
+            policy, self._capacity, lambda key: key in self._pinned
+        )
+        self._inflight: dict[tuple[int, int], _Flight] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.singleflight_waits = 0
+
+    @property
+    def policy(self) -> str:
+        """Residency policy name (``lru`` or ``tinylfu``)."""
+        return self._policy.name
 
     # -- reader protocol ------------------------------------------------
     def list_length(self, func: int, minhash: int) -> int:
@@ -109,16 +161,50 @@ class CachedIndexReader:
 
     def load_list(self, func: int, minhash: int) -> np.ndarray:
         key = (func, minhash)
+        while True:
+            with self._lock:
+                cached = self._lists.get(key)
+                if cached is not None:
+                    self._policy.on_hit(key)
+                    self.hits += 1
+                    return cached
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._inflight[key] = flight
+                    self.misses += 1
+                    break
+            # Another thread is loading this key: wait on its flight
+            # instead of issuing a duplicate inner read.
+            flight.event.wait()
+            if flight.error is None and flight.postings is not None:
+                with self._lock:
+                    self.singleflight_waits += 1
+                    self.hits += 1
+                return flight.postings
+            # The loader failed; loop and become the loader ourselves.
+        return self._load_inner(key, flight, pin=False)
+
+    def _load_inner(
+        self, key: tuple[int, int], flight: _Flight, *, pin: bool
+    ) -> np.ndarray:
+        """Loader half of single-flight: inner read *outside* the lock."""
+        try:
+            postings = self.inner.load_list(key[0], key[1])
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+            raise
+        flight.postings = postings
         with self._lock:
-            cached = self._lists.get(key)
-            if cached is not None:
-                self._lists.move_to_end(key)
-                self.hits += 1
-                return cached
-            self.misses += 1
-            postings = self.inner.load_list(func, minhash)
-            self._admit(key, postings)
-            return postings
+            self._admit(key, postings, force=pin)
+            if pin and key in self._lists:
+                self._pinned.add(key)
+            self._inflight.pop(key, None)
+        flight.event.set()
+        return postings
 
     def load_text_windows(self, func: int, minhash: int, text_id: int) -> np.ndarray:
         key = (func, minhash)
@@ -126,26 +212,54 @@ class CachedIndexReader:
             cached = self._lists.get(key)
             if cached is not None:
                 # Serve the point read from the cached full list.
-                self._lists.move_to_end(key)
+                self._policy.on_hit(key)
                 self.hits += 1
                 lo = int(np.searchsorted(cached["text"], text_id, side="left"))
                 hi = int(np.searchsorted(cached["text"], text_id, side="right"))
                 return cached[lo:hi]
+            self.misses += 1
         return self.inner.load_text_windows(func, minhash, text_id)
 
     def sketch_list_lengths(self, sketch: np.ndarray) -> np.ndarray:
-        """Batched list lengths for one sketch (delegated to the inner
-        reader — cached list sizes always match the inner lengths)."""
+        """Batched list lengths for one sketch, cached lists first.
+
+        Resident lists answer from their in-memory size; only the
+        missing functions consult the inner reader — in one batched
+        call when it has :meth:`sketch_list_lengths`, else through a
+        vectorized ``searchsorted`` over its directory arrays, with the
+        per-function ``list_length`` loop as the last resort.
+        """
+        sketch = np.asarray(sketch)
+        k = self.family.k
+        lengths = np.full(k, -1, dtype=np.int64)
+        with self._lock:
+            for func in range(k):
+                cached = self._lists.get((func, int(sketch[func])))
+                if cached is not None:
+                    lengths[func] = int(cached.size)
+        missing = np.flatnonzero(lengths < 0)
+        if missing.size == 0:
+            return lengths
         inner = getattr(self.inner, "sketch_list_lengths", None)
         if inner is not None:
-            return inner(sketch)
-        return np.array(
-            [
-                self.inner.list_length(func, int(sketch[func]))
-                for func in range(self.family.k)
-            ],
-            dtype=np.int64,
-        )
+            inner_lengths = np.asarray(inner(sketch), dtype=np.int64)
+            lengths[missing] = inner_lengths[missing]
+            return lengths
+        keys_of = getattr(self.inner, "list_keys", None)
+        lengths_of = getattr(self.inner, "list_lengths", None)
+        if keys_of is not None and lengths_of is not None:
+            for func in missing.tolist():
+                keys = np.asarray(keys_of(func))
+                minhash = int(sketch[func])
+                pos = int(np.searchsorted(keys, minhash))
+                if pos < keys.size and int(keys[pos]) == minhash:
+                    lengths[func] = int(np.asarray(lengths_of(func))[pos])
+                else:
+                    lengths[func] = 0
+            return lengths
+        for func in missing.tolist():
+            lengths[func] = int(self.inner.list_length(func, int(sketch[func])))
+        return lengths
 
     def load_texts_windows(
         self, func: int, minhash: int, text_ids: np.ndarray
@@ -155,9 +269,10 @@ class CachedIndexReader:
         with self._lock:
             cached = self._lists.get(key)
             if cached is not None:
-                self._lists.move_to_end(key)
+                self._policy.on_hit(key)
                 self.hits += 1
                 return extract_texts(cached, np.unique(np.asarray(text_ids)))
+            self.misses += 1
         inner = getattr(self.inner, "load_texts_windows", None)
         if inner is not None:
             return inner(func, minhash, text_ids)
@@ -176,23 +291,45 @@ class CachedIndexReader:
 
         Returns ``True`` iff the list now resides pinned in the cache;
         a list that would not fit in the budget is left unpinned (the
-        query path still works, it just pays the re-read).
+        query path still works, it just pays the re-read).  Pinning
+        bypasses the TinyLFU admission gate.
         """
         key = (func, minhash)
-        with self._lock:
-            if key in self._pinned:
-                return True
-            if key not in self._lists:
-                self.misses += 1
-                postings = self.inner.load_list(func, minhash)
-                self._admit(key, postings)
-                if key not in self._lists:
+        while True:
+            with self._lock:
+                if key in self._pinned:
+                    return True
+                cached = self._lists.get(key)
+                if cached is not None:
+                    self._policy.on_hit(key)
+                    self._pinned.add(key)
+                    return True
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._inflight[key] = flight
+                    self.misses += 1
+                    break
+            flight.event.wait()
+            if flight.error is None and flight.postings is not None:
+                with self._lock:
+                    self.singleflight_waits += 1
+                    self.hits += 1
+                    if key not in self._lists:
+                        # The loader's policy admission rejected it;
+                        # pins override the gate.
+                        self._admit(key, flight.postings, force=True)
+                    if key in self._lists:
+                        self._pinned.add(key)
+                        return True
                     return False
-            self._pinned.add(key)
-            return True
+            # The loader failed; loop and become the loader ourselves.
+        self._load_inner(key, flight, pin=True)
+        with self._lock:
+            return key in self._pinned
 
     def unpin_all(self) -> None:
-        """Release every pin; pinned entries become ordinary LRU entries."""
+        """Release every pin; pinned entries become ordinary entries."""
         with self._lock:
             self._pinned.clear()
 
@@ -206,26 +343,25 @@ class CachedIndexReader:
             )
 
     # -- cache management ------------------------------------------------
-    def _admit(self, key: tuple[int, int], postings: np.ndarray) -> None:
+    def _admit(
+        self, key: tuple[int, int], postings: np.ndarray, *, force: bool = False
+    ) -> None:
         # Callers hold self._lock.
         nbytes = int(postings.size) * POSTING_BYTES
-        if nbytes > self._capacity:
-            return
-        while self._used + nbytes > self._capacity and self._lists:
-            victim = next(
-                (k for k in self._lists if k not in self._pinned), None
-            )
-            if victim is None:
-                return  # everything resident is pinned; skip admission
-            evicted = self._lists.pop(victim)
-            self._used -= int(evicted.size) * POSTING_BYTES
+        admitted, evicted = (
+            self._policy.force(key, nbytes)
+            if force
+            else self._policy.admit(key, nbytes)
+        )
+        for victim in evicted:
+            self._lists.pop(victim, None)
             self.evictions += 1
-        self._lists[key] = postings
-        self._used += nbytes
+        if admitted:
+            self._lists[key] = postings
 
     @property
     def cached_bytes(self) -> int:
-        return self._used
+        return self._policy.used_bytes
 
     @property
     def hit_rate(self) -> float:
@@ -239,11 +375,14 @@ class CachedIndexReader:
                 hits=self.hits,
                 misses=self.misses,
                 evictions=self.evictions,
-                cached_bytes=self._used,
+                cached_bytes=self._policy.used_bytes,
                 capacity_bytes=self._capacity,
                 pinned_bytes=self.pinned_bytes,
                 cached_lists=len(self._lists),
                 pinned_lists=len(self._pinned),
+                admission_rejections=self._policy.admission_rejections,
+                singleflight_waits=self.singleflight_waits,
+                policy=self._policy.name,
             )
 
     def clear(self) -> None:
@@ -251,7 +390,7 @@ class CachedIndexReader:
         with self._lock:
             self._lists.clear()
             self._pinned.clear()
-            self._used = 0
+            self._policy.clear()
 
     # -- passthrough introspection ----------------------------------------
     @property
@@ -270,6 +409,6 @@ class CachedIndexReader:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"CachedIndexReader({self.inner!r}, used={self._used}, "
-            f"hit_rate={self.hit_rate:.2f})"
+            f"CachedIndexReader({self.inner!r}, policy={self._policy.name}, "
+            f"used={self.cached_bytes}, hit_rate={self.hit_rate:.2f})"
         )

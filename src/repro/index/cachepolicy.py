@@ -1,0 +1,418 @@
+"""Cache residency policies shared by the list and block tiers.
+
+Two interchangeable policies decide what stays resident in a
+byte-budgeted cache:
+
+``lru``
+    Plain least-recently-used: every admission is accepted and evicts
+    from the cold end until the new entry fits.  Simple and right for
+    workloads without scans, but a single pass over many one-shot keys
+    flushes the whole working set.
+
+``tinylfu``
+    W-TinyLFU (Einziger et al.): a small LRU *window* absorbs new
+    arrivals, and graduation into the segmented-LRU *main* region
+    (probation + protected) is decided by comparing the candidate's
+    estimated access frequency against the eviction victim's.  The
+    frequency estimate comes from a :class:`FrequencySketch` — a 4-bit
+    count-min sketch with periodic halving, so one-shot scan keys
+    (frequency ~1) can never displace the Zipf-head working set
+    (frequency ≫ 1), while genuinely shifting workloads age in through
+    the halving.
+
+Policies only track *residency order and byte accounting*; the owning
+cache stores the values and holds the lock — every policy method must
+be called with that lock held.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, Iterable
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+#: Policy names accepted by every tier (``policy=`` knobs, CLI flags).
+CACHE_POLICIES = ("lru", "tinylfu")
+
+_MASK64 = (1 << 64) - 1
+#: Distinct odd multipliers for the sketch's four hash rows
+#: (Fibonacci/golden-ratio style multiplicative hashing).
+_ROW_SEEDS = (
+    0x9E3779B97F4A7C15,
+    0xC2B2AE3D27D4EB4F,
+    0x165667B19E3779F9,
+    0x27D4EB2F165667C5,
+)
+
+
+class FrequencySketch:
+    """4-bit count-min sketch with periodic halving (TinyLFU aging).
+
+    Four hash rows of ``width`` counters each, capped at 15 (4 bits of
+    information per counter, stored one-per-byte for simplicity).  After
+    ``sample_period`` increments every counter is halved, so the sketch
+    estimates *recent* frequency: a key that stopped being touched
+    decays toward zero instead of staying hot forever.
+    """
+
+    ROWS = len(_ROW_SEEDS)
+    MAX_COUNT = 15
+
+    def __init__(self, width: int = 4096) -> None:
+        if width < 16:
+            raise InvalidParameterError(f"sketch width must be >= 16, got {width}")
+        # Round up to a power of two so row indexing is a shift.
+        self.width = 1 << (int(width) - 1).bit_length()
+        self._shift = 64 - self.width.bit_length() + 1
+        self._table = np.zeros(self.ROWS * self.width, dtype=np.uint8)
+        self.sample_period = 10 * self.width
+        self._ops = 0
+        self.ages = 0
+
+    def _positions(self, key: Hashable) -> list[int]:
+        mixed = hash(key) & _MASK64
+        return [
+            row * self.width + (((mixed * seed) & _MASK64) >> self._shift)
+            for row, seed in enumerate(_ROW_SEEDS)
+        ]
+
+    def increment(self, key: Hashable) -> None:
+        table = self._table
+        for position in self._positions(key):
+            if table[position] < self.MAX_COUNT:
+                table[position] += 1
+        self._ops += 1
+        if self._ops >= self.sample_period:
+            self._age()
+
+    def estimate(self, key: Hashable) -> int:
+        table = self._table
+        return min(int(table[position]) for position in self._positions(key))
+
+    def _age(self) -> None:
+        """Halve every counter: the periodic reset that keeps estimates
+        tracking the recent window instead of all of history."""
+        self._table >>= 1
+        self._ops //= 2
+        self.ages += 1
+
+
+def _first_unpinned(
+    segment: "OrderedDict[Hashable, int]", is_pinned: Callable[[Hashable], bool]
+) -> Hashable | None:
+    for key in segment:
+        if not is_pinned(key):
+            return key
+    return None
+
+
+class LruPolicy:
+    """Classic LRU over one byte budget (the pre-tiered behaviour)."""
+
+    name = "lru"
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        is_pinned: Callable[[Hashable], bool] | None = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise InvalidParameterError("capacity_bytes must be positive")
+        self.capacity = int(capacity_bytes)
+        self._is_pinned = is_pinned or (lambda key: False)
+        self._entries: OrderedDict[Hashable, int] = OrderedDict()
+        self.used_bytes = 0
+        self.admission_rejections = 0
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterable[Hashable]:
+        return self._entries.keys()
+
+    def on_hit(self, key: Hashable) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+
+    def admit(self, key: Hashable, nbytes: int) -> tuple[bool, list[Hashable]]:
+        """Try to make ``key`` resident; returns ``(resident, evicted)``.
+
+        ``evicted`` never contains ``key`` itself — a rejected candidate
+        simply is not resident afterwards.
+        """
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True, []
+        nbytes = int(nbytes)
+        if nbytes > self.capacity:
+            self.admission_rejections += 1
+            return False, []
+        evicted: list[Hashable] = []
+        while self.used_bytes + nbytes > self.capacity and self._entries:
+            victim = _first_unpinned(self._entries, self._is_pinned)
+            if victim is None:
+                self.admission_rejections += 1
+                return False, evicted
+            self.used_bytes -= self._entries.pop(victim)
+            evicted.append(victim)
+        self._entries[key] = nbytes
+        self.used_bytes += nbytes
+        return True, evicted
+
+    # Plain LRU admits unconditionally, so a forced (pin) admission is
+    # the ordinary one.
+    force = admit
+
+    def remove(self, key: Hashable) -> None:
+        nbytes = self._entries.pop(key, None)
+        if nbytes is not None:
+            self.used_bytes -= nbytes
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.used_bytes = 0
+
+
+class TinyLfuPolicy:
+    """W-TinyLFU: window LRU + frequency-gated segmented-LRU main region.
+
+    Layout (byte budgets)::
+
+        |-- window (~1%) --|------------- main -------------|
+                           |-- probation --|-- protected ---|
+
+    New keys enter the window; when the window overflows, its LRU
+    candidate *contests* entry to the main region against the main
+    region's own LRU victim: the candidate graduates only when the
+    frequency sketch says it is touched strictly more often.  A losing
+    candidate is dropped (an **admission rejection**) — this is what
+    stops a one-shot giant-list scan from flushing the Zipf head.
+    Inside main, a probation hit promotes to protected; protected
+    overflow demotes back to probation (classic segmented LRU).
+    """
+
+    name = "tinylfu"
+
+    #: Fraction of the budget given to the admission window.
+    WINDOW_FRACTION = 0.01
+    #: Fraction of the main region reserved for the protected segment.
+    PROTECTED_FRACTION = 0.8
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        is_pinned: Callable[[Hashable], bool] | None = None,
+        *,
+        sketch_width: int | None = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise InvalidParameterError("capacity_bytes must be positive")
+        self.capacity = int(capacity_bytes)
+        self._is_pinned = is_pinned or (lambda key: False)
+        self.window_capacity = max(int(self.capacity * self.WINDOW_FRACTION), 1)
+        self.main_capacity = max(self.capacity - self.window_capacity, 1)
+        self.protected_capacity = int(self.main_capacity * self.PROTECTED_FRACTION)
+        if sketch_width is None:
+            # ~one counter per plausible resident entry, bounded so a
+            # huge budget does not allocate a huge sketch.
+            sketch_width = min(max(self.capacity // 2048, 1024), 1 << 20)
+        self.sketch = FrequencySketch(sketch_width)
+        self._window: OrderedDict[Hashable, int] = OrderedDict()
+        self._probation: OrderedDict[Hashable, int] = OrderedDict()
+        self._protected: OrderedDict[Hashable, int] = OrderedDict()
+        self._window_bytes = 0
+        self._probation_bytes = 0
+        self._protected_bytes = 0
+        self.admission_rejections = 0
+
+    # -- introspection --------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self._window_bytes + self._probation_bytes + self._protected_bytes
+
+    def __contains__(self, key: Hashable) -> bool:
+        return (
+            key in self._window or key in self._probation or key in self._protected
+        )
+
+    def __len__(self) -> int:
+        return len(self._window) + len(self._probation) + len(self._protected)
+
+    def keys(self) -> Iterable[Hashable]:
+        yield from self._window
+        yield from self._probation
+        yield from self._protected
+
+    # -- accesses -------------------------------------------------------
+    def on_hit(self, key: Hashable) -> None:
+        self.sketch.increment(key)
+        if key in self._window:
+            self._window.move_to_end(key)
+        elif key in self._probation:
+            # Second touch while on probation: promote to protected.
+            nbytes = self._probation.pop(key)
+            self._probation_bytes -= nbytes
+            self._protected[key] = nbytes
+            self._protected_bytes += nbytes
+            self._shrink_protected()
+        elif key in self._protected:
+            self._protected.move_to_end(key)
+
+    def _shrink_protected(self) -> None:
+        """Demote protected-LRU entries while over the protected budget.
+
+        Demotion moves bytes *within* main, so it can never overflow the
+        total budget — it only refreshes what the next contest victim is.
+        """
+        while self._protected_bytes > self.protected_capacity:
+            victim = _first_unpinned(self._protected, self._is_pinned)
+            if victim is None:
+                return
+            nbytes = self._protected.pop(victim)
+            self._protected_bytes -= nbytes
+            self._probation[victim] = nbytes
+            self._probation_bytes += nbytes
+
+    # -- admission ------------------------------------------------------
+    def admit(self, key: Hashable, nbytes: int) -> tuple[bool, list[Hashable]]:
+        """Window admission followed by frequency-gated graduation."""
+        self.sketch.increment(key)
+        if key in self:
+            self.on_hit(key)
+            return True, []
+        nbytes = int(nbytes)
+        if nbytes > self.capacity:
+            self.admission_rejections += 1
+            return False, []
+        evicted: list[Hashable] = []
+        self._window[key] = nbytes
+        self._window_bytes += nbytes
+        self._drain_window(evicted)
+        return key in self, evicted
+
+    def _drain_window(self, evicted: list[Hashable]) -> None:
+        while self._window_bytes > self.window_capacity and self._window:
+            candidate = _first_unpinned(self._window, self._is_pinned)
+            if candidate is None:
+                return
+            cand_bytes = self._window.pop(candidate)
+            self._window_bytes -= cand_bytes
+            if not self._contest(candidate, cand_bytes, evicted):
+                self.admission_rejections += 1
+                evicted.append(candidate)
+
+    def _contest(
+        self, candidate: Hashable, nbytes: int, evicted: list[Hashable]
+    ) -> bool:
+        """Admission duel: candidate vs successive main-region victims.
+
+        The candidate must *strictly* beat every victim it displaces —
+        ties lose, which is what keeps frequency-1 scan keys out.
+        """
+        if nbytes > self.main_capacity:
+            return False
+        frequency = self.sketch.estimate(candidate)
+        while (
+            self._probation_bytes + self._protected_bytes + nbytes
+            > self.main_capacity
+        ):
+            victim_segment = self._probation
+            victim = _first_unpinned(self._probation, self._is_pinned)
+            if victim is None:
+                victim_segment = self._protected
+                victim = _first_unpinned(self._protected, self._is_pinned)
+            if victim is None:
+                return False
+            if self.sketch.estimate(victim) >= frequency:
+                return False
+            victim_bytes = victim_segment.pop(victim)
+            if victim_segment is self._probation:
+                self._probation_bytes -= victim_bytes
+            else:
+                self._protected_bytes -= victim_bytes
+            evicted.append(victim)
+        self._probation[candidate] = nbytes
+        self._probation_bytes += nbytes
+        return True
+
+    def force(self, key: Hashable, nbytes: int) -> tuple[bool, list[Hashable]]:
+        """Admission that bypasses the frequency gate (batch pinning).
+
+        Pinned lists are a correctness contract with the batch planner
+        — the frequency sketch has no vote.  Evicts coldest unpinned
+        entries (window, then probation, then protected) until the key
+        fits, straight into the probation segment.
+        """
+        self.sketch.increment(key)
+        if key in self:
+            self.on_hit(key)
+            return True, []
+        nbytes = int(nbytes)
+        if nbytes > self.capacity:
+            return False, []
+        evicted: list[Hashable] = []
+        while self.used_bytes + nbytes > self.capacity:
+            for segment, attr in (
+                (self._window, "_window_bytes"),
+                (self._probation, "_probation_bytes"),
+                (self._protected, "_protected_bytes"),
+            ):
+                victim = _first_unpinned(segment, self._is_pinned)
+                if victim is not None:
+                    setattr(self, attr, getattr(self, attr) - segment.pop(victim))
+                    evicted.append(victim)
+                    break
+            else:
+                return False, evicted
+        self._probation[key] = nbytes
+        self._probation_bytes += nbytes
+        return True, evicted
+
+    def remove(self, key: Hashable) -> None:
+        for segment, attr in (
+            (self._window, "_window_bytes"),
+            (self._probation, "_probation_bytes"),
+            (self._protected, "_protected_bytes"),
+        ):
+            nbytes = segment.pop(key, None)
+            if nbytes is not None:
+                setattr(self, attr, getattr(self, attr) - nbytes)
+                return
+
+    def clear(self) -> None:
+        self._window.clear()
+        self._probation.clear()
+        self._protected.clear()
+        self._window_bytes = 0
+        self._probation_bytes = 0
+        self._protected_bytes = 0
+
+
+def check_cache_policy(policy: str) -> str:
+    """Validate a policy name (mirrors ``codec.check_codec``)."""
+    if policy not in CACHE_POLICIES:
+        raise InvalidParameterError(
+            f"policy must be one of {CACHE_POLICIES}, got {policy!r}"
+        )
+    return policy
+
+
+def make_policy(
+    policy: str,
+    capacity_bytes: int,
+    is_pinned: Callable[[Hashable], bool] | None = None,
+):
+    """Build the residency policy named by ``policy`` (``lru``/``tinylfu``)."""
+    if policy == "lru":
+        return LruPolicy(capacity_bytes, is_pinned)
+    if policy == "tinylfu":
+        return TinyLfuPolicy(capacity_bytes, is_pinned)
+    raise InvalidParameterError(
+        f"policy must be one of {CACHE_POLICIES}, got {policy!r}"
+    )

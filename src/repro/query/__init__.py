@@ -21,6 +21,7 @@ Batching is a pure execution strategy: matches are identical to calling
 
 from repro.query.executor import BatchQueryExecutor
 from repro.query.planner import BatchPlan, PlannedQuery, plan_batch
+from repro.query.resultcache import CachingSearcher, ResultCache, ResultCacheStats
 from repro.query.results import BatchResult, BatchStats
 
 __all__ = [
@@ -28,6 +29,9 @@ __all__ = [
     "BatchQueryExecutor",
     "BatchResult",
     "BatchStats",
+    "CachingSearcher",
     "PlannedQuery",
+    "ResultCache",
+    "ResultCacheStats",
     "plan_batch",
 ]

@@ -48,6 +48,7 @@ from repro.core.search import (
 )
 from repro.exceptions import InvalidParameterError
 from repro.index.cache import CachedIndexReader
+from repro.index.cachepolicy import check_cache_policy
 from repro.index.inverted import MemoryInvertedIndex
 from repro.index.storage import DiskInvertedIndex
 from repro.query.planner import BatchPlan, PlannedQuery, plan_batch
@@ -67,12 +68,18 @@ _WORKER_SEARCHER: NearDuplicateSearcher | None = None
 
 
 def _init_query_worker(
-    directory: str, long_list_cutoff: int | None, cache_bytes: int, kernel: str
+    directory: str,
+    long_list_cutoff: int | None,
+    cache_bytes: int,
+    kernel: str,
+    cache_policy: str = "lru",
 ) -> None:
     """Open the on-disk index once per worker process."""
     global _WORKER_SEARCHER
     index = DiskInvertedIndex(directory)
-    reader = CachedIndexReader(index, capacity_bytes=cache_bytes)
+    reader = CachedIndexReader(
+        index, capacity_bytes=cache_bytes, policy=cache_policy
+    )
     _WORKER_SEARCHER = NearDuplicateSearcher(
         reader, long_list_cutoff=long_list_cutoff, kernel=kernel
     )
@@ -127,13 +134,15 @@ def _run_shard(
     finally:
         if isinstance(reader, CachedIndexReader):
             reader.unpin_all()
-    cache_delta = (0, 0, 0)
+    cache_delta = (0, 0, 0, 0, 0)
     if cache_before is not None:
         cache_after = reader.stats()
         cache_delta = (
             cache_after.hits - cache_before.hits,
             cache_after.misses - cache_before.misses,
             cache_after.evictions - cache_before.evictions,
+            cache_after.admission_rejections - cache_before.admission_rejections,
+            cache_after.singleflight_waits - cache_before.singleflight_waits,
         )
     return {
         "results": results,
@@ -190,6 +199,7 @@ class BatchQueryExecutor:
         batch_size: int | None = None,
         mode: str = "auto",
         cache_bytes: int = DEFAULT_CACHE_BYTES,
+        cache_policy: str = "lru",
         pin_fraction: float = DEFAULT_PIN_FRACTION,
     ) -> None:
         if workers < 0:
@@ -211,6 +221,7 @@ class BatchQueryExecutor:
         self.batch_size = batch_size
         self.mode = mode
         self.cache_bytes = int(cache_bytes)
+        self.cache_policy = check_cache_policy(cache_policy)
         self.pin_fraction = float(pin_fraction)
         self._pool: ProcessPoolExecutor | None = None
         self._pool_key: tuple | None = None
@@ -451,7 +462,9 @@ class BatchQueryExecutor:
         if isinstance(self.searcher.index, CachedIndexReader):
             return self.searcher
         reader = CachedIndexReader(
-            self.searcher.index, capacity_bytes=self.cache_bytes
+            self.searcher.index,
+            capacity_bytes=self.cache_bytes,
+            policy=self.cache_policy,
         )
         return NearDuplicateSearcher(
             reader,
@@ -472,7 +485,9 @@ class BatchQueryExecutor:
         def run(job):
             shard, pin_keys = job
             reader = CachedIndexReader(
-                base.view(), capacity_bytes=self.cache_bytes
+                base.view(),
+                capacity_bytes=self.cache_bytes,
+                policy=self.cache_policy,
             )
             local = NearDuplicateSearcher(
                 reader,
@@ -514,6 +529,7 @@ class BatchQueryExecutor:
             self.searcher.long_list_cutoff,
             self.cache_bytes,
             self.searcher.kernel,
+            self.cache_policy,
         )
         key = (*initargs, self.workers)
         if self._pool is None or self._pool_key != key:
@@ -549,10 +565,12 @@ class BatchQueryExecutor:
             stats.io_calls += pin_calls
             stats.io_seconds += pin_seconds
             stats.lists_pinned += outcome["pinned"]
-            hits, misses, evictions = outcome["cache"]
+            hits, misses, evictions, rejections, sf_waits = outcome["cache"]
             stats.cache_hits += hits
             stats.cache_misses += misses
             stats.cache_evictions += evictions
+            stats.cache_admission_rejections += rejections
+            stats.cache_singleflight_waits += sf_waits
             stats.worker_busy_seconds += outcome["busy_seconds"]
             execute_wall = max(execute_wall, outcome["busy_seconds"])
         stats.execute_seconds = execute_wall

@@ -50,6 +50,12 @@ class BatchStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    #: Inserts the admission policy turned away (TinyLFU frequency
+    #: gate, or an entry larger than the whole cache under LRU).
+    cache_admission_rejections: int = 0
+    #: Cold misses that piggybacked on another thread's in-flight load
+    #: instead of reading the list themselves.
+    cache_singleflight_waits: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -119,6 +125,8 @@ class BatchStats:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_evictions += other.cache_evictions
+        self.cache_admission_rejections += other.cache_admission_rejections
+        self.cache_singleflight_waits += other.cache_singleflight_waits
         self.workers = max(self.workers, other.workers)
         if self.mode != other.mode:
             self.mode = other.mode if self.mode == "sequential" else self.mode
@@ -138,7 +146,9 @@ class BatchStats:
             f"({1e3 * self.io_seconds:.1f} ms), "
             f"{self.point_reads} point reads",
             f"cache: {self.cache_hits} hits / {self.cache_misses} misses / "
-            f"{self.cache_evictions} evictions",
+            f"{self.cache_evictions} evictions "
+            f"({self.cache_admission_rejections} rejected, "
+            f"{self.cache_singleflight_waits} coalesced)",
             f"time: plan {1e3 * self.plan_seconds:.1f} ms, "
             f"execute {1e3 * self.execute_seconds:.1f} ms, "
             f"total {1e3 * self.total_seconds:.1f} ms "

@@ -78,6 +78,8 @@ _FIELDS = (
     "cache_misses",
     "cache_bytes",
     "cache_lists",
+    "cache_admission_rejections",
+    "cache_singleflight_waits",
     "pid",
     "generation",
 )
@@ -161,6 +163,8 @@ class StatsSlots:
                 "misses": total("cache_misses"),
                 "cached_bytes": total("cache_bytes"),
                 "cached_lists": total("cache_lists"),
+                "admission_rejections": total("cache_admission_rejections"),
+                "singleflight_waits": total("cache_singleflight_waits"),
             },
         }
 
@@ -211,6 +215,8 @@ class SharedServiceStats(ServiceStats):
             row[_INDEX["cache_misses"]] = cache.misses
             row[_INDEX["cache_bytes"]] = cache.cached_bytes
             row[_INDEX["cache_lists"]] = cache.cached_lists
+            row[_INDEX["cache_admission_rejections"]] = cache.admission_rejections
+            row[_INDEX["cache_singleflight_waits"]] = cache.singleflight_waits
 
     def record_admitted(self) -> None:
         super().record_admitted()

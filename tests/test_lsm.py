@@ -521,7 +521,14 @@ class TestLiveEngine:
             config=small_config(),
         )
         cached = engine.cached_searcher(cache_bytes=1 << 20)
-        assert isinstance(cached, LiveSearcher)
+        # The live default wraps the LiveSearcher in the generation-aware
+        # result cache; the live searcher stays reachable underneath.
+        assert isinstance(cached.inner, LiveSearcher)
+        assert cached.result_cache is not None
+        without_results = engine.cached_searcher(
+            cache_bytes=1 << 20, result_cache=False
+        )
+        assert isinstance(without_results, LiveSearcher)
         engine.close()
 
     def test_static_engine_rejects_live_api(self, planted_data, planted_index):

@@ -1,0 +1,525 @@
+"""The multi-tier read cache: policies, block tier, single-flight,
+result memoization — and above all byte-identity: every cached
+configuration must return exactly what the uncached reader returns."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import HashFamily
+from repro.core.search import NearDuplicateSearcher
+from repro.engine import NearDupEngine
+from repro.exceptions import InvalidParameterError
+from repro.index.blockcache import DecodedBlockCache
+from repro.index.cache import CachedIndexReader
+from repro.index.cachepolicy import (
+    CACHE_POLICIES,
+    FrequencySketch,
+    LruPolicy,
+    TinyLfuPolicy,
+    check_cache_policy,
+    make_policy,
+)
+from repro.index.inverted import IOStats, POSTING_DTYPE
+from repro.index.storage import DiskInvertedIndex, write_index
+from repro.query.resultcache import CachingSearcher, ResultCache
+
+
+def canon(result):
+    """A search result's observable content (stats excluded)."""
+    return (
+        result.k,
+        result.theta,
+        result.beta,
+        result.t,
+        [(match.text_id, match.rectangles) for match in result.matches],
+    )
+
+
+# ----------------------------------------------------------------------
+# Policy unit behaviour
+# ----------------------------------------------------------------------
+class TestFrequencySketch:
+    def test_counts_and_caps(self):
+        sketch = FrequencySketch(64)
+        assert sketch.estimate("x") == 0
+        for _ in range(5):
+            sketch.increment("x")
+        assert 1 <= sketch.estimate("x") <= 5
+        for _ in range(100):
+            sketch.increment("x")
+        assert sketch.estimate("x") <= FrequencySketch.MAX_COUNT
+
+    def test_aging_halves(self):
+        sketch = FrequencySketch(16)
+        for _ in range(sketch.sample_period):
+            sketch.increment("hot")
+        assert sketch.ages >= 1
+        assert sketch.estimate("hot") <= FrequencySketch.MAX_COUNT // 2 + 1
+
+    def test_width_is_power_of_two(self):
+        assert FrequencySketch(1000).width == 1024
+        with pytest.raises(InvalidParameterError):
+            FrequencySketch(4)
+
+
+class TestPolicies:
+    def test_check_cache_policy(self):
+        for name in CACHE_POLICIES:
+            assert check_cache_policy(name) == name
+        with pytest.raises(InvalidParameterError):
+            check_cache_policy("clock")
+        with pytest.raises(InvalidParameterError):
+            make_policy("clock", 1024)
+
+    def test_lru_evicts_cold_end(self):
+        policy = LruPolicy(300)
+        for key in ("a", "b", "c"):
+            assert policy.admit(key, 100) == (True, [])
+        policy.on_hit("a")  # now b is coldest
+        admitted, evicted = policy.admit("d", 100)
+        assert admitted and evicted == ["b"]
+        assert policy.used_bytes == 300
+
+    def test_lru_rejects_oversized(self):
+        policy = LruPolicy(100)
+        admitted, evicted = policy.admit("huge", 101)
+        assert not admitted and not evicted
+        assert policy.admission_rejections == 1
+
+    def test_lru_respects_pins(self):
+        pinned = {"a", "b"}
+        policy = LruPolicy(200, lambda key: key in pinned)
+        policy.admit("a", 100)
+        policy.admit("b", 100)
+        admitted, evicted = policy.admit("c", 100)
+        assert not admitted and not evicted
+        assert policy.admission_rejections == 1
+
+    def test_tinylfu_scan_resistance(self):
+        policy = TinyLfuPolicy(10_000)
+        hot = [f"hot{i}" for i in range(5)]
+        for key in hot:
+            policy.admit(key, 1800)
+        for _ in range(4):
+            for key in hot:
+                policy.on_hit(key)
+        # A long one-shot scan: frequency-1 keys must not displace the
+        # hot set (ties lose the contest, and 1 < hot frequency anyway).
+        for i in range(100):
+            policy.admit(f"scan{i}", 1800)
+        for key in hot:
+            assert key in policy
+        assert policy.admission_rejections > 0
+
+    def test_tinylfu_repeated_key_graduates(self):
+        policy = TinyLfuPolicy(10_000)
+        for key in ("a", "b", "c", "d", "e"):
+            policy.admit(key, 1800)
+        # Build up frequency for a newcomer, then admit: it should win
+        # the contest against the never-touched residents.
+        for _ in range(6):
+            policy.sketch.increment("comeback")
+        admitted, evicted = policy.admit("comeback", 1800)
+        assert admitted and evicted
+
+    def test_tinylfu_force_bypasses_gate(self):
+        policy = TinyLfuPolicy(4_000)
+        for key in ("a", "b"):
+            policy.admit(key, 1800)
+            for _ in range(5):
+                policy.on_hit(key)
+        # Ordinary admission of a cold key loses the contest...
+        admitted, _ = policy.admit("cold", 1800)
+        assert not admitted
+        # ...but force (batch pinning) must land it regardless.
+        admitted, evicted = policy.force("pinme", 1800)
+        assert admitted
+        assert "pinme" in policy
+        assert all(victim != "pinme" for victim in evicted)
+
+    def test_tinylfu_probation_promotes_to_protected(self):
+        policy = TinyLfuPolicy(10_000)
+        policy.admit("a", 1800)
+        assert "a" in policy._probation
+        policy.on_hit("a")
+        assert "a" in policy._protected
+
+
+# ----------------------------------------------------------------------
+# Byte-identity across every tier/policy combination
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def packed_dir(planted_index, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("multitier") / "index"
+    write_index(planted_index, directory, codec="packed")
+    return directory
+
+
+@pytest.fixture(scope="module")
+def query_set(planted_data):
+    corpus = planted_data.corpus
+    queries = []
+    for text_id in (0, 3, 7, 16, 40, 97):
+        tokens = np.asarray(corpus[text_id], dtype=np.uint32)
+        queries.append(tokens[:48])
+        queries.append(tokens[10:90])
+    queries.append(queries[0])  # exact repeat exercises the result tier
+    return queries
+
+
+@pytest.fixture(scope="module")
+def baseline(packed_dir, query_set):
+    searcher = NearDuplicateSearcher(DiskInvertedIndex(packed_dir))
+    return [canon(searcher.search(query, 0.8)) for query in query_set]
+
+
+@pytest.mark.parametrize("policy", CACHE_POLICIES)
+@pytest.mark.parametrize("block_bytes", [0, 1 << 20])
+@pytest.mark.parametrize("result_cache", [False, True])
+def test_tiers_byte_identical(
+    packed_dir, query_set, baseline, policy, block_bytes, result_cache
+):
+    index = DiskInvertedIndex(packed_dir)
+    if block_bytes:
+        index.enable_block_cache(DecodedBlockCache(block_bytes, policy=policy))
+    reader = CachedIndexReader(index, capacity_bytes=1 << 20, policy=policy)
+    searcher = NearDuplicateSearcher(reader)
+    if result_cache:
+        searcher = CachingSearcher(searcher)
+    for _ in range(2):  # second pass runs every warm path
+        got = [canon(searcher.search(query, 0.8)) for query in query_set]
+        assert got == baseline
+
+
+@pytest.mark.parametrize("policy", CACHE_POLICIES)
+def test_tiny_capacity_still_correct(packed_dir, query_set, baseline, policy):
+    """A cache too small to hold anything must degrade to correctness."""
+    index = DiskInvertedIndex(packed_dir)
+    index.enable_block_cache(DecodedBlockCache(256, policy=policy))
+    reader = CachedIndexReader(index, capacity_bytes=1024, policy=policy)
+    searcher = NearDuplicateSearcher(reader)
+    got = [canon(searcher.search(query, 0.8)) for query in query_set]
+    assert got == baseline
+
+
+class TestHypothesisIdentity:
+    """Random queries: every policy answers exactly like the raw index."""
+
+    @given(
+        tokens=st.lists(
+            st.integers(min_value=0, max_value=1023), min_size=30, max_size=90
+        ),
+        theta=st.sampled_from([0.6, 0.8, 1.0]),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_cached_policies_match_uncached(
+        self, planted_index, tokens, theta
+    ):
+        query = np.asarray(tokens, dtype=np.uint32)
+        expected = canon(
+            NearDuplicateSearcher(planted_index).search(query, theta)
+        )
+        for policy in CACHE_POLICIES:
+            reader = CachedIndexReader(
+                planted_index, capacity_bytes=1 << 18, policy=policy
+            )
+            searcher = CachingSearcher(NearDuplicateSearcher(reader))
+            assert canon(searcher.search(query, theta)) == expected
+            assert canon(searcher.search(query, theta)) == expected
+
+
+# ----------------------------------------------------------------------
+# Result cache semantics
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_memoizes_and_distinguishes_params(self, planted_data, planted_index):
+        searcher = CachingSearcher(NearDuplicateSearcher(planted_index))
+        query = np.asarray(planted_data.corpus[0], dtype=np.uint32)[:48]
+        first = searcher.search(query, 0.8)
+        assert searcher.search(query, 0.8) is first
+        assert searcher.result_cache.hits == 1
+        # Different theta / flags are different entries, not collisions.
+        other = searcher.search(query, 0.9)
+        assert other is not first
+        fmo = searcher.search(query, 0.8, first_match_only=True)
+        assert fmo is not first
+        # Defaults spelled explicitly hit the same entry.
+        assert searcher.search(query, 0.8, first_match_only=False) is first
+
+    def test_digest_includes_query_only_when_asked(self):
+        sketch = np.arange(8, dtype=np.uint64)
+        a = ResultCache.digest(sketch, 0.8, (), np.array([1, 2], np.uint32))
+        b = ResultCache.digest(sketch, 0.8, (), np.array([1, 3], np.uint32))
+        c = ResultCache.digest(sketch, 0.8, ())
+        assert a != b and a != c
+
+    def test_lru_bound_and_eviction(self):
+        cache = ResultCache(max_entries=2)
+        for i in range(3):
+            key = ResultCache.digest(np.array([i], np.uint64), 0.8, ())
+            _, generation = cache.lookup(key)
+            cache.store(key, f"r{i}", generation)
+        stats = cache.stats()
+        assert stats.entries == 2 and stats.evictions == 1
+
+    def test_generation_gate_drops_stale_store(self):
+        generation = [0]
+        cache = ResultCache(generation_fn=lambda: generation[0])
+        key = ResultCache.digest(np.array([1], np.uint64), 0.8, ())
+        _, token = cache.lookup(key)
+        generation[0] += 1  # index moved while we computed
+        cache.store(key, "stale", token)
+        result, _ = cache.lookup(key)
+        assert result is None
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            ResultCache(max_entries=0)
+
+    def test_live_generation_bump_invalidates(self, tmp_path):
+        engine = NearDupEngine.live(
+            tmp_path / "live", k=8, t=25, vocab_size=256, seed=5
+        )
+        try:
+            rng = np.random.default_rng(11)
+            base = rng.integers(0, 256, size=64).astype(np.uint32)
+            engine.append_texts([base])
+            searcher = engine.cached_searcher(cache_bytes=1 << 20)
+            assert isinstance(searcher, CachingSearcher)
+            first = searcher.search(base, 0.8)
+            assert searcher.search(base, 0.8) is first
+            # Ingest a near-duplicate: the generation moves, the memo
+            # must not serve the pre-ingest result.
+            mutated = base.copy()
+            mutated[5] = (mutated[5] + 1) % 256
+            engine.append_texts([mutated])
+            fresh = searcher.search(base, 0.8)
+            assert fresh is not first
+            assert fresh.num_texts >= first.num_texts
+            assert searcher.result_cache.stats().invalidations >= 1
+            expected = canon(engine.searcher.search(base, 0.8))
+            assert canon(fresh) == expected
+        finally:
+            engine.close()
+
+
+# ----------------------------------------------------------------------
+# Single-flight miss coalescing
+# ----------------------------------------------------------------------
+class _SlowCountingReader:
+    """Inner-reader stub: counts loads, sleeps to widen the miss race."""
+
+    def __init__(self, delay: float = 0.05, fail_first: bool = False):
+        self.family = HashFamily(k=4, seed=0)
+        self.t = 25
+        self.io_stats = IOStats()
+        self.delay = delay
+        self.fail_first = fail_first
+        self.loads: dict[tuple[int, int], int] = {}
+        self._lock = threading.Lock()
+
+    def load_list(self, func: int, minhash: int) -> np.ndarray:
+        with self._lock:
+            count = self.loads.get((func, minhash), 0) + 1
+            self.loads[(func, minhash)] = count
+        if self.fail_first and count == 1:
+            raise OSError("transient read failure")
+        time.sleep(self.delay)
+        postings = np.zeros(4, dtype=POSTING_DTYPE)
+        postings["text"] = minhash
+        return postings
+
+    def list_length(self, func: int, minhash: int) -> int:
+        return 4
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_coalesce(self):
+        inner = _SlowCountingReader()
+        reader = CachedIndexReader(inner, capacity_bytes=1 << 20)
+        threads = 8
+        barrier = threading.Barrier(threads)
+        outputs: list[np.ndarray | None] = [None] * threads
+
+        def worker(slot: int) -> None:
+            barrier.wait()
+            outputs[slot] = reader.load_list(0, 42)
+
+        pool = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        # Exactly one inner load; everyone else waited on the flight.
+        assert inner.loads == {(0, 42): 1}
+        assert reader.misses == 1
+        assert reader.singleflight_waits == threads - 1
+        assert reader.hits == threads - 1
+        for output in outputs:
+            assert output is not None and output.size == 4
+
+    def test_distinct_keys_load_in_parallel(self):
+        inner = _SlowCountingReader(delay=0.05)
+        reader = CachedIndexReader(inner, capacity_bytes=1 << 20)
+        keys = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        begin = time.perf_counter()
+        pool = [
+            threading.Thread(target=reader.load_list, args=key) for key in keys
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        elapsed = time.perf_counter() - begin
+        assert all(inner.loads[key] == 1 for key in keys)
+        # Serialized would be >= 4 * delay; parallel misses overlap.
+        assert elapsed < 4 * inner.delay
+
+    def test_loader_failure_does_not_poison(self):
+        inner = _SlowCountingReader(delay=0.0, fail_first=True)
+        reader = CachedIndexReader(inner, capacity_bytes=1 << 20)
+        with pytest.raises(OSError):
+            reader.load_list(0, 7)
+        postings = reader.load_list(0, 7)
+        assert postings.size == 4
+        assert inner.loads[(0, 7)] == 2
+
+
+# ----------------------------------------------------------------------
+# Accounting fixes (hit/miss skew, sketch_list_lengths)
+# ----------------------------------------------------------------------
+class TestAccounting:
+    def test_point_read_fallthrough_counts_miss(self, planted_index):
+        reader = CachedIndexReader(planted_index)
+        keys = np.asarray(planted_index.list_keys(0))
+        minhash = int(keys[0])
+        before = reader.stats()
+        reader.load_text_windows(0, minhash, 0)
+        after_single = reader.stats()
+        assert after_single.misses == before.misses + 1
+        reader.load_texts_windows(0, minhash, np.array([0, 1]))
+        after_batch = reader.stats()
+        assert after_batch.misses == after_single.misses + 1
+        # Once the full list is resident, the same reads count as hits.
+        reader.load_list(0, minhash)
+        hits_before = reader.stats().hits
+        reader.load_text_windows(0, minhash, 0)
+        reader.load_texts_windows(0, minhash, np.array([0, 1]))
+        assert reader.stats().hits == hits_before + 2
+
+    def test_sketch_list_lengths_consults_cache(self, planted_index):
+        reader = CachedIndexReader(planted_index)
+        keys0 = np.asarray(planted_index.list_keys(0))
+        sketch = np.zeros(planted_index.family.k, dtype=np.uint64)
+        for func in range(planted_index.family.k):
+            func_keys = np.asarray(planted_index.list_keys(func))
+            sketch[func] = func_keys[0] if func_keys.size else 0
+        expected = np.array(
+            [
+                planted_index.list_length(func, int(sketch[func]))
+                for func in range(planted_index.family.k)
+            ],
+            dtype=np.int64,
+        )
+        np.testing.assert_array_equal(reader.sketch_list_lengths(sketch), expected)
+        # With a list cached, the answer must be identical and come from
+        # the resident copy.
+        reader.load_list(0, int(keys0[0]))
+        np.testing.assert_array_equal(reader.sketch_list_lengths(sketch), expected)
+
+    def test_sketch_list_lengths_vectorized_fallback(self, planted_index):
+        class Bare:
+            """Reader without sketch_list_lengths: forces the
+            searchsorted directory fallback."""
+
+            def __init__(self, inner):
+                self.family = inner.family
+                self.t = inner.t
+                self.io_stats = inner.io_stats
+                self._inner = inner
+
+            def load_list(self, func, minhash):
+                return self._inner.load_list(func, minhash)
+
+            def list_length(self, func, minhash):
+                return self._inner.list_length(func, minhash)
+
+            def list_keys(self, func):
+                return self._inner.list_keys(func)
+
+            def list_lengths(self, func):
+                return self._inner.list_lengths(func)
+
+        bare = Bare(planted_index)
+        reader = CachedIndexReader(bare)
+        sketch = np.zeros(planted_index.family.k, dtype=np.uint64)
+        sketch[0] = np.asarray(planted_index.list_keys(0))[0]
+        sketch[1] = 10**9  # absent key: length 0
+        expected = np.array(
+            [
+                planted_index.list_length(func, int(sketch[func]))
+                for func in range(planted_index.family.k)
+            ],
+            dtype=np.int64,
+        )
+        np.testing.assert_array_equal(reader.sketch_list_lengths(sketch), expected)
+
+
+# ----------------------------------------------------------------------
+# Decoded-block tier
+# ----------------------------------------------------------------------
+class TestBlockCache:
+    def test_warm_point_reads_decode_nothing(self, packed_dir, planted_data):
+        index = DiskInvertedIndex(packed_dir)
+        cache = DecodedBlockCache(4 << 20)
+        index.enable_block_cache(cache)
+        searcher = NearDuplicateSearcher(index)
+        query = np.asarray(planted_data.corpus[0], dtype=np.uint32)[:48]
+        searcher.search(query, 0.8)
+        cold = index.io_stats.decoded_bytes
+        assert cold > 0
+        searcher.search(query, 0.8)
+        warm = index.io_stats.decoded_bytes - cold
+        assert warm == 0
+        assert cache.stats().hits > 0
+
+    def test_namespace_isolates_readers(self, packed_dir, tmp_path, planted_index):
+        other_dir = tmp_path / "other"
+        write_index(planted_index, other_dir, codec="packed")
+        cache = DecodedBlockCache(4 << 20)
+        first = DiskInvertedIndex(packed_dir)
+        second = DiskInvertedIndex(other_dir)
+        first.enable_block_cache(cache)
+        second.enable_block_cache(cache)
+        keys = np.asarray(first.list_keys(0))
+        minhash = int(keys[0])
+        a = first.load_list(0, minhash)
+        b = second.load_list(0, minhash)
+        np.testing.assert_array_equal(a, b)
+        # Same (func, minhash), two namespaces: both cold-missed.
+        assert cache.stats().misses >= 2
+
+    def test_raw_codec_ignores_block_cache(self, planted_index, tmp_path):
+        raw_dir = tmp_path / "raw"
+        write_index(planted_index, raw_dir, codec="raw")
+        index = DiskInvertedIndex(raw_dir)
+        index.enable_block_cache(DecodedBlockCache(1 << 20))
+        assert index.block_cache is None
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            DecodedBlockCache(0)
